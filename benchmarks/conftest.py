@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure.
+Each benchmark prints a paper-vs-measured report and also writes it under
+``benchmarks/results/`` so the comparisons survive output capture.
+
+The Section 7 trial corpus (the paper's "about 400 such trials") is run once
+per session and shared by the Figure 14/15/16 and threshold-ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import ExperimentReport
+from repro.experiments.trials import run_trials
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper collected "about 400 such trials"; we match it.  Override with
+#: REPRO_TRIALS=nnn for quicker iterations.
+NUM_TRIALS = int(os.environ.get("REPRO_TRIALS", "400"))
+
+
+@pytest.fixture(scope="session")
+def section7_trials():
+    """The shared Section 7 manual-capping trial corpus."""
+    return run_trials(NUM_TRIALS)
+
+
+@pytest.fixture
+def report_sink():
+    """Returns a function that prints a report and persists it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(report: ExperimentReport) -> None:
+        report.show()
+        path = RESULTS_DIR / f"{report.experiment}.txt"
+        path.write_text(report.render() + "\n")
+
+    return sink
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,30 @@
+"""Ablation: the 0.9/day history age-weighting in spec learning.
+
+"Historical data about prior runs is incorporated using age-weighting, by
+multiplying the CPI value from the previous day by about 0.9."  Against a
+drifting-and-jittering true CPI, no history (0.0) chases daily jitter and
+full history (1.0) lags the drift; the paper's 0.9 sits near the optimum.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import age_weight_sweep
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_ablation_age_weighting(benchmark, report_sink):
+    results = run_once(benchmark, age_weight_sweep)
+
+    report = ExperimentReport("ablation_age_weight",
+                              "Spec history age-weighting")
+    for r in results:
+        report.add(f"weight {r.age_weight:.1f}: mean abs error",
+                   "0.9 near-optimal", r.mean_abs_error)
+    report_sink(report)
+
+    by_weight = {r.age_weight: r for r in results}
+    # Using history beats ignoring it under daily jitter...
+    assert by_weight[0.9].mean_abs_error < by_weight[0.0].mean_abs_error
+    # ...and the paper's 0.9 is within 25% of the best weight tried.
+    best = min(r.mean_abs_error for r in results)
+    assert by_weight[0.9].mean_abs_error <= 1.25 * best

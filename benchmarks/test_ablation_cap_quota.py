@@ -1,0 +1,37 @@
+"""Ablation: the hard-cap quota (paper fixes 0.1 / 0.01 CPU-sec/sec).
+
+The sweep shows why 0.1 is a sane default: victim relief saturates below
+~0.1 (capping harder buys almost nothing) and erodes quickly above it.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import cap_quota_sweep
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_ablation_cap_quota(benchmark, report_sink):
+    results = run_once(benchmark, cap_quota_sweep)
+
+    report = ExperimentReport("ablation_cap_quota", "Hard-cap quota sweep")
+    for r in results:
+        report.add(
+            f"quota {r.quota:.2f}: victim relative CPI / antagonist CPU",
+            "knee near 0.1",
+            f"{r.victim_relative_cpi:.2f} / "
+            f"{r.antagonist_usage_during_cap:.2f}")
+    report_sink(report)
+
+    by_quota = {r.quota: r for r in results}
+    # Relief degrades as the cap loosens.
+    reliefs = [r.victim_relative_cpi
+               for r in sorted(results, key=lambda r: r.quota)]
+    assert reliefs[0] <= reliefs[-1]
+    # 0.1 achieves nearly the same relief as 0.01 while leaving the
+    # antagonist ~10x the CPU — the paper's conservative choice.
+    assert (by_quota[0.1].victim_relative_cpi
+            <= by_quota[0.01].victim_relative_cpi + 0.1)
+    assert (by_quota[0.1].antagonist_usage_during_cap
+            > 5 * by_quota[0.01].antagonist_usage_during_cap)
+    # Loose caps stop helping.
+    assert by_quota[2.0].victim_relative_cpi > by_quota[0.1].victim_relative_cpi

@@ -1,0 +1,41 @@
+"""Ablation: passive correlation vs the active probing scheme (Section 4.2).
+
+"An active scheme might rank-order a list of suspects based on heuristics
+like CPU usage ... and temporarily throttle them back one by one ...
+Unfortunately, this simple approach may disrupt many innocent tasks."
+Quantified: both schemes find the culprit here, but the active one gets
+there by throttling an innocent CPU hog and denying it real CPU time.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import passive_vs_active
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_ablation_passive_vs_active(benchmark, report_sink):
+    result = run_once(benchmark, passive_vs_active)
+
+    report = ExperimentReport("ablation_passive_active",
+                              "Passive correlation vs active probing")
+    report.add("passive: correct identification", True,
+               result.passive_identified_correctly)
+    report.add("passive: CPU denied to innocents (CPU-s)", 0.0,
+               result.passive_cpu_seconds_denied)
+    report.add("active: correct identification", True,
+               result.active_identified_correctly)
+    report.add("active: probes run", ">1 (hungriest-first)",
+               result.active_probes)
+    report.add("active: innocents throttled", ">0",
+               result.active_innocents_disrupted)
+    report.add("active: CPU denied (CPU-s)", ">0",
+               result.active_cpu_seconds_denied)
+    report.add("active: wall-clock spent (s)", "minutes",
+               result.active_seconds_elapsed)
+    report_sink(report)
+
+    assert result.passive_identified_correctly
+    assert result.passive_cpu_seconds_denied == 0.0
+    # The active scheme disrupts the innocent big consumer on its way.
+    assert result.active_innocents_disrupted >= 1
+    assert result.active_cpu_seconds_denied > 100.0

@@ -1,0 +1,45 @@
+"""Ablation: the antagonist-correlation threshold (paper picks 0.35).
+
+"Based on these results, declaring an antagonist only when the detector
+correlation is 0.35 or above seems a good threshold."  The sweep shows the
+trade the paper made: lower thresholds declare more (coverage) at more
+false/noise declarations; higher thresholds declare almost nothing extra.
+"""
+
+from conftest import run_once
+
+from repro.experiments.analyses import rates_by_threshold
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_ablation_correlation_threshold(benchmark, report_sink,
+                                        section7_trials):
+    rates = run_once(
+        benchmark,
+        lambda: rates_by_threshold(
+            section7_trials,
+            thresholds=(0.1, 0.2, 0.3, 0.35, 0.4, 0.5, 0.6)))
+
+    report = ExperimentReport("ablation_threshold",
+                              "Correlation-threshold sweep")
+    for r in rates:
+        report.add(
+            f"threshold {r.threshold:.2f}: declared / TP / FP",
+            "0.35 is the paper's knee",
+            f"{r.declared} / {r.true_positive_rate:.2f} / "
+            f"{r.false_positive_rate:.2f}")
+    report_sink(report)
+
+    by_threshold = {r.threshold: r for r in rates}
+    # Coverage declines monotonically with the threshold.
+    declared = [r.declared for r in rates]
+    assert declared == sorted(declared, reverse=True)
+    # At the paper's threshold: solid TP, low FP, non-trivial coverage.
+    knee = by_threshold[0.35]
+    assert knee.true_positive_rate > 0.6
+    assert knee.false_positive_rate < 0.25
+    assert knee.declared >= 10
+    # Loosening to 0.1 buys coverage but with no better precision.
+    loose = by_threshold[0.1]
+    assert loose.declared > knee.declared
+    assert loose.true_positive_rate <= knee.true_positive_rate + 0.1

@@ -1,0 +1,35 @@
+"""Ablation: the 0.25 CPU-sec/sec minimum-usage gate.
+
+Case 3 motivated it; the sweep shows the gate kills the bimodal false
+alarms without losing genuinely interfered victims (which run well above
+the gate).
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import usage_gate_sweep
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_ablation_usage_gate(benchmark, report_sink):
+    results = run_once(benchmark, usage_gate_sweep)
+
+    report = ExperimentReport("ablation_usage_gate", "Minimum-usage gate")
+    for r in results:
+        report.add(
+            f"gate {r.min_cpu_usage:.2f}: false (bimodal) / true (interfered)",
+            "0.25 kills false alarms, keeps real ones",
+            f"{r.false_anomalies_bimodal} / {r.true_anomalies_interfered}")
+    report_sink(report)
+
+    by_gate = {r.min_cpu_usage: r for r in results}
+    # No gate: the case-3 false alarm fires.
+    assert by_gate[0.0].false_anomalies_bimodal > 0
+    # Paper's gate: false alarms gone, real detections intact.
+    assert by_gate[0.25].false_anomalies_bimodal == 0
+    assert (by_gate[0.25].true_anomalies_interfered
+            == by_gate[0.0].true_anomalies_interfered)
+    # False alarms never increase as the gate tightens.
+    ordered = [r.false_anomalies_bimodal
+               for r in sorted(results, key=lambda r: r.min_cpu_usage)]
+    assert ordered == sorted(ordered, reverse=True)

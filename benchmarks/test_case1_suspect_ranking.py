@@ -1,0 +1,37 @@
+"""Case 1 (Figure 8): suspect ranking picks the video-processing batch job.
+
+Paper: top-5 suspects led by video processing (corr 0.46, the only
+non-latency-sensitive one); killing it returned the victim to normal.
+"""
+
+from conftest import run_once
+
+from repro.experiments.casestudies import case1_suspect_ranking
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_case1_video_processing_identified(benchmark, report_sink):
+    result = run_once(benchmark, case1_suspect_ranking)
+
+    report = ExperimentReport("case1", "Suspect ranking (Figure 8)")
+    report.add("chosen antagonist", "video processing (batch)",
+               f"{result.chosen_job} ({result.chosen_class})")
+    report.add("top suspect correlation", 0.46,
+               result.suspects[0].correlation)
+    report.add("batch jobs in top-5", 1, sum(
+        1 for s in result.suspects if s.scheduling_class != "latency-sensitive"))
+    report.add("victim CPI while suffering", "5.0 (peak)",
+               result.victim_cpi_during)
+    report.add("victim CPI after kill", "back to normal",
+               result.victim_cpi_after_kill)
+    for s in result.suspects:
+        report.add(f"suspect {s.jobname} ({s.scheduling_class})",
+                   "-", s.correlation)
+    report_sink(report)
+
+    assert result.chosen_job == "video-processing"
+    assert result.chosen_class == "batch"
+    assert result.suspects[0].jobname == "video-processing"
+    assert result.suspects[0].correlation >= 0.35
+    # Killing the antagonist restores most of the victim's performance.
+    assert result.victim_cpi_after_kill < 0.75 * result.victim_cpi_during

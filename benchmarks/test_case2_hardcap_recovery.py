@@ -1,0 +1,32 @@
+"""Case 2 (Figure 9): hard-capping halves the victim's CPI; it rises after.
+
+Paper: "the victim's CPI improved from about 2.0 to about 1.0.  Once the
+hard-capping stopped and the antagonist was allowed to run normally, the
+victim's CPI rose again."
+"""
+
+from conftest import run_once
+
+from repro.experiments.casestudies import case2_hardcap_recovery
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_case2_capping_restores_victim(benchmark, report_sink):
+    result = run_once(benchmark, case2_hardcap_recovery)
+
+    report = ExperimentReport("case2", "Hard-cap recovery (Figure 9)")
+    report.add("suspect correlation", "0.31-0.34 band", result.correlation)
+    report.add("victim CPI before cap", 2.0, result.cpi_before)
+    report.add("victim CPI during cap", 1.0, result.cpi_during_cap)
+    report.add("victim CPI after cap lapses", "rises again",
+               result.cpi_after_cap)
+    report.add("antagonist CPU before cap", "-",
+               result.antagonist_usage_before)
+    report.add("antagonist CPU during cap", "drastically reduced",
+               result.antagonist_usage_during)
+    report_sink(report)
+
+    assert result.correlation >= 0.3
+    assert result.cpi_during_cap < 0.75 * result.cpi_before
+    assert result.cpi_after_cap > 1.2 * result.cpi_during_cap
+    assert result.antagonist_usage_during < 0.2 * result.antagonist_usage_before

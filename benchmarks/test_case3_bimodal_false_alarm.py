@@ -1,0 +1,41 @@
+"""Case 3 (Figure 10): self-inflicted CPI swings raise no (false) alarm.
+
+Paper: "the highest correlation value produced by our algorithm was only
+0.07, so CPI2 took no action ... high CPI corresponds to periods of low CPU
+usage ... The minimum CPU usage threshold was developed to filter out this
+kind of false alarm."
+"""
+
+from conftest import run_once
+
+from repro.experiments.casestudies import case3_bimodal_false_alarm
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_case3_usage_gate_suppresses_false_alarm(benchmark, report_sink):
+    result = run_once(benchmark, case3_bimodal_false_alarm)
+
+    report = ExperimentReport("case3", "Bimodal false alarm (Figure 10)")
+    report.add("CPI vs own-usage correlation", "negative (self-inflicted)",
+               result.cpi_usage_correlation)
+    report.add("anomalies with 0.25 usage gate", 0,
+               result.anomalies_with_gate)
+    report.add("low-usage samples filtered", ">0",
+               result.low_usage_samples_skipped)
+    report.add("anomalies with gate disabled", ">0",
+               result.anomalies_without_gate)
+    report.add("best suspect correlation (gate off)", 0.07,
+               result.best_correlation_without_gate)
+    report.add("throttle actions taken", 0, result.actions_taken)
+    report_sink(report)
+
+    # High CPI coincides with low own usage: the signature of case 3.
+    assert result.cpi_usage_correlation < -0.5
+    # The paper's gate suppresses the alarm entirely...
+    assert result.anomalies_with_gate == 0
+    assert result.low_usage_samples_skipped > 0
+    # ...without it, alarms fire, but no suspect clears the threshold and
+    # nothing gets throttled.
+    assert result.anomalies_without_gate > 0
+    assert result.best_correlation_without_gate < 0.35
+    assert result.actions_taken == 0

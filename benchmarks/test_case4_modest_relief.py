@@ -1,0 +1,32 @@
+"""Case 4 (Figure 11): one batch suspect among many LS ones; modest relief.
+
+Paper: 9 suspects, "only one antagonist was eligible for throttling
+(scientific simulation), since it was the only non-latency-sensitive task
+... a modest improvement: the victim's CPI dropped from 1.6 to 1.3.  The
+correct response in a case like this would be to migrate the victim."
+"""
+
+from conftest import run_once
+
+from repro.experiments.casestudies import case4_modest_relief
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_case4_migration_is_the_answer(benchmark, report_sink):
+    result = run_once(benchmark, case4_modest_relief)
+
+    report = ExperimentReport("case4", "Modest relief (Figure 11)")
+    report.add("throttle-eligible suspects", "1 of 9", result.batch_suspects)
+    report.add("chosen antagonist", "scientific simulation",
+               result.chosen_job)
+    report.add("relative CPI after capping", "0.81 (1.6 -> 1.3)",
+               result.relative_cpi)
+    report.add("eventual policy decision", "migrate the victim",
+               result.final_decision)
+    report_sink(report)
+
+    assert result.batch_suspects == 1
+    assert result.chosen_job == "scientific-simulation"
+    # Relief exists but is modest: the LS neighbours keep interfering.
+    assert result.relative_cpi > 0.7
+    assert result.final_decision == "migrate-victim"

@@ -1,0 +1,31 @@
+"""Case 5 (Figure 12): the antagonist's lame-duck mode under capping.
+
+Paper: "During normal execution, it has about 8 active threads.  When it is
+hard-capped, the number of threads rapidly grows to around 80.  After the
+hard-capping stops, the thread count drops to 2 ... for tens of minutes
+before reverting to its normal 8 threads."
+"""
+
+from conftest import run_once
+
+from repro.experiments.casestudies import case5_lame_duck
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_case5_thread_dynamics(benchmark, report_sink):
+    result = run_once(benchmark, case5_lame_duck)
+
+    report = ExperimentReport("case5", "Lame-duck mode (Figure 12)")
+    report.add("threads, normal", 8, result.threads_normal)
+    report.add("threads, while capped", 80, result.threads_capped)
+    report.add("threads, lame-duck", 2, result.threads_lame_duck)
+    report.add("threads, recovered", 8, result.threads_recovered)
+    report.add("victim CPI before cap", "-", result.victim_cpi_before)
+    report.add("victim CPI during cap", "drops", result.victim_cpi_capped)
+    report_sink(report)
+
+    assert result.threads_normal == 8
+    assert result.threads_capped == 80
+    assert result.threads_lame_duck == 2
+    assert result.threads_recovered == 8
+    assert result.victim_cpi_capped < 0.75 * result.victim_cpi_before

@@ -1,0 +1,27 @@
+"""Case 6 (Figure 13): the MapReduce worker quits during its second cap.
+
+Paper: the worker "survived the first hard-capping (perhaps because it was
+inactive at the time) but during the second one it either quit or was
+terminated by the MapReduce master."
+"""
+
+from conftest import run_once
+
+from repro.experiments.casestudies import case6_mapreduce_exit
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_case6_worker_gives_up(benchmark, report_sink):
+    result = run_once(benchmark, case6_mapreduce_exit)
+
+    report = ExperimentReport("case6", "MapReduce exit (Figure 13)")
+    report.add("capping episodes", 2, result.cap_episodes)
+    report.add("survived first cap", True, result.survived_first_cap)
+    report.add("exited during second cap", True, result.exited_during_second)
+    report.add("final task state", "exited", result.final_state)
+    report_sink(report)
+
+    assert result.cap_episodes == 2
+    assert result.survived_first_cap
+    assert result.exited_during_second
+    assert result.final_state == "exited"

@@ -1,0 +1,55 @@
+"""Figure 1: tasks and threads per machine across the fleet (CDFs).
+
+Paper: the vast majority of machines run multiple tasks — the task-count CDF
+spans roughly 5 to 95 tasks per machine and the thread count reaches
+thousands.  Our fleet is smaller, so we check the shape: every machine
+multi-tenant, an order of magnitude between task count and thread count, and
+wide spread across machines.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fleet import (
+    machine_occupancy,
+    machine_occupancy_from_trace_mix,
+)
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_fig1_machine_occupancy(benchmark, report_sink):
+    result = run_once(benchmark, lambda: machine_occupancy(num_machines=16))
+
+    quantiles = result.quantiles()
+    report = ExperimentReport("fig01", "Tasks and threads per machine")
+    report.add("machines multi-tenant (tasks >= 2)", "~100%",
+               f"{100 * (1 - result.tasks_per_machine(1.99)):.0f}%")
+    report.add("median tasks/machine", "10-30 (paper CDF)",
+               quantiles["tasks"][1], "scaled-down fleet")
+    report.add("p90 tasks/machine", "up to ~90", quantiles["tasks"][2])
+    report.add("median threads/machine", "hundreds-thousands",
+               quantiles["threads"][1])
+    report.add("threads >> tasks", ">= 8x",
+               quantiles["threads"][1] / max(1.0, quantiles["tasks"][1]))
+    report_sink(report)
+
+    # Shape assertions: multi-tenancy everywhere, real spread, threads
+    # an order of magnitude above tasks.
+    assert result.tasks_per_machine.quantile(0.0) >= 2
+    assert result.tasks_per_machine.quantile(0.9) > result.tasks_per_machine.quantile(0.1)
+    assert quantiles["threads"][1] >= 8 * quantiles["tasks"][1]
+
+
+def test_fig1_trace_mix_population(benchmark, report_sink):
+    """Figure 1 re-measured against a population whose aggregate statistics
+    match the cluster-trace numbers the paper cites (Section 2)."""
+    result = run_once(benchmark,
+                      lambda: machine_occupancy_from_trace_mix(
+                          num_machines=16))
+    quantiles = result.quantiles()
+    report = ExperimentReport("fig01_trace_mix",
+                              "Occupancy under the trace-statistics mix")
+    report.add("median tasks/machine", "10-30", quantiles["tasks"][1])
+    report.add("median threads/machine", "hundreds+", quantiles["threads"][1])
+    report_sink(report)
+    assert result.tasks_per_machine.quantile(0.0) >= 2
+    assert quantiles["threads"][1] >= 8 * quantiles["tasks"][1]

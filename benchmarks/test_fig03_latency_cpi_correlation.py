@@ -1,0 +1,25 @@
+"""Figure 3: web-search leaf request latency vs CPI over 24 hours, r = 0.97.
+
+"Figure 3 shows data for average CPI and request latency in a
+latency-sensitive application (a web-search leaf node) ... a coefficient of
+correlation of 0.97."
+"""
+
+from conftest import run_once
+
+from repro.experiments.metric_validation import latency_vs_cpi_timeseries
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_fig3_leaf_latency_tracks_cpi(benchmark, report_sink):
+    series = run_once(benchmark,
+                      lambda: latency_vs_cpi_timeseries(num_tasks=8,
+                                                        hours=24.0))
+
+    report = ExperimentReport("fig03", "Leaf latency vs CPI over 24 h")
+    report.add("correlation coefficient", 0.97, series.correlation)
+    report.add("windows", "144 x 10 min", len(series.series_a))
+    report_sink(report)
+
+    assert series.correlation > 0.9
+    assert len(series.series_a) >= 140

@@ -1,0 +1,29 @@
+"""Figure 4: per-task latency-vs-CPI correlation by search tier.
+
+"Two of the jobs are fairly computation-intensive and show high correlation
+coefficients (0.68-0.75), but the third job exhibits poor correlation
+because CPI does not capture I/O behavior: it is a web-search root node."
+"""
+
+from conftest import run_once
+
+from repro.experiments.metric_validation import per_task_latency_correlations
+from repro.experiments.reporting import ExperimentReport
+from repro.workloads.websearch import SearchTier
+
+
+def test_fig4_tier_correlations(benchmark, report_sink):
+    corrs = run_once(benchmark, per_task_latency_correlations)
+
+    report = ExperimentReport("fig04", "Latency-CPI correlation per tier")
+    report.add("leaf (a)", 0.75, corrs[SearchTier.LEAF])
+    report.add("intermediate (b)", 0.68, corrs[SearchTier.INTERMEDIATE])
+    report.add("root (c)", "poor (I/O-dominated)", corrs[SearchTier.ROOT])
+    report_sink(report)
+
+    # Shape: both compute tiers correlate strongly; the root does not.
+    assert corrs[SearchTier.LEAF] > 0.55
+    assert corrs[SearchTier.INTERMEDIATE] > 0.45
+    assert abs(corrs[SearchTier.ROOT]) < 0.3
+    assert corrs[SearchTier.LEAF] > corrs[SearchTier.ROOT]
+    assert corrs[SearchTier.INTERMEDIATE] > corrs[SearchTier.ROOT]

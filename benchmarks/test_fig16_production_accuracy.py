@@ -1,0 +1,63 @@
+"""Figure 16: accuracy and CPI improvement for production jobs.
+
+Paper: (a) ~70% true-positive rate above the 0.35 threshold; (b) "an
+anomalous event should not be declared until the victim has a CPI that is
+at least 3 standard deviations above the mean"; (c) relative CPI is
+significantly below 1 across the degradation range; (d) "the median victim
+production job's CPI is reduced to 0.63x its pre-throttling value"
+(true and false positives included).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.cluster.task import PriorityBand
+from repro.experiments.analyses import (
+    median_relative_cpi,
+    rates_by_cpi_increase,
+    rates_by_threshold,
+    relative_cpi_by_degradation,
+)
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_fig16_production_jobs(benchmark, report_sink, section7_trials):
+    def analyse():
+        rates = rates_by_threshold(
+            section7_trials, thresholds=(0.35, 0.4, 0.45, 0.5),
+            band=PriorityBand.PRODUCTION)
+        by_sigma = rates_by_cpi_increase(section7_trials)
+        by_degradation = relative_cpi_by_degradation(section7_trials)
+        median_rel = median_relative_cpi(section7_trials)
+        return rates, by_sigma, by_degradation, median_rel
+
+    rates, by_sigma, by_degradation, median_rel = run_once(benchmark, analyse)
+
+    report = ExperimentReport("fig16", "Production-job accuracy")
+    for r in rates:
+        report.add(f"(a) TP rate @threshold {r.threshold:.2f}", "~0.7",
+                   r.true_positive_rate, f"n={r.declared}")
+    for lo, tp, n in by_sigma:
+        report.add(f"(b) TP rate, CPI increase >= {lo:.0f} sigma", "-",
+                   tp, f"n={n}")
+    for lo, rel, n in by_degradation:
+        report.add(f"(c) relative CPI, degradation >= {lo:.0f}x", "<1",
+                   rel, f"n={n}")
+    report.add("(d) median victim relative CPI", 0.63, median_rel)
+    report_sink(report)
+
+    # (a) TP rate in the paper's band, roughly flat above the threshold.
+    tp_rates = [r.true_positive_rate for r in rates if r.declared >= 5]
+    assert all(tp > 0.5 for tp in tp_rates)
+    # (b) declarations at small sigma-increases are the unreliable ones.
+    small = [tp for lo, tp, n in by_sigma if lo < 3 and n >= 3]
+    large = [tp for lo, tp, n in by_sigma if lo >= 3 and n >= 3
+             and not math.isnan(tp)]
+    if small and large:
+        assert max(large) >= max(small) - 0.05
+    # (c) relief across the degradation range.
+    populated = [(rel, n) for _lo, rel, n in by_degradation if n >= 3]
+    assert all(rel < 1.0 for rel, _n in populated)
+    # (d) the headline number: median relative CPI well below 1.
+    assert median_rel < 0.85

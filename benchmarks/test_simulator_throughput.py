@@ -1,0 +1,52 @@
+"""Meta-benchmark: simulator throughput (regression guard, not a paper figure).
+
+Every experiment's wall-clock budget rests on the tick loop's speed.  This
+benchmark pins the machine-seconds-per-wall-second rate so an accidental
+O(n^2) in the tick path shows up as a benchmark regression rather than a
+mysteriously slow evaluation run.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.config import CpiConfig
+from repro.experiments.reporting import ExperimentReport
+from repro.experiments.scenarios import build_cluster
+from repro.workloads import make_batch_job_spec
+from repro.workloads.services import make_service_job_spec
+
+
+def run_reference_workload():
+    """10 machines, ~100 tasks, full CPI2 pipeline, 20 simulated minutes."""
+    scenario = build_cluster(10, seed=3, config=CpiConfig())
+    scenario.submit(make_service_job_spec("svc", num_tasks=50, seed=1))
+    scenario.submit(make_batch_job_spec("batch", num_tasks=50, seed=2))
+    start = time.perf_counter()
+    scenario.simulation.run_minutes(20)
+    elapsed = time.perf_counter() - start
+    sim_seconds = 20 * 60
+    task_ticks = sim_seconds * 100
+    return {
+        "sim_seconds_per_wall_second": sim_seconds / elapsed,
+        "task_ticks_per_wall_second": task_ticks / elapsed,
+        "samples": scenario.pipeline.total_samples,
+    }
+
+
+def test_simulator_throughput(benchmark, report_sink):
+    stats = run_once(benchmark, run_reference_workload)
+
+    report = ExperimentReport("meta_throughput", "Simulator throughput")
+    report.add("simulated seconds / wall second", "-",
+               stats["sim_seconds_per_wall_second"],
+               "10 machines, 100 tasks, pipeline on")
+    report.add("task-ticks / wall second", "-",
+               stats["task_ticks_per_wall_second"])
+    report.add("CPI samples produced", "100 x 20", stats["samples"])
+    report_sink(report)
+
+    # The evaluation was budgeted around ~50k task-ticks/s; regressions an
+    # order of magnitude below that make the benches painful.
+    assert stats["task_ticks_per_wall_second"] > 10_000
+    assert stats["samples"] == 100 * 20

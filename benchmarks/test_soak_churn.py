@@ -1,0 +1,114 @@
+"""Soak: CPI2 under sustained job churn.
+
+Not a paper figure — an operational stability check a production rollout
+demands: jobs arriving and completing continuously for two simulated hours
+while CPI2 detects and throttles, with every agent/pipeline invariant intact
+at the end.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.cluster.job import Job
+from repro.cluster.scheduler import PlacementError
+from repro.cluster.task import TaskState
+from repro.core.config import CpiConfig
+from repro.experiments.scenarios import build_cluster
+from repro.workloads import (
+    AntagonistKind,
+    make_antagonist_job_spec,
+    make_batch_job_spec,
+)
+from repro.workloads.services import make_service_job_spec
+
+
+def run_soak(hours=2.0, seed=0):
+    config = CpiConfig(spec_refresh_period=1200, min_tasks_for_spec=4,
+                       min_samples_per_task=5)
+    scenario = build_cluster(8, seed=seed, config=config)
+    sim = scenario.simulation
+    rng = np.random.default_rng(seed)
+    scenario.submit(make_service_job_spec("stable-svc", num_tasks=16,
+                                          seed=seed))
+    arrivals = 0
+    placement_failures = 0
+    kinds = list(AntagonistKind)
+    for step in range(int(hours * 12)):  # every 5 minutes, churn
+        sim.run_minutes(5)
+        batch = make_batch_job_spec(
+            f"churn-batch-{step}", num_tasks=int(rng.integers(2, 6)),
+            seed=seed + step, demand_level=float(rng.uniform(0.4, 1.5)))
+        # Short-lived: completes after a bounded amount of work.
+        batch = type(batch)(**{
+            **batch.__dict__,
+            "workload_factory": _finite_factory(batch, rng)})
+        try:
+            scenario.submit(batch)
+            arrivals += 1
+        except PlacementError:
+            placement_failures += 1
+        if step % 4 == 0:
+            ant = make_antagonist_job_spec(
+                f"churn-ant-{step}", kinds[step % len(kinds)], num_tasks=1,
+                seed=seed + 1000 + step, demand_scale=1.2)
+            ant = type(ant)(**{**ant.__dict__,
+                               "workload_factory": _finite_factory(ant, rng)})
+            try:
+                scenario.submit(ant)
+                arrivals += 1
+            except PlacementError:
+                placement_failures += 1
+    return scenario, arrivals, placement_failures
+
+
+def _finite_factory(spec, rng):
+    base = spec.workload_factory
+    lifetime = float(rng.uniform(600, 1800))
+
+    def factory(index):
+        workload = base(index)
+        original = workload.on_tick
+
+        def on_tick(t, granted, capped):
+            outcome = original(t, granted, capped)
+            if outcome is None and workload.granted_cpu_seconds > lifetime:
+                return "completed"
+            return outcome
+
+        workload.on_tick = on_tick
+        return workload
+
+    return factory
+
+
+def test_soak_two_hours_of_churn(benchmark, report_sink):
+    scenario, arrivals, failures = run_once(benchmark, run_soak)
+    from repro.experiments.reporting import ExperimentReport
+
+    sim = scenario.simulation
+    pipeline = scenario.pipeline
+    incidents = pipeline.all_incidents()
+    report = ExperimentReport("soak", "Two hours of job churn")
+    report.add("jobs submitted", "-", arrivals)
+    report.add("placement rejections", "tolerated", failures)
+    report.add("samples processed", "-", pipeline.total_samples)
+    report.add("incidents", "-", len(incidents))
+    report.add("specs learned", "-", len(pipeline.aggregator.specs()))
+    report_sink(report)
+
+    assert arrivals > 20
+    assert pipeline.total_samples > 1000
+    # Invariants after churn:
+    for machine in sim.machines.values():
+        # Every resident task believes it is running here.
+        for task in machine.resident_tasks():
+            assert task.state is TaskState.RUNNING
+            assert task.machine_name == machine.name
+        # Counter sets exist only for residents (departures drop theirs).
+        resident = set(machine.resident_cgroup_names())
+        assert set(machine.counters.known_cgroups()) <= resident
+    # Follow-up queues drain: only not-yet-due checks may remain.
+    for agent in pipeline.agents.values():
+        assert all(f.due_at > sim.now - 60 for f in agent._followups)
+    # The stable service kept its spec through the churn.
+    assert pipeline.aggregator.spec_for("stable-svc", "westmere-2.6")

@@ -1,0 +1,38 @@
+"""Table 2: CPI2 parameters and their default values — verbatim fidelity.
+
+Not a measurement: a checked contract that the library defaults are exactly
+the deployed system's.
+"""
+
+from conftest import run_once
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.experiments.reporting import ExperimentReport
+
+
+def test_table2_defaults(benchmark, report_sink):
+    config = run_once(benchmark, lambda: DEFAULT_CONFIG)
+
+    rows = [
+        ("sampling duration (s)", 10, config.sampling_duration),
+        ("sampling frequency (s)", 60, config.sampling_period),
+        ("spec recalculation (s)", 24 * 3600, config.spec_refresh_period),
+        ("required CPU usage (CPU-sec/sec)", 0.25, config.min_cpu_usage),
+        ("outlier threshold 1 (sigmas)", 2.0, config.outlier_stddevs),
+        ("outlier threshold 2 (violations)", 3, config.anomaly_violations),
+        ("outlier window (s)", 300, config.anomaly_window),
+        ("antagonist correlation threshold", 0.35,
+         config.correlation_threshold),
+        ("hard-cap quota, batch (CPU-sec/sec)", 0.1,
+         config.hardcap_quota_batch),
+        ("hard-cap quota, best-effort", 0.01,
+         config.hardcap_quota_best_effort),
+        ("hard-cap duration (s)", 300, config.hardcap_duration),
+    ]
+    report = ExperimentReport("table2", "CPI2 parameters (defaults)")
+    for name, paper, measured in rows:
+        report.add(name, paper, measured)
+    report_sink(report)
+
+    for _name, paper, measured in rows:
+        assert measured == paper

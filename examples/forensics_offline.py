@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Offline performance forensics (the paper's Dremel workflow, Section 5).
+
+"Job owners and administrators can issue SQL-like queries against this data
+... e.g., to find the most aggressive antagonists for a job in a particular
+time window."
+
+This example runs a busy cluster for a while to build up an incident log,
+then plays job-owner: who hurt my job, when, how badly, and did throttling
+help?
+
+Run:  python examples/forensics_offline.py
+"""
+
+from repro import ClusterSimulation, CpiConfig, CpiPipeline, CpiSpec, Job, Machine, SimConfig, get_platform
+from repro.workloads import AntagonistKind, make_antagonist_job_spec
+from repro.workloads.services import make_service_job_spec
+
+
+def main() -> None:
+    platform = get_platform("westmere-2.6")
+    machines = [Machine(f"m{i}", platform, cpi_noise_sigma=0.03)
+                for i in range(4)]
+    sim = ClusterSimulation(machines, SimConfig(seed=17))
+    pipeline = CpiPipeline(sim, CpiConfig())
+
+    for name, base_cpi in (("ads-serving", 1.0), ("image-render", 1.2)):
+        sim.scheduler.submit(Job(make_service_job_spec(
+            name, num_tasks=4, seed=hash(name) % 997, base_cpi=base_cpi)))
+        pipeline.bootstrap_specs([CpiSpec(
+            jobname=name, platforminfo=platform.name, num_samples=10_000,
+            cpu_usage_mean=1.0, cpi_mean=base_cpi * 1.05,
+            cpi_stddev=base_cpi * 0.08)])
+    for name, kind in (("video-transcode", AntagonistKind.VIDEO_PROCESSING),
+                       ("sim-physics", AntagonistKind.SCIENTIFIC_SIMULATION)):
+        sim.scheduler.submit(Job(make_antagonist_job_spec(
+            name, kind, num_tasks=2, seed=hash(name) % 991,
+            demand_scale=1.3)))
+
+    print("running 90 minutes to accumulate an incident log...")
+    sim.run_minutes(90)
+    store = pipeline.forensics
+    print(f"incident log holds {len(store)} records\n")
+
+    print("Q1: most aggressive antagonists overall")
+    for job, count in store.top_antagonists(limit=5):
+        print(f"   {job}: {count} incidents")
+
+    print("\nQ2: who hurt ads-serving in the first half hour?")
+    rows = (store.query()
+            .where(victim_job="ads-serving")
+            .between(0, 1800)
+            .order_by("correlation", descending=True)
+            .limit(5)
+            .run())
+    for row in rows:
+        print(f"   t={row.time_seconds}s {row.antagonist_job} "
+              f"corr={row.correlation:.2f} action={row.action}")
+
+    print("\nQ3: did throttling work? (recovered counts by antagonist)")
+    throttled = store.query().where(action="throttle")
+    for key, count in sorted(throttled.group_count("antagonist_job").items()):
+        wins = [r for r in store.query().where(action="throttle",
+                                               antagonist_job=key).run()
+                if r.recovered]
+        print(f"   {key}: {len(wins)}/{count} victims recovered")
+
+    print("\nQ4: worst single incident (highest victim CPI vs threshold)")
+    worst = max(store.records,
+                key=lambda r: r.victim_cpi / r.cpi_threshold)
+    print(f"   {worst.victim_task} hit CPI {worst.victim_cpi:.2f} "
+          f"({worst.victim_cpi / worst.cpi_threshold:.1f}x its threshold) "
+          f"on {worst.machine}; blamed {worst.antagonist_job}")
+
+    print("\nQ5: mean relief per antagonist (GROUP BY with an aggregate)")
+    reliefs = (store.query().where(action="throttle")
+               .group_agg("antagonist_job", "relative_cpi", "mean"))
+    for job, relief in sorted(reliefs.items()):
+        print(f"   capping {job}: victims' CPI fell to {relief:.2f}x")
+
+    print("\nQ6: persist the log for tomorrow's analysis")
+    from repro.core.storage import save_forensics
+    out = "/tmp/cpi2-incidents.jsonl"
+    written = save_forensics(out, store)
+    print(f"   wrote {written} records to {out}")
+
+
+if __name__ == "__main__":
+    main()

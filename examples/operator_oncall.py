@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""An on-call shift with the operator console (paper Section 5).
+
+"We provide an interface to system operators so they can hard-cap suspects,
+and turn CPI protection on or off for an entire cluster."
+
+The scenario: CPI2 is being rolled out conservatively, so automatic
+throttling is off.  The on-call engineer watches the incident feed, caps a
+suspect by hand, watches the victim recover, then — confidence earned —
+flips cluster-wide protection on and lets CPI2 handle the next offender
+itself.  A persistent reoffender finally gets killed-and-restarted
+elsewhere.
+
+Run:  python examples/operator_oncall.py
+"""
+
+from repro import (
+    ClusterSimulation,
+    CpiConfig,
+    CpiPipeline,
+    CpiSpec,
+    Job,
+    Machine,
+    OperatorConsole,
+    SimConfig,
+    get_platform,
+)
+from repro.workloads import AntagonistKind, make_antagonist_job_spec
+from repro.workloads.services import make_service_job_spec
+
+
+def main() -> None:
+    platform = get_platform("westmere-2.6")
+    machines = [Machine(f"m{i}", platform, cpi_noise_sigma=0.03)
+                for i in range(3)]
+    # Conservative rollout: detection on, enforcement off.
+    config = CpiConfig(auto_throttle=False)
+    sim = ClusterSimulation(machines, SimConfig(seed=21))
+    pipeline = CpiPipeline(sim, config)
+    console = OperatorConsole(pipeline)
+
+    sim.scheduler.submit(Job(make_service_job_spec("payments", num_tasks=3,
+                                                   seed=1)))
+    sim.scheduler.submit(Job(make_antagonist_job_spec(
+        "video-batch", AntagonistKind.VIDEO_PROCESSING, num_tasks=1, seed=2,
+        demand_scale=1.4)))
+    pipeline.bootstrap_specs([CpiSpec("payments", platform.name, 10_000,
+                                      1.0, 1.05, 0.08)])
+
+    print(f"protection enabled: {console.protection_enabled}")
+    print("\n-- shift hour 1: report-only mode --")
+    sim.run_minutes(20)
+    status = console.status()
+    print(f"status: {status.incidents_total} incidents, "
+          f"{status.active_caps} active caps, "
+          f"{status.anomalies_seen} anomalies seen")
+    suspects = [i for i in pipeline.all_incidents()
+                if i.decision.target is not None]
+    if suspects:
+        named = suspects[-1].decision.target.name
+        print(f"CPI2 names {named} "
+              f"(corr {suspects[-1].decision.score.correlation:.2f}); "
+              "capping it by hand for 5 minutes")
+        console.cap_task(named)
+        sim.run_minutes(6)
+        post = [i for i in pipeline.all_incidents()[-3:]]
+        print(f"status after manual cap: active caps = "
+              f"{console.status().active_caps}")
+
+    print("\n-- shift hour 2: confidence earned, protection on --")
+    console.enable_protection()
+    sim.run_minutes(40)
+    status = console.status()
+    print(f"status: {status.incidents_total} incidents total, "
+          f"{status.incidents_open} ameliorations in flight")
+    print("worst offenders:", console.worst_offenders(limit=3))
+
+    offenders = console.worst_offenders(limit=1)
+    if offenders:
+        job_name = offenders[0][0]
+        task_name = f"{job_name}/0"
+        try:
+            new_home = console.kill_and_restart(task_name)
+            print(f"\npersistent offender {task_name} killed and restarted "
+                  f"on {new_home} — 'our version of task migration'")
+        except KeyError:
+            print(f"\n{task_name} no longer running; nothing to migrate")
+
+    sim.run_minutes(10)
+    print(f"\nend of shift: {console.status()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Protecting a web-search service across a small cluster.
+
+A three-tier search service (leaf / intermediate / root) shares six machines
+with batch work, including two antagonist jobs.  CPI2 learns the search
+tiers' CPI specs from scratch, protects the leaves when the antagonists
+flare up, and at the end feeds anti-affinity hints back to the scheduler so
+the worst victim/antagonist pairs stop sharing machines — the paper's
+Section 9 future work, closed.
+
+Run:  python examples/websearch_protection.py
+"""
+
+from repro import ClusterSimulation, CpiConfig, CpiPipeline, Job, Machine, SimConfig, get_platform
+from repro.perf.sampler import SamplerConfig
+from repro.workloads import AntagonistKind, make_antagonist_job_spec
+from repro.workloads.websearch import SearchTier, make_websearch_job_spec
+
+
+def main() -> None:
+    # Spec learning accelerated: refresh every 10 minutes instead of daily,
+    # and accept smaller sample populations (it is a small demo cluster).
+    config = CpiConfig(spec_refresh_period=600, min_tasks_for_spec=4,
+                       min_samples_per_task=5)
+    machines = [Machine(f"node-{i}", get_platform("westmere-2.6"),
+                        cpi_noise_sigma=0.03) for i in range(6)]
+    sim = ClusterSimulation(machines, SimConfig(
+        seed=7, sampler=SamplerConfig(config.sampling_duration,
+                                      config.sampling_period)))
+    pipeline = CpiPipeline(sim, config)
+
+    for tier, count in ((SearchTier.LEAF, 12), (SearchTier.INTERMEDIATE, 6),
+                        (SearchTier.ROOT, 2)):
+        sim.scheduler.submit(Job(make_websearch_job_spec(
+            f"search-{tier.value}", tier, num_tasks=count, seed=hash(tier) % 1000)))
+
+    print("phase 1: learning CPI specs (20 min, search service only)...")
+    sim.run_minutes(20)
+    for key, spec in sorted(pipeline.aggregator.specs().items()):
+        print(f"  learned {key.jobname:>20} on {key.platforminfo}: "
+              f"CPI {spec.cpi_mean:.2f} +/- {spec.cpi_stddev:.2f} "
+              f"({spec.num_samples} samples)")
+
+    print("\nphase 2: batch antagonists arrive; protection live (60 min)...")
+    sim.scheduler.submit(Job(make_antagonist_job_spec(
+        "video-transcode", AntagonistKind.VIDEO_PROCESSING, num_tasks=2,
+        seed=31, demand_scale=1.2)))
+    sim.scheduler.submit(Job(make_antagonist_job_spec(
+        "log-compressor", AntagonistKind.COMPRESSION, num_tasks=2,
+        seed=32, demand_scale=1.2)))
+    sim.run_minutes(60)
+    incidents = pipeline.all_incidents()
+    throttles = [i for i in incidents if i.decision.action.value == "throttle"]
+    recovered = [i for i in throttles if i.recovered]
+    print(f"  incidents: {len(incidents)}, throttles: {len(throttles)}, "
+          f"recoveries: {len(recovered)}")
+    print("  most aggressive antagonists:",
+          pipeline.forensics.top_antagonists(limit=3))
+
+    print("\nphase 3: feeding anti-affinity hints to the scheduler...")
+    installed = pipeline.apply_scheduler_hints(min_incidents=2)
+    print(f"  {installed} victim/antagonist pairs anti-affinitised")
+    for victim_job, antagonist_job in pipeline.forensics.scheduler_hints(2):
+        print(f"    {victim_job}  x  {antagonist_job}")
+
+
+if __name__ == "__main__":
+    main()

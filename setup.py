@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` needs PEP 660 editable-wheel support (the `wheel`
+package); this offline environment lacks it, so `python setup.py develop`
+provides the legacy editable-install path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — the quickstart scenario: one victim, one antagonist, watch
+  CPI2 detect, identify, throttle, and the victim recover.
+* ``list`` — the registered paper experiments.
+* ``experiment <name> [...]`` — run experiments by name and print their
+  paper-vs-measured reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CPI2 (EuroSys 2013) reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="run the quickstart victim/antagonist scenario")
+    demo.add_argument("--minutes", type=int, default=30,
+                      help="simulated minutes to run (default 30)")
+    demo.add_argument("--seed", type=int, default=42)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one or more registered experiments")
+    experiment.add_argument("names", nargs="+",
+                            help="experiment names (see 'repro list'), "
+                                 "or 'all' for every registered experiment "
+                                 "(takes several minutes)")
+    return parser
+
+
+def _cmd_demo(minutes: int, seed: int) -> int:
+    from repro import (ClusterSimulation, CpiConfig, CpiPipeline, CpiSpec,
+                       Job, Machine, SimConfig, get_platform)
+    from repro.workloads import AntagonistKind, make_antagonist_job_spec
+    from repro.workloads.services import make_service_job_spec
+
+    platform = get_platform("westmere-2.6")
+    machine = Machine("demo", platform, cpi_noise_sigma=0.03)
+    sim = ClusterSimulation([machine], SimConfig(seed=seed))
+    pipeline = CpiPipeline(sim, CpiConfig())
+    sim.scheduler.submit(Job(make_service_job_spec("frontend", num_tasks=1,
+                                                   seed=seed)))
+    sim.scheduler.submit(Job(make_antagonist_job_spec(
+        "video", AntagonistKind.VIDEO_PROCESSING, num_tasks=1,
+        seed=seed + 1, demand_scale=1.3)))
+    pipeline.bootstrap_specs([CpiSpec("frontend", platform.name, 10_000,
+                                      1.0, 1.05, 0.08)])
+    print(f"running {minutes} simulated minutes...")
+    sim.run_minutes(minutes)
+    incidents = pipeline.all_incidents()
+    print(f"{len(incidents)} incidents; actions:")
+    for incident in incidents:
+        target = incident.decision.target
+        line = (f"  t={incident.time_seconds:>5}s {incident.victim_taskname} "
+                f"cpi={incident.victim_cpi:.2f} -> "
+                f"{incident.decision.action.value}")
+        if target is not None:
+            line += f" {target.name}"
+        if incident.recovered is not None:
+            line += (f" (recovered={incident.recovered}, "
+                     f"relative CPI={incident.relative_cpi:.2f})")
+        print(line)
+    return 0
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, _runner) in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_experiment(names: Sequence[str]) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    if list(names) == ["all"]:
+        names = list(EXPERIMENTS)
+    status = 0
+    for name in names:
+        try:
+            report = run_experiment(name)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            status = 2
+            continue
+        report.show()
+    return status
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args.minutes, args.seed)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiment":
+        return _cmd_experiment(args.names)
+    raise AssertionError(f"unhandled command {args.command!r}")

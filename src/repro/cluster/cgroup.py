@@ -1,0 +1,139 @@
+"""Cgroup CPU accounting and CFS bandwidth control (hard-capping).
+
+The paper's only actuator is Linux CPU bandwidth control [Turner et al.,
+"CPU bandwidth control for CFS"]: "we forcibly reduce the antagonist's CPU
+usage by applying CPU hard-capping.  This bounds the amount of CPU a task can
+use over a short period of time (e.g., 25 ms in each 250 ms window, which
+corresponds to a cap of 0.1 CPU-sec/sec)."
+
+We model bandwidth control at 1-second granularity: a :class:`BandwidthCap`
+bounds the CPU-sec/sec a cgroup may receive until it expires.  The cgroup
+also keeps a short usage history, which is what CPI2's correlation engine
+reads when it hunts for antagonists (it needs the *suspect's* CPU usage
+series time-aligned with the victim's CPI series).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BandwidthCap", "Cgroup"]
+
+#: How many seconds of per-second usage history a cgroup retains.  The
+#: correlation analysis uses a 10-minute window of per-minute samples, so 15
+#: minutes of second-level history is comfortably enough for any consumer.
+USAGE_HISTORY_SECONDS = 900
+
+
+@dataclass(frozen=True)
+class BandwidthCap:
+    """An active CFS bandwidth cap on a cgroup.
+
+    Attributes:
+        quota: maximum CPU-sec/sec the group may consume while capped.
+        expires_at: simulation time (seconds) at which the cap lapses; the
+            paper applies caps for 5 minutes at a time.
+    """
+
+    quota: float
+    expires_at: int
+
+    def __post_init__(self) -> None:
+        if self.quota < 0:
+            raise ValueError(f"cap quota must be >= 0, got {self.quota}")
+
+    def active_at(self, t: int) -> bool:
+        """Whether the cap is still in force at time ``t``."""
+        return t < self.expires_at
+
+
+class Cgroup:
+    """A per-task CPU container: limit, optional hard-cap, usage history."""
+
+    def __init__(self, name: str, cpu_limit: float):
+        """Args:
+            name: container name (``<job>/<index>`` by convention).
+            cpu_limit: steady-state CPU limit in CPU-sec/sec (the task's
+                reservation); must be positive.
+        """
+        if cpu_limit <= 0:
+            raise ValueError(f"cpu_limit must be positive, got {cpu_limit}")
+        self.name = name
+        self.cpu_limit = cpu_limit
+        self._cap: Optional[BandwidthCap] = None
+        self._usage_history: deque[tuple[int, float]] = deque(
+            maxlen=USAGE_HISTORY_SECONDS)
+        self.total_cpu_seconds = 0.0
+
+    # -- capping ------------------------------------------------------------
+
+    def apply_cap(self, quota: float, now: int, duration: int) -> BandwidthCap:
+        """Install a hard-cap of ``quota`` CPU-sec/sec for ``duration`` seconds.
+
+        Re-capping replaces any existing cap (the agent's re-analysis path may
+        extend or tighten an existing cap).
+        """
+        if duration <= 0:
+            raise ValueError(f"cap duration must be positive, got {duration}")
+        cap = BandwidthCap(quota=quota, expires_at=now + duration)
+        self._cap = cap
+        return cap
+
+    def release_cap(self) -> None:
+        """Remove any active hard-cap immediately."""
+        self._cap = None
+
+    def cap_at(self, t: int) -> Optional[BandwidthCap]:
+        """The cap in force at time ``t``, dropping it lazily once expired."""
+        if self._cap is not None and not self._cap.active_at(t):
+            self._cap = None
+        return self._cap
+
+    def is_capped(self, t: int) -> bool:
+        """Whether a hard-cap is in force at time ``t``."""
+        return self.cap_at(t) is not None
+
+    def allowed_usage(self, demand: float, t: int) -> float:
+        """CPU the group may receive at ``t`` given its limit and any cap.
+
+        This is the cgroup-side constraint only; the machine may further
+        reduce the grant when cores are oversubscribed.
+        """
+        if demand < 0:
+            raise ValueError(f"demand must be >= 0, got {demand}")
+        allowed = min(demand, self.cpu_limit)
+        cap = self.cap_at(t)
+        if cap is not None:
+            allowed = min(allowed, cap.quota)
+        return allowed
+
+    # -- accounting ---------------------------------------------------------
+
+    def charge(self, t: int, usage: float) -> None:
+        """Record ``usage`` CPU-sec/sec consumed during second ``t``."""
+        if usage < 0:
+            raise ValueError(f"usage must be >= 0, got {usage}")
+        self._usage_history.append((t, usage))
+        self.total_cpu_seconds += usage
+
+    def usage_between(self, start: int, end: int) -> float:
+        """Mean CPU-sec/sec over the half-open window ``[start, end)``.
+
+        Seconds with no recorded sample count as zero usage, so a window that
+        extends beyond the recorded history is averaged over its full length.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        total = sum(u for (ts, u) in self._usage_history if start <= ts < end)
+        return total / (end - start)
+
+    def last_usage(self) -> float:
+        """Most recently recorded per-second usage (0.0 before any charge)."""
+        if not self._usage_history:
+            return 0.0
+        return self._usage_history[-1][1]
+
+    def __repr__(self) -> str:
+        return f"Cgroup({self.name}, limit={self.cpu_limit}, cap={self._cap})"

@@ -1,0 +1,125 @@
+"""Jobs: named collections of identical tasks.
+
+"Jobs with many tasks are the norm: 96% of the tasks we run are part of a job
+with at least 10 tasks ... Tasks in the same job are similar: they run the
+same binary, and typically process similar data."  (Section 2.)
+
+A :class:`JobSpec` describes what to run (scheduling class, priority band,
+per-task CPU, and a factory producing one workload model per task); a
+:class:`Job` is the instantiated set of tasks.  CPI2 aggregates CPI samples
+at job x platform granularity, so the job name is the aggregation key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.cluster.task import (
+    PriorityBand,
+    SchedulingClass,
+    Task,
+    TaskState,
+    WorkloadModel,
+)
+
+__all__ = ["JobSpec", "Job"]
+
+#: A factory making the workload model for task ``index`` of a job.  Each
+#: task gets its own instance so per-task state (phase offsets, lame-duck
+#: mode) is independent, as it is for real processes.
+WorkloadFactory = Callable[[int], WorkloadModel]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to instantiate a job.
+
+    Attributes:
+        name: cluster-unique job name (the CPI aggregation key).
+        num_tasks: how many identical tasks the job runs.
+        scheduling_class: latency-sensitive / batch / best-effort.
+        priority_band: production / non-production (Section 7.2's split).
+        cpu_limit_per_task: cgroup CPU limit for each task, CPU-sec/sec.
+        workload_factory: builds the per-task workload model.
+        protection_eligible: whether CPI2 may act on this job's behalf when
+            its tasks are victims.  Defaults to True for latency-sensitive
+            jobs ("because it is latency-sensitive, or because it is
+            explicitly marked as eligible").
+    """
+
+    name: str
+    num_tasks: int
+    scheduling_class: SchedulingClass
+    priority_band: PriorityBand
+    cpu_limit_per_task: float
+    workload_factory: WorkloadFactory = field(repr=False)
+    protection_eligible: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if "/" in self.name:
+            raise ValueError(f"job name may not contain '/': {self.name!r}")
+        if self.num_tasks < 1:
+            raise ValueError(f"num_tasks must be >= 1, got {self.num_tasks}")
+        if self.cpu_limit_per_task <= 0:
+            raise ValueError(
+                f"cpu_limit_per_task must be positive, got {self.cpu_limit_per_task}")
+
+
+class Job:
+    """An instantiated job: the spec plus its live tasks."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.tasks: list[Task] = [
+            Task(job=self, index=i, workload=spec.workload_factory(i),
+                 cpu_limit=spec.cpu_limit_per_task)
+            for i in range(spec.num_tasks)
+        ]
+
+    # -- spec passthroughs ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Job name (CPI aggregation key)."""
+        return self.spec.name
+
+    @property
+    def scheduling_class(self) -> SchedulingClass:
+        """The job's scheduling class."""
+        return self.spec.scheduling_class
+
+    @property
+    def priority_band(self) -> PriorityBand:
+        """The job's priority band."""
+        return self.spec.priority_band
+
+    @property
+    def protection_eligible(self) -> bool:
+        """Whether CPI2 may throttle antagonists on this job's behalf."""
+        if self.spec.protection_eligible is not None:
+            return self.spec.protection_eligible
+        return self.scheduling_class is SchedulingClass.LATENCY_SENSITIVE
+
+    # -- task views -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def running_tasks(self) -> list[Task]:
+        """Tasks currently placed and executing."""
+        return [t for t in self.tasks if t.state is TaskState.RUNNING]
+
+    def pending_tasks(self) -> list[Task]:
+        """Tasks waiting for placement (including evicted ones to replace)."""
+        return [t for t in self.tasks
+                if t.state in (TaskState.PENDING, TaskState.PREEMPTED)]
+
+    def __repr__(self) -> str:
+        return (f"Job({self.name}, {self.scheduling_class.value}, "
+                f"{self.priority_band.value}, tasks={len(self.tasks)})")

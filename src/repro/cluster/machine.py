@@ -1,0 +1,324 @@
+"""A machine: cores, resident tasks, CPU allocation, and counter generation.
+
+Each simulated second the machine:
+
+1. asks every resident workload for its CPU demand,
+2. clips each demand by its cgroup (limit and any hard-cap),
+3. allocates cores by scheduling-class tier — latency-sensitive tasks first,
+   then batch, then best-effort, pro-rata within a tier when oversubscribed
+   (a simplification of CFS shares that preserves the property CPI2 needs:
+   hard-capping an antagonist frees cycles and, more importantly, removes its
+   shared-resource pressure),
+4. computes the contention the resident mix generates and each task's
+   effective CPI under it,
+5. burns the granted CPU into per-cgroup performance counters
+   (cycles, instructions, cache misses), and
+6. lets each workload observe the tick (so MapReduce workers can enter
+   lame-duck mode or give up when capped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.interference import InterferenceModel, MachineContention
+from repro.cluster.platform import Platform
+from repro.cluster.task import SchedulingClass, Task, TaskState
+from repro.perf.counters import CounterBank
+from repro.perf.events import CounterEvent
+
+__all__ = ["Machine", "TickResult"]
+
+#: Allocation order when cores are oversubscribed.
+_TIER_ORDER = (
+    SchedulingClass.LATENCY_SENSITIVE,
+    SchedulingClass.BATCH,
+    SchedulingClass.BEST_EFFORT,
+)
+
+#: Cross-cgroup context switches per second charged per runnable task beyond
+#: the first on a core — a crude but sufficient model for the overhead ledger.
+_SWITCHES_PER_TASK_SECOND = 20
+
+
+@dataclass(frozen=True)
+class DutyCycleState:
+    """An active hardware duty-cycle modulation (paper Section 8).
+
+    Duty-cycle modulation gates cores, not cgroups: the target task's cores
+    run at ``level`` duty, and because cores are time-shared (and
+    hyper-thread siblings are forced to the same level), every co-resident
+    task loses a share of its CPU proportional to how many of the machine's
+    cores are affected.  "It is Intel-specific and operates on a per-core
+    basis ... so we chose not to use it."
+    """
+
+    target_task: str
+    level: float        # duty fraction the target's cores run at (0..1)
+    core_share: float   # fraction of the machine's cores affected
+    expires_at: int
+
+    def active_at(self, t: int) -> bool:
+        return t < self.expires_at
+
+
+@dataclass
+class TickResult:
+    """What happened on a machine during one simulated second."""
+
+    t: int
+    #: CPU actually granted per task name (CPU-sec/sec).
+    grants: dict[str, float] = field(default_factory=dict)
+    #: Effective CPI experienced per task name (after noise).
+    cpis: dict[str, float] = field(default_factory=dict)
+    #: The contention summary used for this tick.
+    contention: Optional[MachineContention] = None
+    #: Tasks that left the machine this tick, with their departure state.
+    departures: list[tuple[Task, TaskState]] = field(default_factory=list)
+
+
+class Machine:
+    """One machine in the cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        platform: Platform,
+        interference: InterferenceModel | None = None,
+        rng: np.random.Generator | None = None,
+        cpi_noise_sigma: float = 0.03,
+    ):
+        """Args:
+            name: cluster-unique machine name.
+            platform: hardware type; fixes clock speed, cores, cache, membw.
+            interference: contention model (a default one if omitted).
+            rng: random generator for measurement noise (seeded default).
+            cpi_noise_sigma: sigma of the multiplicative log-normal noise on
+                per-tick CPI, modelling run-to-run microarchitectural jitter.
+        """
+        if cpi_noise_sigma < 0:
+            raise ValueError(f"cpi_noise_sigma must be >= 0, got {cpi_noise_sigma}")
+        self.name = name
+        self.platform = platform
+        self.interference = interference or InterferenceModel()
+        self.rng = rng or np.random.default_rng(0)
+        self.cpi_noise_sigma = cpi_noise_sigma
+        self.counters = CounterBank()
+        self._tasks: dict[str, Task] = {}
+        self.total_cpu_seconds = 0.0
+        self._duty_cycle: Optional[DutyCycleState] = None
+
+    # -- placement ------------------------------------------------------------
+
+    def place(self, task: Task) -> None:
+        """Install a task on this machine.
+
+        The machine itself accepts any placement — admission control is the
+        scheduler's job (and overcommitting batch is deliberate policy).
+        """
+        if task.name in self._tasks:
+            raise ValueError(f"task {task.name} already on machine {self.name}")
+        task.mark_running(self.name)
+        self._tasks[task.name] = task
+
+    def remove(self, task_name: str, state: TaskState,
+               reason: Optional[str] = None) -> Task:
+        """Remove a task, marking it with its departure state."""
+        try:
+            task = self._tasks.pop(task_name)
+        except KeyError:
+            raise KeyError(f"no task {task_name!r} on machine {self.name}") from None
+        task.mark_stopped(state, reason)
+        self.counters.drop(task.cgroup.name)
+        return task
+
+    def get_task(self, task_name: str) -> Task:
+        """Look up a resident task by name."""
+        try:
+            return self._tasks[task_name]
+        except KeyError:
+            raise KeyError(f"no task {task_name!r} on machine {self.name}") from None
+
+    def has_task(self, task_name: str) -> bool:
+        """Whether ``task_name`` is resident here."""
+        return task_name in self._tasks
+
+    def resident_tasks(self) -> list[Task]:
+        """All resident tasks (stable order by name)."""
+        return [self._tasks[k] for k in sorted(self._tasks)]
+
+    def resident_cgroup_names(self) -> list[str]:
+        """Cgroup names of all resident tasks."""
+        return [t.cgroup.name for t in self.resident_tasks()]
+
+    @property
+    def num_tasks(self) -> int:
+        """Count of resident tasks (Figure 1a's x-axis)."""
+        return len(self._tasks)
+
+    def thread_count(self, t: int) -> int:
+        """Total threads across resident tasks at time ``t`` (Figure 1b)."""
+        return sum(task.workload.thread_count(t) for task in self._tasks.values())
+
+    # -- capacity views (used by the scheduler) --------------------------------
+
+    @property
+    def cpu_capacity(self) -> float:
+        """Cores available for task execution."""
+        return float(self.platform.num_cores)
+
+    def reserved_cpu(self, scheduling_class: SchedulingClass | None = None) -> float:
+        """Sum of resident cgroup limits, optionally for one class only."""
+        return sum(
+            task.cgroup.cpu_limit for task in self._tasks.values()
+            if scheduling_class is None or task.scheduling_class is scheduling_class
+        )
+
+    # -- duty-cycle modulation (the Section 8 alternative) ----------------------
+
+    def apply_duty_cycle(self, target_task: str, level: float,
+                         core_share: float, now: int,
+                         duration: int) -> DutyCycleState:
+        """Gate the target's cores to ``level`` duty for ``duration`` seconds.
+
+        Collateral is inherent: every other resident task loses
+        ``core_share * (1 - level)`` of its grant while the modulation is in
+        force (its threads land on gated cores that often).
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must be in [0, 1], got {level}")
+        if not 0.0 < core_share <= 1.0:
+            raise ValueError(f"core_share must be in (0, 1], got {core_share}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if not self.has_task(target_task):
+            raise KeyError(f"no task {target_task!r} on machine {self.name}")
+        state = DutyCycleState(target_task=target_task, level=level,
+                               core_share=core_share,
+                               expires_at=now + duration)
+        self._duty_cycle = state
+        return state
+
+    def clear_duty_cycle(self) -> None:
+        """Remove any active duty-cycle modulation."""
+        self._duty_cycle = None
+
+    def duty_cycle_at(self, t: int) -> Optional[DutyCycleState]:
+        """The modulation in force at ``t``, dropped lazily once expired."""
+        if self._duty_cycle is not None and not self._duty_cycle.active_at(t):
+            self._duty_cycle = None
+        return self._duty_cycle
+
+    def _apply_duty_cycle_to_grants(self, t: int,
+                                    grants: dict[str, float]) -> None:
+        state = self.duty_cycle_at(t)
+        if state is None:
+            return
+        collateral = state.core_share * (1.0 - state.level)
+        for name in grants:
+            if name == state.target_task:
+                grants[name] *= state.level
+            else:
+                grants[name] *= max(0.0, 1.0 - collateral)
+
+    # -- the tick --------------------------------------------------------------
+
+    def tick(self, t: int) -> TickResult:
+        """Execute one simulated second; returns grants, CPIs and departures."""
+        tasks = self.resident_tasks()
+        result = TickResult(t=t, departures=[])
+        if not tasks:
+            return result
+
+        demands = {task.name: max(0.0, task.workload.cpu_demand(t)) for task in tasks}
+        allowed = {
+            task.name: task.cgroup.allowed_usage(demands[task.name], t)
+            for task in tasks
+        }
+        grants = self._allocate(tasks, allowed)
+        self._apply_duty_cycle_to_grants(t, grants)
+        result.grants = grants
+
+        contention = self.interference.contention(
+            self.platform,
+            [(task.name, grants[task.name], task.workload.resource_profile())
+             for task in tasks],
+        )
+        result.contention = contention
+
+        for task in tasks:
+            grant = grants[task.name]
+            profile = task.workload.resource_profile()
+            cpi = self.interference.effective_cpi(
+                task.name, task.workload.base_cpi(), profile, contention,
+                self.platform, grant)
+            if self.cpi_noise_sigma > 0.0:
+                cpi *= float(np.exp(self.rng.normal(0.0, self.cpi_noise_sigma)))
+            result.cpis[task.name] = cpi
+
+            cycles = grant * self.platform.cycles_per_cpu_second
+            instructions = cycles / cpi if cpi > 0 else 0.0
+            l3_mpki = self.interference.l3_mpki(task.name, profile, contention)
+            l2_mpki = self.interference.l2_mpki(task.name, profile, contention)
+            l3_misses = instructions / 1000.0 * l3_mpki
+            counters = self.counters.counters_for(task.cgroup.name)
+            counters.add(CounterEvent.CPU_CLK_UNHALTED_REF, cycles)
+            counters.add(CounterEvent.INSTRUCTIONS_RETIRED, instructions)
+            counters.add(CounterEvent.L3_MISSES, l3_misses)
+            counters.add(CounterEvent.L2_MISSES, instructions / 1000.0 * l2_mpki)
+            counters.add(CounterEvent.MEMORY_REQUESTS, l3_misses * 1.1)
+
+            task.cgroup.charge(t, grant)
+            self.total_cpu_seconds += grant
+
+        runnable = sum(1 for g in grants.values() if g > 0.0)
+        oversubscribed = max(0, runnable - self.platform.num_cores)
+        self.counters.record_context_switches(
+            runnable * _SWITCHES_PER_TASK_SECOND + oversubscribed * 100)
+
+        # Workload observations may trigger departures (lame-duck exits etc.).
+        for task in tasks:
+            outcome = task.workload.on_tick(
+                t, grants[task.name], task.cgroup.is_capped(t))
+            if outcome is None:
+                continue
+            if outcome == "completed":
+                state = TaskState.COMPLETED
+            elif outcome == "exited":
+                state = TaskState.EXITED
+            else:
+                raise ValueError(
+                    f"workload for {task.name} returned unknown outcome {outcome!r}")
+            self.remove(task.name, state, reason=f"workload said {outcome}")
+            result.departures.append((task, state))
+        return result
+
+    def _allocate(self, tasks: list[Task], allowed: dict[str, float]
+                  ) -> dict[str, float]:
+        """Split core capacity across tiers; pro-rata within a saturated tier."""
+        grants = {name: 0.0 for name in allowed}
+        remaining = self.cpu_capacity
+        for tier in _TIER_ORDER:
+            tier_tasks = [task for task in tasks if task.scheduling_class is tier]
+            want = sum(allowed[task.name] for task in tier_tasks)
+            if want <= 0.0:
+                continue
+            if want <= remaining:
+                for task in tier_tasks:
+                    grants[task.name] = allowed[task.name]
+                remaining -= want
+            else:
+                scale = remaining / want
+                for task in tier_tasks:
+                    grants[task.name] = allowed[task.name] * scale
+                remaining = 0.0
+            if remaining <= 0.0:
+                break
+        return grants
+
+    def __repr__(self) -> str:
+        return (f"Machine({self.name}, {self.platform.name}, "
+                f"tasks={self.num_tasks})")

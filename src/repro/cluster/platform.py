@@ -1,0 +1,89 @@
+"""CPU platform (hardware type) catalog.
+
+The paper stresses that CPI is a function of the hardware platform: "Many of
+our clusters contain multiple different hardware platforms (CPU types) which
+will typically have different CPIs for the same workload, so CPI2 does
+separate CPI calculations for each platform a job runs on."  (Section 3.1.)
+
+A :class:`Platform` carries everything the simulator needs to turn abstract
+work into counter values: clock speed, core count, shared-cache size and
+memory bandwidth (the two contended resources the interference model uses),
+and a platform CPI multiplier that makes the same workload measurably
+different across CPU types, which Figure 4 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Platform", "PLATFORM_CATALOG", "get_platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An immutable description of one machine hardware type.
+
+    Attributes:
+        name: the ``platforminfo`` string carried in every CPI sample record.
+        clock_ghz: nominal core clock in GHz; cycles counted per CPU-second
+            are ``clock_ghz * 1e9``.
+        num_cores: hardware contexts available to tasks on the machine.
+        llc_mib: last-level cache size in MiB; larger caches absorb more
+            co-runner pressure in the interference model.
+        membw_gbps: sustainable memory bandwidth in GB/s.
+        cpi_scale: multiplier applied to every workload's base CPI on this
+            platform, modelling microarchitectural differences between CPU
+            generations.
+    """
+
+    name: str
+    clock_ghz: float
+    num_cores: int
+    llc_mib: float
+    membw_gbps: float
+    cpi_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.llc_mib <= 0:
+            raise ValueError(f"llc_mib must be positive, got {self.llc_mib}")
+        if self.membw_gbps <= 0:
+            raise ValueError(f"membw_gbps must be positive, got {self.membw_gbps}")
+        if self.cpi_scale <= 0:
+            raise ValueError(f"cpi_scale must be positive, got {self.cpi_scale}")
+
+    @property
+    def cycles_per_cpu_second(self) -> float:
+        """Reference cycles accumulated by one CPU-second of execution."""
+        return self.clock_ghz * 1e9
+
+
+#: Platforms modelled after the 2011-era fleet the paper measured
+#: (multi-generation x86 servers with 16-64 hardware contexts).
+PLATFORM_CATALOG: dict[str, Platform] = {
+    p.name: p
+    for p in (
+        Platform(name="westmere-2.6", clock_ghz=2.6, num_cores=24,
+                 llc_mib=12.0, membw_gbps=32.0, cpi_scale=1.0),
+        Platform(name="nehalem-2.3", clock_ghz=2.3, num_cores=16,
+                 llc_mib=8.0, membw_gbps=25.0, cpi_scale=1.18),
+        Platform(name="sandybridge-2.9", clock_ghz=2.9, num_cores=32,
+                 llc_mib=20.0, membw_gbps=42.0, cpi_scale=0.88),
+    )
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by name.
+
+    Raises:
+        KeyError: with the list of known platforms if ``name`` is unknown.
+    """
+    try:
+        return PLATFORM_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORM_CATALOG))
+        raise KeyError(f"unknown platform {name!r}; known platforms: {known}") from None

@@ -1,0 +1,276 @@
+"""Central cluster scheduler and admission controller.
+
+Per Section 2: "Each of our clusters runs a central scheduler and admission
+controller that ensures that resources are not oversubscribed among the
+latency-sensitive jobs, although it speculatively over-commits resources
+allocated to batch ones. ... If the scheduler guesses wrong, it may need to
+preempt a batch task and move it to another machine."
+
+The scheduler here implements exactly that contract:
+
+* latency-sensitive reservations are never oversubscribed on a machine;
+* batch and best-effort reservations may overcommit a machine up to a
+  configurable factor (statistical multiplexing);
+* a latency-sensitive placement that fits nowhere may preempt batch tasks;
+* anti-affinity constraints ("do not co-locate job A with its known
+  antagonist job B") are honoured — the hook CPI2's forensics store feeds
+  (Sections 5 and 9).
+
+Placement scoring is worst-fit (most free reservation first), which spreads
+load and matches the paper's observation that machines run many tasks each.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.cluster.job import Job
+from repro.cluster.machine import Machine
+from repro.cluster.task import SchedulingClass, Task, TaskState
+
+__all__ = ["PlacementError", "ClusterScheduler"]
+
+
+class PlacementError(RuntimeError):
+    """Raised when a task cannot be placed anywhere, even with preemption."""
+
+
+class ClusterScheduler:
+    """Places job tasks onto machines; the cluster's admission controller."""
+
+    def __init__(
+        self,
+        machines: Iterable[Machine],
+        batch_overcommit: float = 1.5,
+        best_effort_overcommit: float = 2.5,
+        rng: np.random.Generator | None = None,
+    ):
+        """Args:
+            machines: the machines under management.
+            batch_overcommit: total reservations (all classes) on a machine
+                may reach this multiple of capacity when placing batch work.
+            best_effort_overcommit: ditto for best-effort work (higher: these
+                are the first to be squeezed, so speculation is cheaper).
+            rng: tie-breaking randomness source (seeded default).
+        """
+        self.machines: dict[str, Machine] = {}
+        for machine in machines:
+            if machine.name in self.machines:
+                raise ValueError(f"duplicate machine name {machine.name!r}")
+            self.machines[machine.name] = machine
+        if not self.machines:
+            raise ValueError("scheduler needs at least one machine")
+        if batch_overcommit < 1.0:
+            raise ValueError(f"batch_overcommit must be >= 1, got {batch_overcommit}")
+        if best_effort_overcommit < batch_overcommit:
+            raise ValueError("best_effort_overcommit must be >= batch_overcommit")
+        self.batch_overcommit = batch_overcommit
+        self.best_effort_overcommit = best_effort_overcommit
+        self.rng = rng or np.random.default_rng(0)
+        self.jobs: dict[str, Job] = {}
+        #: Pairs of job names that must not share a machine.
+        self._anti_affinity: set[frozenset[str]] = set()
+        self.preemption_count = 0
+
+    # -- anti-affinity (fed by CPI2 forensics) ---------------------------------
+
+    def avoid_colocation(self, job_a: str, job_b: str) -> None:
+        """Never place tasks of ``job_a`` and ``job_b`` on the same machine."""
+        if job_a == job_b:
+            raise ValueError("cannot anti-affinitise a job with itself")
+        self._anti_affinity.add(frozenset((job_a, job_b)))
+
+    def colocation_allowed(self, machine: Machine, jobname: str) -> bool:
+        """Whether ``jobname`` may land on ``machine`` given anti-affinity rules."""
+        resident_jobs = {task.job.name for task in machine.resident_tasks()}
+        return not any(
+            frozenset((jobname, other)) in self._anti_affinity
+            for other in resident_jobs
+        )
+
+    # -- admission -------------------------------------------------------------
+
+    def _overcommit_limit(self, scheduling_class: SchedulingClass) -> float:
+        if scheduling_class is SchedulingClass.LATENCY_SENSITIVE:
+            return 1.0
+        if scheduling_class is SchedulingClass.BATCH:
+            return self.batch_overcommit
+        return self.best_effort_overcommit
+
+    def _fits(self, machine: Machine, task: Task) -> bool:
+        """Admission test for one task on one machine."""
+        if machine.has_task(task.name):
+            return False
+        if not self.colocation_allowed(machine, task.job.name):
+            return False
+        need = task.cgroup.cpu_limit
+        if task.scheduling_class is SchedulingClass.LATENCY_SENSITIVE:
+            # LS reservations are never oversubscribed among themselves, and
+            # an LS arrival may not push total reservations past the machine's
+            # overcommit ceiling without preempting batch work first.
+            ls_reserved = machine.reserved_cpu(SchedulingClass.LATENCY_SENSITIVE)
+            if ls_reserved + need > machine.cpu_capacity:
+                return False
+            return (machine.reserved_cpu() + need
+                    <= machine.cpu_capacity * self.batch_overcommit)
+        limit = self._overcommit_limit(task.scheduling_class)
+        return machine.reserved_cpu() + need <= machine.cpu_capacity * limit
+
+    def _score(self, machine: Machine) -> float:
+        """Worst-fit score: prefer machines with the most free reservation."""
+        return machine.cpu_capacity - machine.reserved_cpu()
+
+    def _candidates(self, task: Task,
+                    exclude: Optional[set[str]] = None) -> list[Machine]:
+        machines = [
+            m for m in self.machines.values()
+            if (exclude is None or m.name not in exclude) and self._fits(m, task)
+        ]
+        machines.sort(key=self._score, reverse=True)
+        return machines
+
+    # -- placement ---------------------------------------------------------------
+
+    def place_task(self, task: Task,
+                   exclude_machines: Optional[set[str]] = None) -> Machine:
+        """Place one task, preempting batch work for latency-sensitive tasks.
+
+        Returns the machine chosen.
+
+        Raises:
+            PlacementError: if no machine can take the task.
+        """
+        candidates = self._candidates(task, exclude_machines)
+        if candidates:
+            # Randomise among the near-best to avoid herding every placement
+            # onto one machine when scores tie.
+            best_score = self._score(candidates[0])
+            near_best = [m for m in candidates
+                         if self._score(m) >= best_score - 1e-9]
+            machine = near_best[int(self.rng.integers(len(near_best)))]
+            machine.place(task)
+            return machine
+        if task.scheduling_class is SchedulingClass.LATENCY_SENSITIVE:
+            machine = self._preempt_for(task, exclude_machines)
+            if machine is not None:
+                machine.place(task)
+                return machine
+        raise PlacementError(
+            f"no machine can host {task.name} "
+            f"({task.scheduling_class.value}, limit={task.cgroup.cpu_limit})")
+
+    def _preempt_for(self, task: Task,
+                     exclude: Optional[set[str]] = None) -> Optional[Machine]:
+        """Evict batch work from some machine to make room for an LS task.
+
+        Chooses the machine where the fewest batch reservations must move.
+        Preempted tasks go back to pending; callers re-place them via
+        :meth:`reschedule_pending`.
+        """
+        need = task.cgroup.cpu_limit
+        best_machine: Optional[Machine] = None
+        best_victims: list[Task] = []
+        for machine in self.machines.values():
+            if exclude is not None and machine.name in exclude:
+                continue
+            if not self.colocation_allowed(machine, task.job.name):
+                continue
+            ls_reserved = machine.reserved_cpu(SchedulingClass.LATENCY_SENSITIVE)
+            if ls_reserved + need > machine.cpu_capacity:
+                continue  # preemption cannot create LS headroom
+            batch_tasks = sorted(
+                (t for t in machine.resident_tasks() if t.scheduling_class.is_batch),
+                key=lambda t: (t.scheduling_class is SchedulingClass.BATCH,
+                               t.cgroup.cpu_limit),
+            )  # best-effort first, then small batch
+            overshoot = (machine.reserved_cpu() + need
+                         - machine.cpu_capacity * self.batch_overcommit)
+            victims: list[Task] = []
+            freed = 0.0
+            for victim in batch_tasks:
+                if freed >= overshoot:
+                    break
+                victims.append(victim)
+                freed += victim.cgroup.cpu_limit
+            if freed < overshoot:
+                continue
+            if best_machine is None or len(victims) < len(best_victims):
+                best_machine, best_victims = machine, victims
+        if best_machine is None:
+            return None
+        for victim in best_victims:
+            best_machine.remove(victim.name, TaskState.PREEMPTED,
+                                reason=f"preempted for {task.name}")
+            self.preemption_count += 1
+        return best_machine
+
+    def submit(self, job: Job) -> None:
+        """Register a job and place its tasks.
+
+        Latency-sensitive tasks must all fit (they are provisioned for peak),
+        so an unplaceable LS task raises :class:`PlacementError`.  Batch and
+        best-effort tasks that fit nowhere right now simply stay pending —
+        overcommitted clusters make batch work wait; that is the point.
+        """
+        if job.name in self.jobs:
+            raise ValueError(f"job {job.name!r} already submitted")
+        self.jobs[job.name] = job
+        for task in job.pending_tasks():
+            try:
+                self.place_task(task)
+            except PlacementError:
+                if task.scheduling_class is SchedulingClass.LATENCY_SENSITIVE:
+                    raise
+
+    def reschedule_pending(self) -> int:
+        """Re-place every preempted/pending task of every known job.
+
+        Returns the number of tasks placed.  Tasks that still fit nowhere stay
+        pending (batch work waits; that is the point of overcommit).
+        """
+        placed = 0
+        for job in self.jobs.values():
+            for task in job.pending_tasks():
+                try:
+                    self.place_task(task)
+                    placed += 1
+                except PlacementError:
+                    continue
+        return placed
+
+    def migrate_task(self, task: Task) -> Machine:
+        """Kill-and-restart a task on a different machine.
+
+        This is the paper's "version of task migration": the task loses its
+        state (it would recompute from a checkpoint) and restarts elsewhere.
+
+        Raises:
+            PlacementError: if no other machine can take it; in that case the
+                task is left where it was.
+        """
+        if task.machine_name is None:
+            raise ValueError(f"task {task.name} is not placed")
+        origin = self.machines[task.machine_name]
+        origin.remove(task.name, TaskState.KILLED, reason="migrated")
+        try:
+            return self.place_task(task, exclude_machines={origin.name})
+        except PlacementError:
+            # Nowhere else can take it (even with preemption); put it back
+            # where it was rather than stranding it.
+            origin.place(task)
+            raise
+
+    # -- fleet views -------------------------------------------------------------
+
+    def utilization(self) -> dict[str, float]:
+        """Reserved-over-capacity fraction per machine."""
+        return {
+            name: machine.reserved_cpu() / machine.cpu_capacity
+            for name, machine in self.machines.items()
+        }
+
+    def tasks_per_machine(self) -> list[int]:
+        """Resident task counts across the fleet (Figure 1a's sample)."""
+        return [m.num_tasks for m in self.machines.values()]

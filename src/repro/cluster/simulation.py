@@ -1,0 +1,135 @@
+"""The fixed-tick cluster simulation loop.
+
+One tick is one simulated second.  Each tick the simulation:
+
+1. executes every machine (CPU allocation, contention, counters),
+2. runs every machine's CPI sampler and fans closed windows out to sinks
+   (the CPI2 pipeline registers itself as a sink),
+3. invokes registered per-tick hooks (CPI2's per-machine agents hang off
+   these to run their once-a-minute anomaly checks), and
+4. periodically asks the scheduler to re-place preempted/pending tasks.
+
+The loop is deterministic given the seed: every stochastic component draws
+from generators spawned off one root ``numpy`` seed sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.cluster.machine import Machine, TickResult
+from repro.cluster.scheduler import ClusterScheduler
+from repro.records import CpiSample
+from repro.perf.sampler import CpiSampler, SamplerConfig
+
+__all__ = ["SimConfig", "ClusterSimulation"]
+
+#: Sink signature: (time, machine_name, samples-from-the-window-just-closed).
+SampleSink = Callable[[int, str, list[CpiSample]], None]
+
+#: Hook signature: (time, machine, tick_result) after a machine executed.
+TickHook = Callable[[int, Machine, TickResult], None]
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+
+
+@dataclass
+class SimConfig:
+    """Simulation-wide knobs.
+
+    Attributes:
+        seed: root seed for all randomness in the simulation.
+        reschedule_period: seconds between attempts to re-place pending tasks.
+        sampler: CPI sampling duty cycle for every machine.
+    """
+
+    seed: int = 42
+    reschedule_period: int = 60
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+
+    def __post_init__(self) -> None:
+        if self.reschedule_period < 1:
+            raise ValueError(
+                f"reschedule_period must be >= 1, got {self.reschedule_period}")
+
+
+class ClusterSimulation:
+    """Owns the clock and drives machines, samplers, hooks, and the scheduler."""
+
+    def __init__(
+        self,
+        machines: Iterable[Machine],
+        config: SimConfig | None = None,
+        scheduler: Optional[ClusterScheduler] = None,
+    ):
+        self.config = config or SimConfig()
+        self.machines: dict[str, Machine] = {m.name: m for m in machines}
+        if not self.machines:
+            raise ValueError("simulation needs at least one machine")
+        root = np.random.SeedSequence(self.config.seed)
+        children = root.spawn(len(self.machines) + 1)
+        for child, machine in zip(children, self.machines.values()):
+            machine.rng = np.random.default_rng(child)
+        self.rng = np.random.default_rng(children[-1])
+        self.scheduler = scheduler or ClusterScheduler(
+            self.machines.values(), rng=self.rng)
+        self.samplers: dict[str, CpiSampler] = {
+            name: CpiSampler(machine, self.config.sampler)
+            for name, machine in self.machines.items()
+        }
+        self._sample_sinks: list[SampleSink] = []
+        self._tick_hooks: list[TickHook] = []
+        #: The next second to execute.
+        self.now = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    def add_sample_sink(self, sink: SampleSink) -> None:
+        """Register a consumer of closed sampling windows."""
+        self._sample_sinks.append(sink)
+
+    def add_tick_hook(self, hook: TickHook) -> None:
+        """Register a per-(tick, machine) observer, called after execution."""
+        self._tick_hooks.append(hook)
+
+    # -- running ------------------------------------------------------------------
+
+    def step(self) -> dict[str, TickResult]:
+        """Execute one simulated second across the whole cluster."""
+        t = self.now
+        results: dict[str, TickResult] = {}
+        for name in sorted(self.machines):
+            machine = self.machines[name]
+            result = machine.tick(t)
+            results[name] = result
+            for hook in self._tick_hooks:
+                hook(t, machine, result)
+        for name in sorted(self.samplers):
+            samples = self.samplers[name].tick(t)
+            if samples:
+                for sink in self._sample_sinks:
+                    sink(t, name, samples)
+        if t > 0 and t % self.config.reschedule_period == 0:
+            self.scheduler.reschedule_pending()
+        self.now += 1
+        return results
+
+    def run(self, seconds: int) -> None:
+        """Advance the simulation by ``seconds`` ticks."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        for _ in range(seconds):
+            self.step()
+
+    def run_minutes(self, minutes: float) -> None:
+        """Advance by ``minutes`` simulated minutes."""
+        self.run(int(minutes * SECONDS_PER_MINUTE))
+
+    def run_hours(self, hours: float) -> None:
+        """Advance by ``hours`` simulated hours."""
+        self.run(int(hours * SECONDS_PER_HOUR))

@@ -1,0 +1,304 @@
+"""The per-machine management agent: detection, identification, amelioration.
+
+"To avoid a central bottleneck, CPI values are measured and analyzed locally
+by a management agent that runs in every machine.  We send this agent a
+predicted CPI distribution for all jobs it is running tasks for ... Once an
+anomaly is detected on a machine, an attempt is made to identify an
+antagonist ... at most one of these attempts is performed each second."
+(Sections 4.1-4.2.)
+
+The agent consumes its machine's once-a-minute CPI samples, runs the outlier
+detector against the pushed-down specs, rate-limits identification attempts,
+correlates the victim against every co-tenant from *other* jobs, asks the
+policy what to do, actuates hard-caps, and — crucially — follows up: when a
+cap expires it measures whether the victim actually recovered, feeds the
+outcome back to the policy (enabling re-analysis, the paper's "presumably we
+picked poorly the first time"), and finalises the incident record.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cluster.machine import Machine
+from repro.cluster.task import Task
+from repro.core.config import CpiConfig, DEFAULT_CONFIG
+from repro.core.correlation import SuspectScore, rank_suspects
+from repro.core.outlier import AnomalyEvent, OutlierDetector
+from repro.core.policy import AmeliorationPolicy, PolicyAction, PolicyDecision
+from repro.core.records import CpiSample, CpiSpec, SpecKey
+from repro.core.throttle import ThrottleController
+
+__all__ = ["Incident", "MachineAgent"]
+
+_incident_ids = itertools.count(1)
+
+
+@dataclass
+class Incident:
+    """One detected-and-handled interference episode."""
+
+    incident_id: int
+    machine: str
+    time_seconds: int
+    victim_taskname: str
+    victim_jobname: str
+    victim_cpi: float
+    cpi_threshold: float
+    suspects: list[SuspectScore]
+    decision: PolicyDecision
+    #: Filled in at follow-up time for throttled incidents.
+    post_cpi: Optional[float] = None
+    recovered: Optional[bool] = None
+
+    @property
+    def top_suspect(self) -> Optional[SuspectScore]:
+        """The highest-correlated suspect, if any were scored."""
+        return self.suspects[0] if self.suspects else None
+
+    @property
+    def relative_cpi(self) -> Optional[float]:
+        """Post-throttle CPI over pre-throttle CPI (Figure 16's metric)."""
+        if self.post_cpi is None or self.victim_cpi <= 0:
+            return None
+        return self.post_cpi / self.victim_cpi
+
+
+@dataclass
+class _FollowUp:
+    """A scheduled victim-recovery check for an applied cap."""
+
+    due_at: int
+    incident: Incident
+    victim: Task
+    antagonist: Task
+
+
+@dataclass
+class _TaskWindow:
+    """Recent samples for one task (the correlation window's raw material)."""
+
+    samples: deque[CpiSample] = field(default_factory=lambda: deque(maxlen=64))
+
+
+class MachineAgent:
+    """CPI2's agent for one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: CpiConfig = DEFAULT_CONFIG,
+        throttler: Optional[ThrottleController] = None,
+        policy: Optional[AmeliorationPolicy] = None,
+        incident_sink: Optional[Callable[[Incident], None]] = None,
+        migrator: Optional[Callable[[Task], None]] = None,
+    ):
+        """Args:
+            machine: the machine this agent manages.
+            config: CPI2 parameters.
+            throttler: cap actuator (a fresh one per agent if omitted).
+            policy: amelioration policy (a fresh one if omitted).
+            incident_sink: called with every finalised or reported incident
+                (the pipeline wires this to the forensics store).
+            migrator: called when the policy says MIGRATE_VICTIM or
+                KILL_ANTAGONIST; receives the task to move.  If ``None``
+                those decisions are logged but not actuated.
+        """
+        self.machine = machine
+        self.config = config
+        self.detector = OutlierDetector(config)
+        self.throttler = throttler or ThrottleController(config)
+        self.policy = policy or AmeliorationPolicy(config)
+        self.incident_sink = incident_sink
+        self.migrator = migrator
+        self._specs: dict[SpecKey, CpiSpec] = {}
+        self._windows: dict[str, _TaskWindow] = {}
+        self._followups: list[_FollowUp] = []
+        self._last_analysis: Optional[int] = None
+        self.incidents: list[Incident] = []
+        self.anomalies_seen = 0
+
+    # -- spec distribution (pipeline -> agent) ----------------------------------
+
+    def update_specs(self, specs: dict[SpecKey, CpiSpec]) -> None:
+        """Receive the latest predicted-CPI specs from the aggregator."""
+        self._specs = dict(specs)
+
+    def spec_for(self, jobname: str) -> Optional[CpiSpec]:
+        """The spec for a job on this machine's platform, if published."""
+        return self._specs.get(SpecKey(jobname, self.machine.platform.name))
+
+    # -- sample ingestion ---------------------------------------------------------
+
+    def ingest_samples(self, t: int, samples: list[CpiSample]) -> list[Incident]:
+        """Process one closed sampling window's samples; returns new incidents."""
+        incidents: list[Incident] = []
+        for sample in samples:
+            window = self._windows.get(sample.taskname)
+            if window is None:
+                window = _TaskWindow()
+                self._windows[sample.taskname] = window
+            window.samples.append(sample)
+            spec = self._specs.get(sample.key())
+            _verdict, anomaly = self.detector.observe(sample, spec)
+            if anomaly is None:
+                continue
+            self.anomalies_seen += 1
+            incident = self._handle_anomaly(t, anomaly)
+            if incident is not None:
+                incidents.append(incident)
+        return incidents
+
+    # -- anomaly handling ------------------------------------------------------------
+
+    def _rate_limited(self, t: int) -> bool:
+        if (self._last_analysis is not None
+                and t - self._last_analysis < self.config.analysis_min_interval):
+            return True
+        return False
+
+    def _victim_series(self, taskname: str, now: int
+                       ) -> tuple[list[int], list[float]]:
+        """(timestamps, cpi values) for the victim inside the window."""
+        window = self._windows.get(taskname)
+        if window is None:
+            return [], []
+        horizon = now - self.config.correlation_window
+        timestamps: list[int] = []
+        cpis: list[float] = []
+        for sample in window.samples:
+            ts = int(sample.timestamp_seconds)
+            if ts > horizon:
+                timestamps.append(ts)
+                cpis.append(sample.cpi)
+        return timestamps, cpis
+
+    def _suspect_usage(self, task: Task, timestamps: list[int]) -> list[float]:
+        """The suspect's CPU usage aligned to the victim's sample windows."""
+        duration = self.config.sampling_duration
+        return [
+            task.cgroup.usage_between(ts - duration, ts)
+            for ts in timestamps
+        ]
+
+    def _handle_anomaly(self, t: int, anomaly: AnomalyEvent) -> Optional[Incident]:
+        """Identification + policy + actuation for one anomaly."""
+        if self._rate_limited(t):
+            return None
+        if not self.machine.has_task(anomaly.taskname):
+            return None  # the victim departed between sampling and analysis
+        if any(f.victim.name == anomaly.taskname for f in self._followups):
+            # An amelioration is already in flight for this victim; the paper
+            # re-analyses only after the cap, if the CPI remained high.
+            return None
+        self._last_analysis = t
+
+        victim = self.machine.get_task(anomaly.taskname)
+        timestamps, victim_cpi = self._victim_series(anomaly.taskname, t)
+        if len(timestamps) < 2:
+            return None
+        suspects_input: dict[str, tuple[str, list[float]]] = {}
+        suspect_tasks: dict[str, Task] = {}
+        for task in self.machine.resident_tasks():
+            if task.job.name == victim.job.name:
+                continue  # never suspect the victim's own job-mates
+            suspects_input[task.name] = (
+                task.job.name, self._suspect_usage(task, timestamps))
+            suspect_tasks[task.name] = task
+        if not suspects_input:
+            return None
+
+        scores = rank_suspects(victim_cpi, anomaly.threshold, suspects_input)
+        scored_tasks = [(s, suspect_tasks[s.taskname]) for s in scores]
+        decision = self.policy.decide(victim, scored_tasks)
+        incident = Incident(
+            incident_id=next(_incident_ids),
+            machine=self.machine.name,
+            time_seconds=t,
+            victim_taskname=victim.name,
+            victim_jobname=victim.job.name,
+            victim_cpi=anomaly.cpi,
+            cpi_threshold=anomaly.threshold,
+            suspects=scores,
+            decision=decision,
+        )
+        self.incidents.append(incident)
+        self._actuate(t, incident, victim, decision)
+        if decision.action is not PolicyAction.THROTTLE and self.incident_sink:
+            # Throttled incidents reach the sink once their follow-up closes.
+            self.incident_sink(incident)
+        return incident
+
+    def _actuate(self, t: int, incident: Incident, victim: Task,
+                 decision: PolicyDecision) -> None:
+        if decision.action is PolicyAction.THROTTLE:
+            assert decision.target is not None and decision.score is not None
+            self.throttler.cap(
+                decision.target, t,
+                victim_taskname=victim.name,
+                correlation=decision.score.correlation,
+            )
+            self.policy.record_throttle(victim, decision.target)
+            self._followups.append(_FollowUp(
+                due_at=t + self.config.hardcap_duration,
+                incident=incident,
+                victim=victim,
+                antagonist=decision.target,
+            ))
+        elif decision.action in (PolicyAction.MIGRATE_VICTIM,
+                                 PolicyAction.KILL_ANTAGONIST):
+            target = (victim if decision.action is PolicyAction.MIGRATE_VICTIM
+                      else decision.target)
+            if self.migrator is not None and target is not None:
+                self.migrator(target)
+
+    # -- follow-ups --------------------------------------------------------------------
+
+    def tick(self, t: int) -> None:
+        """Process due recovery checks.  Call at least once a minute."""
+        due = [f for f in self._followups if f.due_at <= t]
+        if not due:
+            return
+        self._followups = [f for f in self._followups if f.due_at > t]
+        for followup in due:
+            self._finish_followup(t, followup)
+
+    def _finish_followup(self, t: int, followup: _FollowUp) -> None:
+        incident = followup.incident
+        victim = followup.victim
+        post_cpi = self._recent_cpi(victim.name, since=incident.time_seconds)
+        incident.post_cpi = post_cpi
+        if post_cpi is None:
+            # The victim left or stopped sampling; treat as recovered so we
+            # don't escalate against a ghost.
+            incident.recovered = True
+        else:
+            incident.recovered = post_cpi <= incident.cpi_threshold
+        if self.machine.has_task(victim.name):
+            self.policy.record_outcome(victim, bool(incident.recovered))
+        if self.incident_sink:
+            self.incident_sink(incident)
+        # If the victim is still suffering, the next anomalous sample will
+        # trigger another round of analysis; the policy remembers the failed
+        # pick and will not choose it again ("presumably we picked poorly").
+
+    def _recent_cpi(self, taskname: str, since: int) -> Optional[float]:
+        """Mean victim CPI over samples taken after ``since`` (the cap window)."""
+        window = self._windows.get(taskname)
+        if window is None:
+            return None
+        values = [s.cpi for s in window.samples
+                  if int(s.timestamp_seconds) > since]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    # -- bookkeeping ----------------------------------------------------------------------
+
+    def forget_task(self, taskname: str) -> None:
+        """Drop per-task state when a task departs the machine."""
+        self._windows.pop(taskname, None)
+        self.detector.forget_task(taskname)

@@ -1,0 +1,183 @@
+"""CPI sample aggregation: learning each job's normal behaviour.
+
+"The data aggregation component of CPI2 calculates the mean and standard
+deviation of CPI for each job, which is called its CPI spec.  This
+information is updated every 24 hours. ... Historical data about prior runs
+is incorporated using age-weighting, by multiplying the CPI value from the
+previous day by about 0.9 before averaging it with the most recent day's
+data.  We do not perform CPI management for applications with fewer than 5
+tasks or fewer than 100 CPI samples per task."  (Section 3.1.)
+
+:class:`CpiAggregator` ingests the per-task samples streamed off machines,
+keeps running (Welford) statistics per (job, platform) key for the current
+refresh period, and on each refresh blends the period's statistics with the
+previous spec using the paper's age-weighting before publishing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.config import CpiConfig, DEFAULT_CONFIG
+from repro.core.records import CpiSample, CpiSpec, SpecKey
+
+__all__ = ["CpiAggregator"]
+
+
+@dataclass
+class _RunningStats:
+    """Welford accumulator for one (job, platform) key within one period."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    usage_sum: float = 0.0
+    samples_per_task: dict[str, int] = field(default_factory=dict)
+
+    def add(self, sample: CpiSample) -> None:
+        self.count += 1
+        delta = sample.cpi - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (sample.cpi - self.mean)
+        self.usage_sum += sample.cpu_usage
+        task = sample.taskname or f"{sample.jobname}/?"
+        self.samples_per_task[task] = self.samples_per_task.get(task, 0) + 1
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def usage_mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.usage_sum / self.count
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.samples_per_task)
+
+    @property
+    def min_samples_per_task(self) -> int:
+        if not self.samples_per_task:
+            return 0
+        return min(self.samples_per_task.values())
+
+
+class CpiAggregator:
+    """The cluster-level CPI-spec learner."""
+
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG):
+        self.config = config
+        self._current: dict[SpecKey, _RunningStats] = {}
+        self._specs: dict[SpecKey, CpiSpec] = {}
+        self._last_refresh: Optional[int] = None
+        self.total_samples_ingested = 0
+
+    # -- ingest -----------------------------------------------------------------
+
+    def ingest(self, sample: CpiSample) -> None:
+        """Accumulate one sample into the current refresh period."""
+        stats = self._current.get(sample.key())
+        if stats is None:
+            stats = _RunningStats()
+            self._current[sample.key()] = stats
+        stats.add(sample)
+        self.total_samples_ingested += 1
+
+    def ingest_many(self, samples: Iterable[CpiSample]) -> None:
+        """Accumulate a batch of samples."""
+        for sample in samples:
+            self.ingest(sample)
+
+    # -- spec publication ----------------------------------------------------------
+
+    def _eligible(self, stats: _RunningStats) -> bool:
+        """The Section 3.1 robustness gates."""
+        return (stats.num_tasks >= self.config.min_tasks_for_spec
+                and stats.count >= self.config.min_samples_per_task * stats.num_tasks)
+
+    def _blend(self, key: SpecKey, stats: _RunningStats) -> CpiSpec:
+        """Combine the period's statistics with the previous spec.
+
+        The previous spec's values are multiplied by the age weight (~0.9)
+        before averaging with the fresh period, so history decays
+        geometrically day over day.
+        """
+        previous = self._specs.get(key)
+        if previous is None:
+            return CpiSpec(
+                jobname=key.jobname,
+                platforminfo=key.platforminfo,
+                num_samples=stats.count,
+                cpu_usage_mean=stats.usage_mean,
+                cpi_mean=stats.mean,
+                cpi_stddev=stats.stddev,
+            )
+        w_old = self.config.history_age_weight
+        w_new = 1.0
+        total = w_old + w_new
+        mean = (w_old * previous.cpi_mean + w_new * stats.mean) / total
+        variance = (w_old * previous.cpi_stddev ** 2
+                    + w_new * stats.variance) / total
+        usage = (w_old * previous.cpu_usage_mean + w_new * stats.usage_mean) / total
+        effective = int(w_old * previous.num_samples) + stats.count
+        return CpiSpec(
+            jobname=key.jobname,
+            platforminfo=key.platforminfo,
+            num_samples=effective,
+            cpu_usage_mean=usage,
+            cpi_mean=mean,
+            cpi_stddev=math.sqrt(variance),
+        )
+
+    def recompute(self, now: int) -> dict[SpecKey, CpiSpec]:
+        """Close the current period and publish updated specs.
+
+        Keys whose period data fails the robustness gates keep their previous
+        spec (if any) unchanged — a job that shrank below 5 tasks stops
+        getting fresher predictions but is not forgotten mid-run.
+
+        Returns the full published spec map.
+        """
+        for key, stats in self._current.items():
+            if stats.count == 0 or not self._eligible(stats):
+                continue
+            self._specs[key] = self._blend(key, stats)
+        self._current = {}
+        self._last_refresh = now
+        return dict(self._specs)
+
+    def maybe_recompute(self, now: int) -> Optional[dict[SpecKey, CpiSpec]]:
+        """Recompute if a refresh period has elapsed since the last one."""
+        if (self._last_refresh is None
+                or now - self._last_refresh >= self.config.spec_refresh_period):
+            return self.recompute(now)
+        return None
+
+    # -- spec access ------------------------------------------------------------------
+
+    def specs(self) -> dict[SpecKey, CpiSpec]:
+        """The currently published specs (a copy)."""
+        return dict(self._specs)
+
+    def spec_for(self, jobname: str, platforminfo: str) -> Optional[CpiSpec]:
+        """The published spec for one (job, platform), or ``None``."""
+        return self._specs.get(SpecKey(jobname, platforminfo))
+
+    def set_spec(self, spec: CpiSpec) -> None:
+        """Inject a spec directly.
+
+        Models the paper's warm start from historical data: "if we have seen
+        a previous run of a job, we don't have to build a new model of its
+        CPI behavior from scratch."  Also the natural hook for tests.
+        """
+        self._specs[spec.key()] = spec

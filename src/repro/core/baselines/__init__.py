@@ -1,0 +1,30 @@
+"""Baseline antagonist-identification schemes CPI2 is compared against.
+
+Section 4.2 sketches the obvious alternative: "An active scheme might
+rank-order a list of suspects based on heuristics like CPU usage and cache
+miss rate, and temporarily throttle them back one by one to see if the CPI
+of the victim task improves.  Unfortunately, this simple approach may
+disrupt many innocent tasks."
+
+* :class:`~repro.core.baselines.active_probe.ActiveProbeIdentifier` — that
+  scheme, with disruption accounting, so the ablation benchmark can quantify
+  the paper's objection.
+* :mod:`~repro.core.baselines.usage_ranker` — passive heuristics (top CPU
+  user, top L3 misser) without correlation.
+* :mod:`~repro.core.baselines.random_pick` — the null hypothesis.
+"""
+
+from repro.core.baselines.active_probe import ActiveProbeIdentifier, ProbeReport
+from repro.core.baselines.usage_ranker import rank_by_usage, rank_by_l3_misses
+from repro.core.baselines.random_pick import pick_random_suspect
+from repro.core.baselines.duty_cycle import DutyCycleAction, DutyCycleThrottler
+
+__all__ = [
+    "ActiveProbeIdentifier",
+    "ProbeReport",
+    "rank_by_usage",
+    "rank_by_l3_misses",
+    "pick_random_suspect",
+    "DutyCycleAction",
+    "DutyCycleThrottler",
+]

@@ -1,0 +1,127 @@
+"""The active probing scheme the paper rejects (Section 4.2).
+
+"An active scheme might rank-order a list of suspects based on heuristics
+like CPU usage and cache miss rate, and temporarily throttle them back one
+by one to see if the CPI of the victim task improves.  Unfortunately, this
+simple approach may disrupt many innocent tasks.  (We'd rather the
+antagonist-detection system were not the worst antagonist in the system!)"
+
+:class:`ActiveProbeIdentifier` implements that scheme against the simulator,
+with full disruption accounting: every CPU-second an innocent suspect loses
+to a probe cap is charged to the identifier.  The passive-vs-active ablation
+benchmark uses this to quantify the paper's objection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.task import Task
+from repro.core.baselines.usage_ranker import rank_by_usage
+
+__all__ = ["ProbeReport", "ActiveProbeIdentifier"]
+
+
+@dataclass
+class ProbeReport:
+    """What one active identification run did and found."""
+
+    victim: str
+    identified: Optional[str] = None
+    probes_run: int = 0
+    #: Tasks that were throttled during probing but were NOT the culprit.
+    innocents_disrupted: list[str] = field(default_factory=list)
+    #: CPU-seconds of demand denied to all probed tasks (culprit included).
+    cpu_seconds_denied: float = 0.0
+    #: Wall-clock simulation seconds the identification consumed.
+    seconds_elapsed: int = 0
+
+
+class ActiveProbeIdentifier:
+    """Throttle-suspects-one-by-one identification, with disruption ledger."""
+
+    def __init__(self, simulation: ClusterSimulation, machine: Machine,
+                 probe_quota: float = 0.1, probe_seconds: int = 60,
+                 improvement_fraction: float = 0.15):
+        """Args:
+            simulation: the running simulation (probes advance its clock).
+            machine: the machine hosting the victim.
+            probe_quota: CPU-sec/sec each suspect is capped to while probed.
+            probe_seconds: how long each probe cap is held.
+            improvement_fraction: the victim is deemed recovered when its
+                mean CPI drops by this fraction below the pre-probe baseline.
+        """
+        if probe_seconds < 1:
+            raise ValueError(f"probe_seconds must be >= 1, got {probe_seconds}")
+        if not 0.0 < improvement_fraction < 1.0:
+            raise ValueError("improvement_fraction must be in (0, 1), "
+                             f"got {improvement_fraction}")
+        if probe_quota < 0:
+            raise ValueError(f"probe_quota must be >= 0, got {probe_quota}")
+        self.simulation = simulation
+        self.machine = machine
+        self.probe_quota = probe_quota
+        self.probe_seconds = probe_seconds
+        self.improvement_fraction = improvement_fraction
+
+    def _measure_victim_cpi(self, victim_name: str, seconds: int) -> float:
+        """Run the simulation ``seconds`` and return the victim's mean CPI."""
+        observed: list[float] = []
+        for _ in range(seconds):
+            results = self.simulation.step()
+            result = results.get(self.machine.name)
+            if result is not None and victim_name in result.cpis:
+                observed.append(result.cpis[victim_name])
+        if not observed:
+            raise RuntimeError(
+                f"victim {victim_name} produced no CPI during the probe")
+        return float(np.mean(observed))
+
+    def _demand_denied(self, suspect: Task, seconds: int) -> float:
+        """Estimate CPU demand the cap denied the suspect over the probe."""
+        now = self.simulation.now
+        denied = 0.0
+        for offset in range(seconds):
+            demand = max(0.0, suspect.workload.cpu_demand(now + offset))
+            denied += max(0.0, demand - self.probe_quota)
+        return denied
+
+    def identify(self, victim: Task, max_probes: int | None = None) -> ProbeReport:
+        """Probe suspects hungriest-first until the victim's CPI improves.
+
+        Each probe hard-caps one suspect for ``probe_seconds`` while the
+        simulation advances, then compares the victim's mean CPI against the
+        pre-probe baseline.  Innocents probed along the way are recorded.
+        """
+        report = ProbeReport(victim=victim.name)
+        start_time = self.simulation.now
+        baseline = self._measure_victim_cpi(victim.name, self.probe_seconds)
+
+        window = (max(0, self.simulation.now - self.probe_seconds),
+                  self.simulation.now)
+        ranked = rank_by_usage(self.machine, victim, window)
+        if max_probes is not None:
+            ranked = ranked[:max_probes]
+
+        for suspect, _usage in ranked:
+            if not self.machine.has_task(suspect.name):
+                continue  # departed while we were probing others
+            report.probes_run += 1
+            report.cpu_seconds_denied += self._demand_denied(
+                suspect, self.probe_seconds)
+            suspect.cgroup.apply_cap(self.probe_quota, self.simulation.now,
+                                     self.probe_seconds)
+            probed_cpi = self._measure_victim_cpi(victim.name, self.probe_seconds)
+            suspect.cgroup.release_cap()
+            if probed_cpi <= baseline * (1.0 - self.improvement_fraction):
+                report.identified = suspect.name
+                break
+            report.innocents_disrupted.append(suspect.name)
+
+        report.seconds_elapsed = self.simulation.now - start_time
+        return report

@@ -1,0 +1,92 @@
+"""Hardware duty-cycle modulation as an alternative actuator (Section 8).
+
+"An alternative would be to use hardware mechanisms like duty-cycle
+modulation.  This offers fine-grain control of throttling (in microseconds
+by hardware gating rather than milliseconds in the OS kernel scheduler),
+but it is Intel-specific and operates on a per-core basis, forcing
+hyper-threaded cores to the same duty-cycle level, so we chose not to use
+it."
+
+:class:`DutyCycleThrottler` mirrors the :class:`~repro.core.throttle.ThrottleController`
+interface but actuates through the machine's per-core gating, so its caps
+carry collateral: co-resident tasks lose CPU in proportion to the share of
+cores the target occupies.  The ablation benchmark quantifies exactly the
+trade the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.machine import DutyCycleState, Machine
+from repro.cluster.task import Task
+from repro.core.config import CpiConfig, DEFAULT_CONFIG
+
+__all__ = ["DutyCycleAction", "DutyCycleThrottler"]
+
+
+@dataclass(frozen=True)
+class DutyCycleAction:
+    """One duty-cycle throttling decision, for the audit log."""
+
+    taskname: str
+    level: float
+    core_share: float
+    applied_at: int
+    expires_at: int
+
+
+class DutyCycleThrottler:
+    """Caps antagonists by gating the cores they run on."""
+
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG,
+                 min_level: float = 0.05):
+        """Args:
+            config: supplies the cap duration and quota targets.
+            min_level: hardware modulation floor (real duty-cycle control
+                bottoms out around 1/16 duty).
+        """
+        if not 0.0 < min_level <= 1.0:
+            raise ValueError(f"min_level must be in (0, 1], got {min_level}")
+        self.config = config
+        self.min_level = min_level
+        self.actions: list[DutyCycleAction] = []
+
+    def _core_share(self, machine: Machine, task: Task, now: int) -> float:
+        """Fraction of the machine's cores the target occupies.
+
+        Estimated from recent usage, rounded *up* to whole cores — the
+        hardware gates cores, and the hyper-thread sibling goes with it.
+        """
+        usage = task.cgroup.last_usage()
+        if usage <= 0.0:
+            usage = task.workload.cpu_demand(now)
+        cores = max(1, math.ceil(usage))
+        return min(1.0, cores / machine.platform.num_cores)
+
+    def cap(self, machine: Machine, task: Task, now: int) -> DutyCycleAction:
+        """Gate the task's cores so it nets the class quota.
+
+        The level is chosen so ``usage * level ~ quota`` (like the CFS cap),
+        clamped to the modulation floor.
+        """
+        if task.scheduling_class.value == "best-effort":
+            quota = self.config.hardcap_quota_best_effort
+        else:
+            quota = self.config.hardcap_quota_batch
+        usage = max(task.cgroup.last_usage(), 1e-6)
+        level = min(1.0, max(self.min_level, quota / usage))
+        share = self._core_share(machine, task, now)
+        state: DutyCycleState = machine.apply_duty_cycle(
+            task.name, level=level, core_share=share, now=now,
+            duration=self.config.hardcap_duration)
+        action = DutyCycleAction(
+            taskname=task.name, level=state.level, core_share=state.core_share,
+            applied_at=now, expires_at=state.expires_at)
+        self.actions.append(action)
+        return action
+
+    def release(self, machine: Machine) -> None:
+        """Lift the modulation early."""
+        machine.clear_duty_cycle()

@@ -1,0 +1,26 @@
+"""The null-hypothesis baseline: accuse a co-tenant at random.
+
+Any identification scheme must beat this to be worth running; the accuracy
+ablation uses it as the floor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.cluster.task import Task
+
+__all__ = ["pick_random_suspect"]
+
+
+def pick_random_suspect(machine: Machine, victim: Task,
+                        rng: np.random.Generator) -> Optional[Task]:
+    """A uniformly random co-tenant from a different job, or None if alone."""
+    suspects = [t for t in machine.resident_tasks()
+                if t.job.name != victim.job.name]
+    if not suspects:
+        return None
+    return suspects[int(rng.integers(len(suspects)))]

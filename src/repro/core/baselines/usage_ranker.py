@@ -1,0 +1,55 @@
+"""Passive heuristic baselines: blame the biggest consumer.
+
+These are the heuristics the paper's hypothetical active scheme would
+rank-order by ("CPU usage and cache miss rate"), used *without* the
+probe step: just accuse the top consumer outright.  They are cheap and
+plausible — and wrong whenever the hungriest co-tenant is an innocent
+compute-bound spinner, which is exactly the failure mode the accuracy
+ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.machine import Machine
+from repro.cluster.task import Task
+from repro.perf.events import CounterEvent
+
+__all__ = ["rank_by_usage", "rank_by_l3_misses"]
+
+
+def _suspects(machine: Machine, victim: Task) -> list[Task]:
+    return [t for t in machine.resident_tasks() if t.job.name != victim.job.name]
+
+
+def rank_by_usage(machine: Machine, victim: Task,
+                  window: tuple[int, int]) -> list[tuple[Task, float]]:
+    """Co-tenants ranked by mean CPU usage over ``window = (start, end)``.
+
+    Returns (task, mean usage) pairs, hungriest first.
+    """
+    start, end = window
+    scored = [
+        (task, task.cgroup.usage_between(start, end))
+        for task in _suspects(machine, victim)
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0].name))
+    return scored
+
+
+def rank_by_l3_misses(machine: Machine, victim: Task) -> list[tuple[Task, float]]:
+    """Co-tenants ranked by cumulative L3 misses, biggest first.
+
+    Uses lifetime counters (a real implementation would difference over a
+    window; for ranking co-resident peers the cumulative totals give the
+    same ordering when residency overlaps).
+    """
+    scored = [
+        (task,
+         machine.counters.counters_for(task.cgroup.name).read(
+             CounterEvent.L3_MISSES))
+        for task in _suspects(machine, victim)
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0].name))
+    return scored

@@ -1,0 +1,111 @@
+"""CPI2 parameters — paper Table 2, every default verbatim.
+
+    | Parameter                        | Value                       |
+    |----------------------------------|-----------------------------|
+    | Collection granularity           | task                        |
+    | Sampling duration                | 10 seconds                  |
+    | Sampling frequency               | every 1 minute              |
+    | Aggregation granularity          | job x CPU type              |
+    | Predicted CPI recalculated       | every 24 hours (goal: 1 h)  |
+    | Required CPU usage               | >= 0.25 CPU-sec/sec         |
+    | Outlier threshold 1              | 2 sigma                     |
+    | Outlier threshold 2              | 3 violations in 5 minutes   |
+    | Antagonist correlation threshold | 0.35                        |
+    | Hard-capping quota               | 0.1 CPU-sec/sec             |
+    | Hard-capping duration            | 5 mins                      |
+
+Plus the aggregation-side gates from Section 3.1 (age-weighting of ~0.9/day;
+no CPI management below 5 tasks or 100 samples/task) and the rate limit from
+Section 4.2 (at most one correlation analysis per second per machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["CpiConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class CpiConfig:
+    """All CPI2 knobs, defaulting to the paper's Table 2 values."""
+
+    # -- sampling (Section 3.1) ------------------------------------------------
+    #: Counter-collection window length, seconds.
+    sampling_duration: int = 10
+    #: One window starts every this many seconds.
+    sampling_period: int = 60
+
+    # -- spec aggregation (Section 3.1) ------------------------------------------
+    #: Seconds between CPI-spec recalculations (24 h; the paper's goal is 1 h).
+    spec_refresh_period: int = 24 * 3600
+    #: Multiplier applied to the previous day's CPI before averaging with the
+    #: most recent day's data ("about 0.9").
+    history_age_weight: float = 0.9
+    #: "We do not perform CPI management for applications with fewer than 5
+    #: tasks or fewer than 100 CPI samples per task."
+    min_tasks_for_spec: int = 5
+    min_samples_per_task: int = 100
+
+    # -- outlier detection (Section 4.1) -------------------------------------------
+    #: Flag a sample when CPI > mean + this many stddevs.
+    outlier_stddevs: float = 2.0
+    #: Ignore samples from tasks using less CPU than this (CPU-sec/sec).
+    min_cpu_usage: float = 0.25
+    #: Anomaly = at least this many outliers ...
+    anomaly_violations: int = 3
+    #: ... within a window of this many seconds (5 minutes).
+    anomaly_window: int = 300
+
+    # -- antagonist identification (Section 4.2) --------------------------------------
+    #: Correlation window length, seconds ("we typically use a 10-minute window").
+    correlation_window: int = 600
+    #: Declare an antagonist only at or above this correlation.
+    correlation_threshold: float = 0.35
+    #: At most one correlation analysis per this many seconds, per machine.
+    analysis_min_interval: int = 1
+
+    # -- amelioration (Section 5) --------------------------------------------------------
+    #: Hard-cap quota for ordinary batch antagonists, CPU-sec/sec.
+    hardcap_quota_batch: float = 0.1
+    #: Hard-cap quota for best-effort antagonists, CPU-sec/sec.
+    hardcap_quota_best_effort: float = 0.01
+    #: Cap duration, seconds (5 minutes).
+    hardcap_duration: int = 300
+    #: Whether the agent caps automatically (vs. only reporting incidents).
+    auto_throttle: bool = True
+
+    def __post_init__(self) -> None:
+        positives = (
+            "sampling_duration", "sampling_period", "spec_refresh_period",
+            "min_tasks_for_spec", "min_samples_per_task", "anomaly_violations",
+            "anomaly_window", "correlation_window", "analysis_min_interval",
+            "hardcap_duration",
+        )
+        for name in positives:
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        non_negatives = (
+            "outlier_stddevs", "min_cpu_usage", "hardcap_quota_batch",
+            "hardcap_quota_best_effort",
+        )
+        for name in non_negatives:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if not 0.0 <= self.history_age_weight <= 1.0:
+            raise ValueError(
+                f"history_age_weight must be in [0, 1], got {self.history_age_weight}")
+        if not -1.0 <= self.correlation_threshold <= 1.0:
+            raise ValueError("correlation_threshold must be in [-1, 1], "
+                             f"got {self.correlation_threshold}")
+        if self.sampling_period < self.sampling_duration:
+            raise ValueError("sampling_period must be >= sampling_duration")
+
+    def with_overrides(self, **overrides: Any) -> "CpiConfig":
+        """A copy with the given fields replaced (ablation sweeps use this)."""
+        return replace(self, **overrides)
+
+
+#: The paper's defaults, shared and immutable.
+DEFAULT_CONFIG = CpiConfig()

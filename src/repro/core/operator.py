@@ -1,0 +1,130 @@
+"""The system-operator interface (paper Section 5).
+
+"We provide an interface to system operators so they can hard-cap suspects,
+and turn CPI protection on or off for an entire cluster.  Since our
+applications are written to tolerate failures, an operator may choose to
+kill an antagonist task and restart it somewhere else if it is a persistent
+offender — our version of task migration."
+
+:class:`OperatorConsole` wraps a deployed :class:`~repro.core.pipeline.CpiPipeline`
+with exactly those controls, plus the status view an on-call engineer wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.machine import Machine
+from repro.cluster.task import Task
+from repro.core.pipeline import CpiPipeline
+from repro.core.throttle import CapAction
+
+__all__ = ["ClusterStatus", "OperatorConsole"]
+
+
+@dataclass(frozen=True)
+class ClusterStatus:
+    """A point-in-time summary of CPI2 across the cluster."""
+
+    protection_enabled: bool
+    machines: int
+    active_caps: int
+    incidents_total: int
+    incidents_open: int
+    anomalies_seen: int
+
+
+class OperatorConsole:
+    """Manual controls over a running CPI2 deployment."""
+
+    def __init__(self, pipeline: CpiPipeline):
+        self.pipeline = pipeline
+        self._protection_enabled = pipeline.config.auto_throttle
+
+    # -- cluster-wide protection switch ---------------------------------------
+
+    @property
+    def protection_enabled(self) -> bool:
+        """Whether agents may hard-cap automatically."""
+        return self._protection_enabled
+
+    def disable_protection(self) -> None:
+        """Cluster-wide off switch: agents keep detecting and reporting but
+        stop capping (the paper's conservative-rollout mode)."""
+        self._set_auto_throttle(False)
+
+    def enable_protection(self) -> None:
+        """Re-enable automatic capping cluster-wide."""
+        self._set_auto_throttle(True)
+
+    def _set_auto_throttle(self, enabled: bool) -> None:
+        self._protection_enabled = enabled
+        for agent in self.pipeline.agents.values():
+            agent.policy.config = agent.policy.config.with_overrides(
+                auto_throttle=enabled)
+
+    # -- manual actions ----------------------------------------------------------
+
+    def _locate(self, taskname: str) -> tuple[Machine, Task]:
+        for machine in self.pipeline.simulation.machines.values():
+            if machine.has_task(taskname):
+                return machine, machine.get_task(taskname)
+        raise KeyError(f"no running task named {taskname!r} in the cluster")
+
+    def cap_task(self, taskname: str, quota: Optional[float] = None,
+                 duration: Optional[int] = None) -> CapAction:
+        """Hard-cap a suspect by hand (the case-study workflow).
+
+        Uses the class-appropriate quota and the configured 5-minute duration
+        unless overridden.  The action lands in the machine agent's audit
+        trail like any automatic cap.
+        """
+        machine, task = self._locate(taskname)
+        agent = self.pipeline.agents[machine.name]
+        now = self.pipeline.simulation.now
+        return agent.throttler.cap(task, now, quota=quota, duration=duration,
+                                   victim_taskname=None, correlation=None)
+
+    def release_task(self, taskname: str) -> None:
+        """Lift a cap early."""
+        machine, task = self._locate(taskname)
+        self.pipeline.agents[machine.name].throttler.release(task)
+
+    def kill_and_restart(self, taskname: str) -> str:
+        """Kill a persistent offender and restart it on another machine.
+
+        Returns the new machine's name.
+
+        Raises:
+            KeyError: if the task is not running anywhere.
+            repro.cluster.scheduler.PlacementError: if no other machine can
+                take it (the task is left where it was).
+        """
+        _machine, task = self._locate(taskname)
+        new_machine = self.pipeline.simulation.scheduler.migrate_task(task)
+        return new_machine.name
+
+    # -- visibility ------------------------------------------------------------------
+
+    def status(self) -> ClusterStatus:
+        """The on-call summary."""
+        now = self.pipeline.simulation.now
+        agents = self.pipeline.agents.values()
+        incidents = self.pipeline.all_incidents()
+        open_incidents = sum(
+            1 for i in incidents
+            if i.decision.action.value == "throttle" and i.recovered is None)
+        return ClusterStatus(
+            protection_enabled=self._protection_enabled,
+            machines=len(self.pipeline.agents),
+            active_caps=sum(len(a.throttler.active_caps(now))
+                            for a in agents),
+            incidents_total=len(incidents),
+            incidents_open=open_incidents,
+            anomalies_seen=sum(a.anomalies_seen for a in agents),
+        )
+
+    def worst_offenders(self, limit: int = 5) -> list[tuple[str, int]]:
+        """The most-blamed antagonist jobs so far (forensics passthrough)."""
+        return self.pipeline.forensics.top_antagonists(limit=limit)

@@ -1,0 +1,125 @@
+"""Local CPI outlier and anomaly detection (paper Section 4.1).
+
+"A CPI measurement is flagged as an outlier if it is larger than the 2-sigma
+point on the predicted CPI distribution ... We ignore CPI measurements from
+tasks that use less than 0.25 CPU-sec/sec since CPI sometimes increases
+significantly if CPU usage drops to near zero.  To reduce occasional false
+alarms from noisy data, a task is considered to be suffering anomalous
+behavior only if it is flagged as an outlier at least 3 times in a 5 minute
+window."
+
+Detection is *local*: every machine's agent runs its own
+:class:`OutlierDetector` against the specs the aggregator pushed down, "which
+enables rapid responses and increases scalability".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import CpiConfig, DEFAULT_CONFIG
+from repro.core.records import CpiSample, CpiSpec
+
+__all__ = ["OutlierVerdict", "AnomalyEvent", "OutlierDetector"]
+
+
+@dataclass(frozen=True)
+class OutlierVerdict:
+    """What the detector concluded about one sample."""
+
+    #: The sample was above threshold (and above the usage gate).
+    flagged: bool
+    #: The sample was skipped entirely (usage gate or missing spec).
+    skipped: bool
+    #: Why it was skipped, if it was ("low-usage" or "no-spec").
+    skip_reason: Optional[str] = None
+    #: Outlier flags for this task currently inside the anomaly window.
+    violations_in_window: int = 0
+    #: The threshold used, if a spec was available.
+    threshold: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """A task crossed the 3-in-5-minutes line: it is suffering interference."""
+
+    taskname: str
+    jobname: str
+    platforminfo: str
+    time_seconds: int
+    cpi: float
+    threshold: float
+    violations: int
+
+
+class OutlierDetector:
+    """Per-machine streak tracker implementing the Section 4.1 rules."""
+
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG):
+        self.config = config
+        #: Per-task timestamps (seconds) of recent outlier flags.
+        self._flags: dict[str, deque[int]] = {}
+        self.samples_seen = 0
+        self.samples_skipped_low_usage = 0
+        self.samples_skipped_no_spec = 0
+
+    def observe(self, sample: CpiSample, spec: Optional[CpiSpec]
+                ) -> tuple[OutlierVerdict, Optional[AnomalyEvent]]:
+        """Process one sample; returns the verdict and an anomaly, if declared.
+
+        An anomaly is (re-)declared on every flagged sample at or beyond the
+        violation count — the caller's rate-limit on antagonist analysis is
+        what stops that from causing repeated work.
+        """
+        self.samples_seen += 1
+        if spec is None:
+            self.samples_skipped_no_spec += 1
+            return OutlierVerdict(flagged=False, skipped=True,
+                                  skip_reason="no-spec"), None
+        threshold = spec.outlier_threshold(self.config.outlier_stddevs)
+        if sample.cpu_usage < self.config.min_cpu_usage:
+            self.samples_skipped_low_usage += 1
+            return OutlierVerdict(flagged=False, skipped=True,
+                                  skip_reason="low-usage",
+                                  threshold=threshold), None
+        t = int(sample.timestamp_seconds)
+        flags = self._flags.get(sample.taskname)
+        if flags is None:
+            flags = deque()
+            self._flags[sample.taskname] = flags
+        # Expire flags older than the anomaly window (inclusive: a flag
+        # exactly window-seconds old still counts).
+        horizon = t - self.config.anomaly_window
+        while flags and flags[0] < horizon:
+            flags.popleft()
+        if sample.cpi <= threshold:
+            return OutlierVerdict(flagged=False, skipped=False,
+                                  violations_in_window=len(flags),
+                                  threshold=threshold), None
+        flags.append(t)
+        verdict = OutlierVerdict(flagged=True, skipped=False,
+                                 violations_in_window=len(flags),
+                                 threshold=threshold)
+        anomaly: Optional[AnomalyEvent] = None
+        if len(flags) >= self.config.anomaly_violations:
+            anomaly = AnomalyEvent(
+                taskname=sample.taskname,
+                jobname=sample.jobname,
+                platforminfo=sample.platforminfo,
+                time_seconds=t,
+                cpi=sample.cpi,
+                threshold=threshold,
+                violations=len(flags),
+            )
+        return verdict, anomaly
+
+    def forget_task(self, taskname: str) -> None:
+        """Drop state for a departed task."""
+        self._flags.pop(taskname, None)
+
+    def violations_for(self, taskname: str) -> int:
+        """Current in-window outlier count for a task (0 if unknown)."""
+        flags = self._flags.get(taskname)
+        return len(flags) if flags else 0

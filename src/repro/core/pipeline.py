@@ -1,0 +1,164 @@
+"""The cluster-level CPI2 data pipeline (paper Figure 6).
+
+"CPI data is gathered for every task on a machine, then sent off-machine to
+a service where data from related tasks is aggregated.  The per-job,
+per-platform aggregated CPI values are then sent back to each machine that
+is running a task from that job.  Anomalies are detected locally, which
+enables rapid responses and increases scalability."
+
+:class:`CpiPipeline` wires one :class:`~repro.cluster.simulation.ClusterSimulation`
+to CPI2: it installs a :class:`~repro.core.agent.MachineAgent` on every
+machine, routes closed sampling windows both to the central
+:class:`~repro.core.aggregator.CpiAggregator` (upward path) and to the local
+agent (local path), pushes refreshed specs back down, forwards incidents to
+the :class:`~repro.core.forensics.ForensicsStore`, and actuates
+migrate/kill decisions through the cluster scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.machine import Machine, TickResult
+from repro.cluster.scheduler import PlacementError
+from repro.cluster.simulation import SECONDS_PER_DAY, ClusterSimulation
+from repro.cluster.task import Task
+from repro.core.aggregator import CpiAggregator
+from repro.core.agent import Incident, MachineAgent
+from repro.core.config import CpiConfig, DEFAULT_CONFIG
+from repro.core.forensics import ForensicsStore
+from repro.core.records import CpiSample, CpiSpec
+from repro.core.throttle import ThrottleController
+
+__all__ = ["CpiPipeline"]
+
+
+class CpiPipeline:
+    """CPI2 deployed across a simulated cluster."""
+
+    def __init__(
+        self,
+        simulation: ClusterSimulation,
+        config: CpiConfig = DEFAULT_CONFIG,
+        forensics: Optional[ForensicsStore] = None,
+        throttler_factory=None,
+        enable_migration: bool = False,
+        log_samples: bool = False,
+    ):
+        """Args:
+            simulation: the cluster to deploy onto.  The pipeline registers
+                its sinks/hooks on construction.
+            config: CPI2 parameters (the simulation's sampler should use the
+                same duty cycle; this is the caller's responsibility).
+            forensics: incident store (a fresh one if omitted).
+            throttler_factory: ``() -> ThrottleController`` per agent; lets
+                experiments swap in :class:`AdaptiveCapController`.
+            enable_migration: actuate MIGRATE_VICTIM / KILL_ANTAGONIST
+                decisions through the scheduler (off by default, matching the
+                paper: "we don't automatically do this").
+            log_samples: retain every CPI sample in :attr:`sample_log` for
+                offline analysis ("we log and store data about CPIs and
+                suspected antagonists"); pair with
+                :func:`repro.core.storage.save_samples` to persist.
+        """
+        self.simulation = simulation
+        self.config = config
+        self.aggregator = CpiAggregator(config)
+        self.forensics = forensics or ForensicsStore()
+        self.enable_migration = enable_migration
+        make_throttler = throttler_factory or (lambda: ThrottleController(config))
+        self.agents: dict[str, MachineAgent] = {}
+        for name, machine in simulation.machines.items():
+            self.agents[name] = MachineAgent(
+                machine=machine,
+                config=config,
+                throttler=make_throttler(),
+                incident_sink=self.forensics.record,
+                migrator=self._migrate if enable_migration else None,
+            )
+        simulation.add_sample_sink(self._on_samples)
+        simulation.add_tick_hook(self._on_tick)
+        self.total_samples = 0
+        self.machine_seconds = 0
+        self.log_samples = log_samples
+        #: Every sample seen, when ``log_samples`` is on.
+        self.sample_log: list[CpiSample] = []
+
+    # -- simulation plumbing ------------------------------------------------------
+
+    def _on_samples(self, t: int, machine_name: str,
+                    samples: list[CpiSample]) -> None:
+        self.total_samples += len(samples)
+        if self.log_samples:
+            self.sample_log.extend(samples)
+        self.aggregator.ingest_many(samples)
+        refreshed = self.aggregator.maybe_recompute(t)
+        if refreshed is not None:
+            for agent in self.agents.values():
+                agent.update_specs(refreshed)
+        self.agents[machine_name].ingest_samples(t, samples)
+
+    def _on_tick(self, t: int, machine: Machine, result: TickResult) -> None:
+        self.machine_seconds += 1
+        agent = self.agents[machine.name]
+        agent.tick(t)
+        for task, _state in result.departures:
+            agent.forget_task(task.name)
+
+    def _migrate(self, task: Task) -> None:
+        try:
+            self.simulation.scheduler.migrate_task(task)
+        except PlacementError:
+            pass  # nowhere to go; the task stays put and CPI2 retries later
+
+    # -- operator conveniences ---------------------------------------------------------
+
+    def bootstrap_specs(self, specs: list[CpiSpec]) -> None:
+        """Warm-start the aggregator and all agents with known specs.
+
+        Models the paper's use of historical data from prior runs, and lets
+        experiments begin detecting immediately rather than after a learning
+        period.
+        """
+        for spec in specs:
+            self.aggregator.set_spec(spec)
+        published = self.aggregator.specs()
+        for agent in self.agents.values():
+            agent.update_specs(published)
+
+    def refresh_specs_now(self) -> None:
+        """Force a spec recomputation and push, off the normal schedule."""
+        refreshed = self.aggregator.recompute(self.simulation.now)
+        for agent in self.agents.values():
+            agent.update_specs(refreshed)
+
+    def all_incidents(self) -> list[Incident]:
+        """Every incident raised by any agent, in id order."""
+        incidents = [i for agent in self.agents.values() for i in agent.incidents]
+        incidents.sort(key=lambda i: i.incident_id)
+        return incidents
+
+    def incident_rate_per_machine_day(self) -> float:
+        """Identified-antagonist incidents per machine-day (Section 7: ~0.37).
+
+        Counts incidents where an antagonist was identified (the policy chose
+        a target), divided by elapsed machine-days.
+        """
+        if self.machine_seconds == 0:
+            return 0.0
+        identified = sum(
+            1 for i in self.all_incidents() if i.decision.target is not None)
+        machine_days = self.machine_seconds / SECONDS_PER_DAY
+        return identified / machine_days if machine_days > 0 else 0.0
+
+    def apply_scheduler_hints(self, min_incidents: int = 2) -> int:
+        """Feed forensics anti-affinity hints to the scheduler.
+
+        Returns the number of pairs installed.  This is the Section 9 future
+        work ("making job placement antagonist-aware automatically") made
+        concrete.
+        """
+        hints = self.forensics.scheduler_hints(min_incidents)
+        for victim_job, antagonist_job in hints:
+            self.simulation.scheduler.avoid_colocation(victim_job, antagonist_job)
+        return len(hints)

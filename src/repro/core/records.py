@@ -1,0 +1,15 @@
+"""Compatibility re-export: the wire records live in :mod:`repro.records`.
+
+They are defined at the top level because both the perf-counter substrate
+(which produces samples) and the CPI2 core (which aggregates them) need
+them, and neither package should have to import the other's ``__init__``.
+"""
+
+from repro.records import (  # noqa: F401
+    MICROSECONDS_PER_SECOND,
+    CpiSample,
+    CpiSpec,
+    SpecKey,
+)
+
+__all__ = ["MICROSECONDS_PER_SECOND", "CpiSample", "CpiSpec", "SpecKey"]

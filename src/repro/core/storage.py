@@ -1,0 +1,159 @@
+"""Durable storage for specs, samples and incident logs.
+
+Two of CPI2's data flows outlive a process:
+
+* **Spec history** — "Other jobs run repeatedly, and have similar behavior
+  on each invocation, so historical CPI data has significant value: if we
+  have seen a previous run of a job, we don't have to build a new model of
+  its CPI behavior from scratch."  (Section 3.1.)
+* **The incident log** — "To allow offline analysis, we log and store data
+  about CPIs and suspected antagonists."  (Section 5.)
+
+Everything here is JSON-lines: one record per line, append-friendly,
+greppable, and loadable into the matching in-memory types.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.forensics import ForensicsStore, IncidentRecord
+from repro.records import CpiSample, CpiSpec
+
+__all__ = [
+    "spec_to_dict", "spec_from_dict", "save_specs", "load_specs",
+    "sample_to_dict", "sample_from_dict", "save_samples", "load_samples",
+    "save_forensics", "load_forensics",
+]
+
+PathLike = Union[str, Path]
+
+
+# -- specs ---------------------------------------------------------------------
+
+def spec_to_dict(spec: CpiSpec) -> dict:
+    """A plain-dict form of one spec (JSON-safe)."""
+    return {
+        "jobname": spec.jobname,
+        "platforminfo": spec.platforminfo,
+        "num_samples": spec.num_samples,
+        "cpu_usage_mean": spec.cpu_usage_mean,
+        "cpi_mean": spec.cpi_mean,
+        "cpi_stddev": spec.cpi_stddev,
+    }
+
+
+def spec_from_dict(data: dict) -> CpiSpec:
+    """Rebuild a spec; raises on missing/extra keys so corruption is loud."""
+    expected = {"jobname", "platforminfo", "num_samples", "cpu_usage_mean",
+                "cpi_mean", "cpi_stddev"}
+    if set(data) != expected:
+        raise ValueError(
+            f"bad spec record: keys {sorted(data)} != {sorted(expected)}")
+    return CpiSpec(**data)
+
+
+def save_specs(path: PathLike, specs: Iterable[CpiSpec]) -> int:
+    """Write specs as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for spec in specs:
+            handle.write(json.dumps(spec_to_dict(spec)) + "\n")
+            count += 1
+    return count
+
+
+def load_specs(path: PathLike) -> list[CpiSpec]:
+    """Read specs written by :func:`save_specs`."""
+    specs = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                specs.append(spec_from_dict(json.loads(line)))
+            except (ValueError, json.JSONDecodeError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: {error}") from error
+    return specs
+
+
+# -- samples ---------------------------------------------------------------------
+
+def sample_to_dict(sample: CpiSample) -> dict:
+    """A plain-dict form of one sample (JSON-safe)."""
+    return {
+        "jobname": sample.jobname,
+        "platforminfo": sample.platforminfo,
+        "timestamp": sample.timestamp,
+        "cpu_usage": sample.cpu_usage,
+        "cpi": sample.cpi,
+        "taskname": sample.taskname,
+    }
+
+
+def sample_from_dict(data: dict) -> CpiSample:
+    """Rebuild a sample from its dict form."""
+    expected = {"jobname", "platforminfo", "timestamp", "cpu_usage", "cpi",
+                "taskname"}
+    if set(data) != expected:
+        raise ValueError(
+            f"bad sample record: keys {sorted(data)} != {sorted(expected)}")
+    return CpiSample(**data)
+
+
+def save_samples(path: PathLike, samples: Iterable[CpiSample]) -> int:
+    """Write samples as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for sample in samples:
+            handle.write(json.dumps(sample_to_dict(sample)) + "\n")
+            count += 1
+    return count
+
+
+def load_samples(path: PathLike) -> list[CpiSample]:
+    """Read samples written by :func:`save_samples`."""
+    samples = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                samples.append(sample_from_dict(json.loads(line)))
+            except (ValueError, json.JSONDecodeError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: {error}") from error
+    return samples
+
+
+# -- forensics --------------------------------------------------------------------
+
+def save_forensics(path: PathLike, store: ForensicsStore) -> int:
+    """Persist an incident log; returns the number of records written."""
+    rows = store.to_dicts()
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+    return len(rows)
+
+
+def load_forensics(path: PathLike) -> ForensicsStore:
+    """Load an incident log written by :func:`save_forensics`."""
+    store = ForensicsStore()
+    field_names = set(IncidentRecord.__dataclass_fields__)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if set(data) != field_names:
+                raise ValueError(
+                    f"{path}:{line_number}: bad incident record keys")
+            store.add_record(IncidentRecord(**data))
+    return store

@@ -1,0 +1,160 @@
+"""Hard-capping: CPI2's actuator (paper Section 5).
+
+"If the suspected antagonist is a batch job and the victim is a
+latency-sensitive one, then we forcibly reduce the antagonist's CPU usage by
+applying CPU hard-capping ... Performance caps are currently applied for 5
+minutes at a time, and we limit the antagonist to 0.01 CPU-sec/sec for
+low-importance ('best effort') batch jobs and 0.1 CPU-sec/sec for other job
+types."
+
+:class:`ThrottleController` issues those caps against task cgroups and keeps
+an audit trail.  :class:`AdaptiveCapController` implements the Section 9
+future-work idea: "a feedback-driven policy that dynamically adjusts the
+amount of throttling to keep the victim CPI degradation just below an
+acceptable threshold" — it widens or tightens the quota between episodes
+based on whether the victim actually recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.task import SchedulingClass, Task
+from repro.core.config import CpiConfig, DEFAULT_CONFIG
+
+__all__ = ["CapAction", "ThrottleController", "AdaptiveCapController"]
+
+
+@dataclass(frozen=True)
+class CapAction:
+    """One hard-capping decision, for the audit log."""
+
+    taskname: str
+    jobname: str
+    quota: float
+    applied_at: int
+    expires_at: int
+    victim_taskname: Optional[str] = None
+    correlation: Optional[float] = None
+
+
+class ThrottleController:
+    """Applies and releases CFS bandwidth caps on antagonist tasks."""
+
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG):
+        self.config = config
+        self.actions: list[CapAction] = []
+
+    def quota_for(self, task: Task) -> float:
+        """The cap quota the policy assigns to this task's class."""
+        if task.scheduling_class is SchedulingClass.BEST_EFFORT:
+            return self.config.hardcap_quota_best_effort
+        return self.config.hardcap_quota_batch
+
+    def cap(self, task: Task, now: int,
+            victim_taskname: Optional[str] = None,
+            correlation: Optional[float] = None,
+            quota: Optional[float] = None,
+            duration: Optional[int] = None) -> CapAction:
+        """Hard-cap ``task`` starting now.
+
+        Args:
+            task: the antagonist to throttle.
+            now: current simulation time, seconds.
+            victim_taskname: the victim this cap protects, for the audit log.
+            correlation: the identification score, for the audit log.
+            quota: override the class-derived quota (adaptive capping does).
+            duration: override the configured duration.
+        """
+        actual_quota = self.quota_for(task) if quota is None else quota
+        actual_duration = (self.config.hardcap_duration
+                           if duration is None else duration)
+        task.cgroup.apply_cap(actual_quota, now, actual_duration)
+        action = CapAction(
+            taskname=task.name,
+            jobname=task.job.name,
+            quota=actual_quota,
+            applied_at=now,
+            expires_at=now + actual_duration,
+            victim_taskname=victim_taskname,
+            correlation=correlation,
+        )
+        self.actions.append(action)
+        return action
+
+    def release(self, task: Task) -> None:
+        """Lift a cap early (operator intervention)."""
+        task.cgroup.release_cap()
+
+    def active_caps(self, now: int) -> list[CapAction]:
+        """Audit-log entries whose caps are still in force at ``now``."""
+        return [a for a in self.actions if a.applied_at <= now < a.expires_at]
+
+
+@dataclass
+class _AdaptiveState:
+    """Per-antagonist adaptive quota memory."""
+
+    quota: float
+    consecutive_successes: int = 0
+
+
+class AdaptiveCapController(ThrottleController):
+    """Feedback-driven capping (paper Section 9, implemented).
+
+    The first cap on an antagonist uses the configured class quota.  After
+    each episode the owner reports whether the victim recovered:
+
+    * not recovered -> the quota halves (down to ``min_quota``) so the next
+      episode bites harder;
+    * recovered twice in a row -> the quota doubles (up to ``max_quota``),
+      giving the antagonist back as much CPU as the victim can tolerate —
+      the paper's "keep the victim CPI degradation just below an acceptable
+      threshold" with the fewest wasted antagonist cycles.
+    """
+
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG,
+                 min_quota: float = 0.01, max_quota: float = 1.0):
+        super().__init__(config)
+        if min_quota <= 0:
+            raise ValueError(f"min_quota must be positive, got {min_quota}")
+        if max_quota < min_quota:
+            raise ValueError("max_quota must be >= min_quota")
+        self.min_quota = min_quota
+        self.max_quota = max_quota
+        self._state: dict[str, _AdaptiveState] = {}
+
+    def cap(self, task: Task, now: int, **kwargs) -> CapAction:
+        state = self._state.get(task.name)
+        if state is None:
+            state = _AdaptiveState(quota=self.quota_for(task))
+            self._state[task.name] = state
+        kwargs.setdefault("quota", state.quota)
+        return super().cap(task, now, **kwargs)
+
+    def report_outcome(self, taskname: str, victim_recovered: bool) -> float:
+        """Feed back one episode's outcome; returns the next episode's quota.
+
+        Raises:
+            KeyError: if the task was never capped by this controller.
+        """
+        try:
+            state = self._state[taskname]
+        except KeyError:
+            raise KeyError(f"no adaptive state for {taskname!r}; "
+                           "was it capped by this controller?") from None
+        if victim_recovered:
+            state.consecutive_successes += 1
+            if state.consecutive_successes >= 2:
+                state.quota = min(self.max_quota, state.quota * 2.0)
+                state.consecutive_successes = 0
+        else:
+            state.quota = max(self.min_quota, state.quota / 2.0)
+            state.consecutive_successes = 0
+        return state.quota
+
+    def current_quota(self, taskname: str) -> Optional[float]:
+        """The quota the next episode would use, or None if never capped."""
+        state = self._state.get(taskname)
+        return state.quota if state else None

@@ -1,0 +1,41 @@
+"""Evaluation experiments: one builder per table/figure in the paper.
+
+The benchmark harness under ``benchmarks/`` is a thin layer over this
+package: each benchmark calls one experiment function, prints a
+paper-vs-measured report via :mod:`repro.experiments.reporting`, and asserts
+the result's *shape* (who wins, directions, crossovers), not absolute
+numbers.
+
+Modules:
+
+* :mod:`~repro.experiments.scenarios` — reusable cluster scenario builders.
+* :mod:`~repro.experiments.metric_validation` — Figures 2-5, 7, Table 1.
+* :mod:`~repro.experiments.casestudies` — Figures 8-13 (cases 1-6).
+* :mod:`~repro.experiments.trials` — the Section 7 manual-capping harness.
+* :mod:`~repro.experiments.analyses` — Figures 14-16 over trial data.
+* :mod:`~repro.experiments.fleet` — Figure 1 and the incident rate.
+* :mod:`~repro.experiments.ablations` — design-choice probes.
+* :mod:`~repro.experiments.reporting` — paper-vs-measured tables.
+"""
+
+from repro.experiments.reporting import Comparison, ExperimentReport
+from repro.experiments.scenarios import (
+    Scenario,
+    build_cluster,
+    populated_fleet,
+    victim_antagonist_machine,
+)
+from repro.experiments.trials import TrialConfig, TrialResult, run_trial, run_trials
+
+__all__ = [
+    "Comparison",
+    "ExperimentReport",
+    "Scenario",
+    "build_cluster",
+    "populated_fleet",
+    "victim_antagonist_machine",
+    "TrialConfig",
+    "TrialResult",
+    "run_trial",
+    "run_trials",
+]

@@ -1,0 +1,243 @@
+"""A name -> experiment registry, for the CLI and programmatic discovery.
+
+Each entry runs one of the paper's tables/figures (or an ablation) and
+returns an :class:`~repro.experiments.reporting.ExperimentReport`.  The
+benchmark harness carries the assertions; these runners only measure and
+report, so they are safe to run ad hoc from the command line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.reporting import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_names"]
+
+
+def _fig01() -> ExperimentReport:
+    from repro.experiments.fleet import machine_occupancy
+
+    result = machine_occupancy()
+    report = ExperimentReport("fig01", "Tasks and threads per machine")
+    quantiles = result.quantiles()
+    report.add("median tasks/machine", "10-30", quantiles["tasks"][1])
+    report.add("p90 tasks/machine", "up to ~90", quantiles["tasks"][2])
+    report.add("median threads/machine", "hundreds+", quantiles["threads"][1])
+    return report
+
+
+def _fig02() -> ExperimentReport:
+    from repro.experiments.metric_validation import tps_vs_ips
+
+    series = tps_vs_ips()
+    report = ExperimentReport("fig02", "Batch TPS vs IPS")
+    report.add("correlation", 0.97, series.correlation)
+    return report
+
+
+def _fig03() -> ExperimentReport:
+    from repro.experiments.metric_validation import latency_vs_cpi_timeseries
+
+    series = latency_vs_cpi_timeseries()
+    report = ExperimentReport("fig03", "Leaf latency vs CPI (24 h)")
+    report.add("correlation", 0.97, series.correlation)
+    return report
+
+
+def _fig04() -> ExperimentReport:
+    from repro.experiments.metric_validation import per_task_latency_correlations
+
+    corrs = per_task_latency_correlations()
+    report = ExperimentReport("fig04", "Latency-CPI correlation per tier")
+    for tier, value in corrs.items():
+        paper = {"leaf": 0.75, "intermediate": 0.68,
+                 "root": "poor"}[tier.value]
+        report.add(tier.value, paper, value)
+    return report
+
+
+def _fig05() -> ExperimentReport:
+    from repro.experiments.metric_validation import diurnal_cpi
+
+    result = diurnal_cpi()
+    report = ExperimentReport("fig05", "Diurnal mean CPI")
+    report.add("coefficient of variation", "~0.04", result.cv)
+    report.add("load-curve correlation", "diurnal", result.load_correlation)
+    return report
+
+
+def _table1() -> ExperimentReport:
+    from repro.experiments.metric_validation import representative_cpi_specs
+
+    rows = representative_cpi_specs()
+    paper = {"job-A": "0.88 +/- 0.09", "job-B": "1.36 +/- 0.26",
+             "job-C": "2.03 +/- 0.20"}
+    report = ExperimentReport("table1", "Representative CPI specs")
+    for name, mean, std, tasks in rows:
+        report.add(f"{name} ({tasks} tasks)", paper[name],
+                   f"{mean:.2f} +/- {std:.2f}")
+    return report
+
+
+def _fig07() -> ExperimentReport:
+    from repro.experiments.metric_validation import cpi_distribution_fits
+
+    result = cpi_distribution_fits()
+    report = ExperimentReport("fig07", "CPI distribution + GEV fit")
+    report.add("mean / stddev", "1.8 / 0.16",
+               f"{result.mean:.2f} / {result.stddev:.2f}")
+    report.add("best family", "gev", result.best_family)
+    return report
+
+
+def _table2() -> ExperimentReport:
+    from repro.core.config import DEFAULT_CONFIG
+
+    report = ExperimentReport("table2", "CPI2 parameters")
+    report.add("outlier threshold", "2 sigma", DEFAULT_CONFIG.outlier_stddevs)
+    report.add("correlation threshold", 0.35,
+               DEFAULT_CONFIG.correlation_threshold)
+    report.add("hard-cap quota (batch)", 0.1,
+               DEFAULT_CONFIG.hardcap_quota_batch)
+    return report
+
+
+def _case(number: int) -> Callable[[], ExperimentReport]:
+    def runner() -> ExperimentReport:
+        from repro.experiments import casestudies
+
+        fn = {1: casestudies.case1_suspect_ranking,
+              2: casestudies.case2_hardcap_recovery,
+              3: casestudies.case3_bimodal_false_alarm,
+              4: casestudies.case4_modest_relief,
+              5: casestudies.case5_lame_duck,
+              6: casestudies.case6_mapreduce_exit}[number]
+        result = fn()
+        report = ExperimentReport(f"case{number}",
+                                  f"Case study {number} (Figure {number + 7})")
+        for field, value in vars(result).items():
+            if isinstance(value, list):
+                continue
+            report.add(field, "-", value)
+        return report
+
+    return runner
+
+
+def _sec7() -> ExperimentReport:
+    from repro.experiments.fleet import incident_rate
+
+    result = incident_rate()
+    report = ExperimentReport("sec7", "Identification rate")
+    report.add("rate per machine-day", 0.37, result.rate_per_machine_day,
+               "antagonist-dense fleet")
+    report.add("throttle actions", "-", result.throttle_actions)
+    return report
+
+
+def _trials(num: int = 150) -> ExperimentReport:
+    from repro.cluster.task import PriorityBand
+    from repro.experiments import analyses
+    from repro.experiments.trials import run_trials
+
+    trials = run_trials(num)
+    report = ExperimentReport("sec7-trials",
+                              f"Figures 14-16 over {num} trials")
+    corr_util, cpi_util = analyses.utilization_correlation(trials)
+    report.add("fig14a corr(util, correlation)", "~0", corr_util)
+    rates = analyses.rates_by_threshold(trials, thresholds=(0.35,),
+                                        band=PriorityBand.PRODUCTION)[0]
+    report.add("fig15a/16a production TP rate @0.35", "~0.7",
+               rates.true_positive_rate, f"n={rates.declared}")
+    report.add("fig15c corr(rel L3, rel CPI)", 0.87,
+               analyses.l3_vs_cpi_correlation(trials))
+    report.add("fig16d median relative CPI", 0.63,
+               analyses.median_relative_cpi(trials))
+    return report
+
+
+def _placement() -> ExperimentReport:
+    from repro.experiments.placement import antagonist_aware_placement
+
+    result = antagonist_aware_placement(phase_hours=1.0)
+    report = ExperimentReport("placement", "Antagonist-aware placement")
+    report.add("hints installed", ">=1", result.hints_installed)
+    report.add("hinted co-locations (before -> after)", "-> 0",
+               f"{result.collisions_before} -> {result.collisions_after}")
+    report.add("incidents per phase", "drops",
+               f"{result.incidents_before} -> {result.incidents_after}")
+    return report
+
+
+def _actuators() -> ExperimentReport:
+    from repro.experiments.ablations import cfs_vs_duty_cycle
+
+    result = cfs_vs_duty_cycle()
+    report = ExperimentReport("actuators", "CFS capping vs duty-cycle")
+    report.add("victim relative CPI (CFS / duty)", "both recover",
+               f"{result.victim_relative_cpi_cfs:.2f} / "
+               f"{result.victim_relative_cpi_duty:.2f}")
+    report.add("bystander CPU loss (CFS / duty)", "0 / collateral",
+               f"{result.bystander_cpu_loss_cfs:.1%} / "
+               f"{result.bystander_cpu_loss_duty:.1%}")
+    return report
+
+
+def _ablations() -> ExperimentReport:
+    from repro.experiments import ablations
+
+    report = ExperimentReport("ablations", "Design-choice probes")
+    for result in ablations.anomaly_window_policies(minutes=60):
+        report.add(f"window {result.policy}", "-",
+                   f"real={result.anomalies_interference} "
+                   f"noise={result.anomalies_noise_only}")
+    group = ablations.group_antagonists()
+    report.add("group antagonists: top-1 vs group cap", "caveat",
+               f"{group.relative_cpi_top1_capped:.2f} vs "
+               f"{group.relative_cpi_group_capped:.2f}")
+    return report
+
+
+#: name -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentReport]]] = {
+    "fig01": ("machine occupancy CDFs", _fig01),
+    "fig02": ("batch TPS vs IPS correlation", _fig02),
+    "fig03": ("leaf latency vs CPI over 24h", _fig03),
+    "fig04": ("per-tier latency-CPI correlation", _fig04),
+    "fig05": ("diurnal CPI pattern", _fig05),
+    "table1": ("representative job CPI specs", _table1),
+    "fig07": ("CPI distribution + GEV fit", _fig07),
+    "table2": ("parameter defaults", _table2),
+    "case1": ("suspect ranking (Figure 8)", _case(1)),
+    "case2": ("hard-cap recovery (Figure 9)", _case(2)),
+    "case3": ("bimodal false alarm (Figure 10)", _case(3)),
+    "case4": ("modest relief (Figure 11)", _case(4)),
+    "case5": ("lame-duck mode (Figure 12)", _case(5)),
+    "case6": ("MapReduce exit (Figure 13)", _case(6)),
+    "sec7": ("identification rate", _sec7),
+    "trials": ("Figures 14-16 trial summary", _trials),
+    "ablations": ("design-choice probes", _ablations),
+    "placement": ("antagonist-aware placement (Section 9)", _placement),
+    "actuators": ("CFS capping vs duty-cycle modulation (Section 8)",
+                  _actuators),
+}
+
+
+def experiment_names() -> list[str]:
+    """Registered experiment names, in presentation order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> ExperimentReport:
+    """Run one registered experiment by name.
+
+    Raises:
+        KeyError: listing the valid names, if ``name`` is unknown.
+    """
+    try:
+        _description, runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; valid: "
+                       f"{', '.join(EXPERIMENTS)}") from None
+    return runner()

@@ -1,0 +1,73 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the comparison in a uniform format, so ``pytest benchmarks/ -s`` reads as an
+experiment log and EXPERIMENTS.md can be assembled from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Comparison", "ExperimentReport"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One row: a quantity the paper reports and what we measured."""
+
+    quantity: str
+    paper: Any
+    measured: Any
+    note: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """A named experiment's collection of comparisons, printable as a table."""
+
+    experiment: str
+    title: str
+    rows: list[Comparison] = field(default_factory=list)
+
+    def add(self, quantity: str, paper: Any, measured: Any,
+            note: str = "") -> None:
+        """Append one comparison row."""
+        self.rows.append(Comparison(quantity, paper, measured, note))
+
+    def add_series(self, name: str, pairs: Sequence[tuple[Any, Any]],
+                   labels: Sequence[str] | None = None) -> None:
+        """Append several rows of one logical series."""
+        for i, (paper, measured) in enumerate(pairs):
+            label = labels[i] if labels else f"{name}[{i}]"
+            self.add(label, paper, measured)
+
+    def render(self) -> str:
+        """The report as a fixed-width text table."""
+        header = f"== {self.experiment}: {self.title} =="
+        q_width = max([len("quantity")] + [len(r.quantity) for r in self.rows])
+        p_width = max([len("paper")] + [len(_fmt(r.paper)) for r in self.rows])
+        m_width = max([len("measured")] + [len(_fmt(r.measured))
+                                           for r in self.rows])
+        lines = [header,
+                 (f"{'quantity':<{q_width}}  {'paper':>{p_width}}  "
+                  f"{'measured':>{m_width}}  note")]
+        for row in self.rows:
+            lines.append(
+                f"{row.quantity:<{q_width}}  {_fmt(row.paper):>{p_width}}  "
+                f"{_fmt(row.measured):>{m_width}}  {row.note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table (benchmarks call this under ``-s``)."""
+        print()
+        print(self.render())

@@ -1,0 +1,24 @@
+"""Simulated hardware performance-counter substrate.
+
+The production CPI2 reads ``CPU_CLK_UNHALTED.REF`` and
+``INSTRUCTIONS_RETIRED`` through perf_event in *counting* mode, per cgroup,
+with counters saved/restored on context switches between cgroups.  We cannot
+assume real counters here, so this package provides the same interface backed
+by the cluster simulator: per-cgroup monotonically increasing counter sets, a
+bank per machine with context-switch overhead accounting, and the sampling
+daemon that turns counter deltas into the paper's once-a-minute, 10-second
+CPI samples.
+"""
+
+from repro.perf.events import CounterEvent
+from repro.perf.counters import CounterSet, CounterBank, CONTEXT_SWITCH_COST_SECONDS
+from repro.perf.sampler import CpiSampler, SamplerConfig
+
+__all__ = [
+    "CounterEvent",
+    "CounterSet",
+    "CounterBank",
+    "CONTEXT_SWITCH_COST_SECONDS",
+    "CpiSampler",
+    "SamplerConfig",
+]

@@ -1,0 +1,28 @@
+"""Hardware counter event definitions.
+
+The paper's CPI is "the value of the CPU_CLK_UNHALTED.REF counter divided by
+the INSTRUCTIONS_RETIRED counter" (Section 3.1); Section 7.2 additionally
+examines L2/L3 misses-per-instruction and memory-requests-per-cycle, finding
+L3 misses/instruction the best-correlated with CPI improvement.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["CounterEvent"]
+
+
+class CounterEvent(enum.Enum):
+    """Events every simulated counter set tracks."""
+
+    #: Reference (unhalted) cycles — the numerator of CPI.
+    CPU_CLK_UNHALTED_REF = "cpu_clk_unhalted.ref"
+    #: Retired instructions — the denominator of CPI.
+    INSTRUCTIONS_RETIRED = "instructions_retired"
+    #: L2 cache misses.
+    L2_MISSES = "l2_misses"
+    #: Last-level (L3) cache misses.
+    L3_MISSES = "l3_misses"
+    #: Memory controller requests.
+    MEMORY_REQUESTS = "memory_requests"

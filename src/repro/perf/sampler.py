@@ -1,0 +1,107 @@
+"""The per-machine CPI sampling daemon.
+
+"The CPI data is sampled periodically by a system daemon using the perf_event
+tool in counting mode ... We gather CPI data for a 10 second period once a
+minute; we picked this fraction to give other measurement tools time to use
+the counters."  (Section 3.1.)
+
+:class:`CpiSampler` is driven by the simulation clock: at the start of each
+minute it snapshots every resident cgroup's counters; 10 seconds later it
+differences them and emits one :class:`~repro.core.records.CpiSample` per
+task that executed instructions during the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.records import MICROSECONDS_PER_SECOND, CpiSample
+from repro.perf.events import CounterEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.machine import Machine
+
+__all__ = ["SamplerConfig", "CpiSampler"]
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Sampling duty cycle (paper Table 2 defaults).
+
+    Attributes:
+        duration_seconds: counter-collection window length (10 s).
+        period_seconds: one window starts every this many seconds (60 s).
+    """
+
+    duration_seconds: int = 10
+    period_seconds: int = 60
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds < 1:
+            raise ValueError(
+                f"duration_seconds must be >= 1, got {self.duration_seconds}")
+        if self.period_seconds < self.duration_seconds:
+            raise ValueError(
+                "period_seconds must be >= duration_seconds "
+                f"({self.period_seconds} < {self.duration_seconds})")
+
+
+class CpiSampler:
+    """Samples one machine's per-cgroup counters on the paper's duty cycle.
+
+    Call :meth:`tick` once per simulated second, *after* the machine has
+    executed that second.  A window opened at time ``t0`` snapshots the
+    counters as of the end of second ``t0`` and closes ``duration`` seconds
+    later, so its deltas cover exactly seconds ``t0+1 .. t0+duration``.
+    """
+
+    def __init__(self, machine: "Machine", config: SamplerConfig | None = None):
+        self.machine = machine
+        self.config = config or SamplerConfig()
+        self._window_start: int | None = None
+        self._snapshots: dict[str, Mapping[CounterEvent, float]] = {}
+
+    def tick(self, t: int) -> list[CpiSample]:
+        """Advance to second ``t``; returns the window's samples if one closed."""
+        samples: list[CpiSample] = []
+        if (self._window_start is not None
+                and t - self._window_start >= self.config.duration_seconds):
+            samples = self._close_window(end=t)
+            self._window_start = None
+            self._snapshots = {}
+        if self._window_start is None and t % self.config.period_seconds == 0:
+            self._open_window(t)
+        return samples
+
+    def _open_window(self, t: int) -> None:
+        self._window_start = t
+        self._snapshots = {
+            name: self.machine.counters.counters_for(name).snapshot()
+            for name in self.machine.resident_cgroup_names()
+        }
+
+    def _close_window(self, end: int) -> list[CpiSample]:
+        assert self._window_start is not None
+        start = self._window_start
+        samples: list[CpiSample] = []
+        for task in self.machine.resident_tasks():
+            snapshot = self._snapshots.get(task.cgroup.name)
+            if snapshot is None:
+                continue  # task arrived mid-window; skip it this round
+            deltas = self.machine.counters.counters_for(
+                task.cgroup.name).delta_since(snapshot)
+            cycles = deltas[CounterEvent.CPU_CLK_UNHALTED_REF]
+            instructions = deltas[CounterEvent.INSTRUCTIONS_RETIRED]
+            if instructions <= 0.0:
+                continue  # no retired instructions -> CPI undefined; no sample
+            usage = task.cgroup.usage_between(start + 1, end + 1)
+            samples.append(CpiSample(
+                jobname=task.job.name,
+                platforminfo=self.machine.platform.name,
+                timestamp=end * MICROSECONDS_PER_SECOND,
+                cpu_usage=usage,
+                cpi=cycles / instructions,
+                taskname=task.name,
+            ))
+        return samples

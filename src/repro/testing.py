@@ -1,0 +1,139 @@
+"""Deterministic building blocks for tests and experiments.
+
+Real workloads carry noise by design; experiments that assert exact numbers
+need noiseless, scriptable stand-ins.  :class:`ScriptedWorkload` executes an
+explicit per-second demand script, and the ``make_*`` helpers assemble
+minimal jobs/machines around it with zero randomness (noise sigmas forced to
+0 unless asked otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.interference import InterferenceModel, ResourceProfile
+from repro.cluster.job import Job, JobSpec
+from repro.cluster.machine import Machine
+from repro.cluster.platform import Platform, get_platform
+from repro.cluster.task import PriorityBand, SchedulingClass
+
+__all__ = [
+    "ScriptedWorkload",
+    "QUIET_PROFILE",
+    "SENSITIVE_PROFILE",
+    "NOISY_NEIGHBOR_PROFILE",
+    "make_scripted_job",
+    "make_quiet_machine",
+]
+
+#: Exerts almost nothing, feels almost nothing.  For inert fillers.
+QUIET_PROFILE = ResourceProfile(
+    cache_mib_per_cpu=0.01, membw_gbps_per_cpu=0.01,
+    cache_sensitivity=0.0, membw_sensitivity=0.0, base_l3_mpki=0.5)
+
+#: Exerts little, feels co-runner pressure strongly.  For victims.
+SENSITIVE_PROFILE = ResourceProfile(
+    cache_mib_per_cpu=0.5, membw_gbps_per_cpu=0.3,
+    cache_sensitivity=1.0, membw_sensitivity=0.8, base_l3_mpki=2.0)
+
+#: Exerts heavy pressure, feels little.  For antagonists.
+NOISY_NEIGHBOR_PROFILE = ResourceProfile(
+    cache_mib_per_cpu=8.0, membw_gbps_per_cpu=5.0,
+    cache_sensitivity=0.1, membw_sensitivity=0.1, base_l3_mpki=15.0)
+
+
+class ScriptedWorkload:
+    """A workload that follows an explicit demand script, deterministically.
+
+    Args:
+        script: per-second demand values; behaviour past the end is governed
+            by ``repeat``.
+        repeat: cycle the script if True, else hold the last value.
+        base_cpi: contention-free CPI.
+        profile: shared-resource profile.
+        threads: constant thread count.
+        exit_at: optionally return ``"exited"`` from ``on_tick`` at this time.
+        complete_at: optionally return ``"completed"`` at this time.
+    """
+
+    def __init__(
+        self,
+        script: Sequence[float],
+        repeat: bool = True,
+        base_cpi: float = 1.0,
+        profile: ResourceProfile = QUIET_PROFILE,
+        threads: int = 4,
+        exit_at: Optional[int] = None,
+        complete_at: Optional[int] = None,
+    ):
+        if not script:
+            raise ValueError("script must be non-empty")
+        if any(v < 0 for v in script):
+            raise ValueError("script values must be >= 0")
+        self.script = list(script)
+        self.repeat = repeat
+        self._base_cpi = base_cpi
+        self._profile = profile
+        self._threads = threads
+        self.exit_at = exit_at
+        self.complete_at = complete_at
+        self.ticks: list[tuple[int, float, bool]] = []
+
+    def cpu_demand(self, t: int) -> float:
+        if t < len(self.script):
+            return self.script[t]
+        if self.repeat:
+            return self.script[t % len(self.script)]
+        return self.script[-1]
+
+    def base_cpi(self) -> float:
+        return self._base_cpi
+
+    def resource_profile(self) -> ResourceProfile:
+        return self._profile
+
+    def thread_count(self, t: int) -> int:
+        return self._threads
+
+    def on_tick(self, t: int, granted_usage: float, capped: bool) -> Optional[str]:
+        self.ticks.append((t, granted_usage, capped))
+        if self.exit_at is not None and t >= self.exit_at:
+            return "exited"
+        if self.complete_at is not None and t >= self.complete_at:
+            return "completed"
+        return None
+
+
+def make_scripted_job(
+    name: str,
+    script: Sequence[float],
+    num_tasks: int = 1,
+    scheduling_class: SchedulingClass = SchedulingClass.LATENCY_SENSITIVE,
+    priority_band: PriorityBand = PriorityBand.PRODUCTION,
+    cpu_limit: float = 4.0,
+    base_cpi: float = 1.0,
+    profile: ResourceProfile = QUIET_PROFILE,
+    **workload_kwargs,
+) -> Job:
+    """A job whose every task runs the same :class:`ScriptedWorkload`."""
+    spec = JobSpec(
+        name=name,
+        num_tasks=num_tasks,
+        scheduling_class=scheduling_class,
+        priority_band=priority_band,
+        cpu_limit_per_task=cpu_limit,
+        workload_factory=lambda index: ScriptedWorkload(
+            script, base_cpi=base_cpi, profile=profile, **workload_kwargs),
+    )
+    return Job(spec)
+
+
+def make_quiet_machine(name: str = "m0",
+                       platform: Platform | None = None) -> Machine:
+    """A machine with zero CPI noise, for exact-value assertions."""
+    return Machine(
+        name=name,
+        platform=platform or get_platform("westmere-2.6"),
+        interference=InterferenceModel(),
+        cpi_noise_sigma=0.0,
+    )

@@ -1,0 +1,159 @@
+"""Antagonist archetypes: the jobs that cause CPU interference.
+
+The case studies name their antagonists — video processing (case 1), a
+best-effort batch job (case 2), scientific simulation (case 4), a replayer
+(case 5), a MapReduce worker (case 6).  Each archetype here couples a large
+shared-resource appetite (cache churn, memory-bandwidth streaming) with
+bursty CPU demand; the burstiness is what lets the victim's CPI spikes
+line up with the antagonist's CPU-usage spikes in the correlation analysis.
+
+The CPU_SPINNER archetype is deliberately *innocent*: lots of CPU, almost no
+shared-resource pressure.  It exists so accuracy experiments can measure how
+often naive usage-ranking baselines accuse the wrong task, and how often
+CPI2's correlation does not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.interference import ResourceProfile
+from repro.cluster.job import JobSpec
+from repro.cluster.task import PriorityBand, SchedulingClass
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.batch import BatchWorkload
+from repro.workloads.demand import on_off, with_noise
+
+__all__ = ["AntagonistKind", "make_antagonist_workload",
+           "make_antagonist_job_spec"]
+
+
+class AntagonistKind(enum.Enum):
+    """Named antagonist archetypes from the paper's case studies."""
+
+    VIDEO_PROCESSING = "video-processing"
+    SCIENTIFIC_SIMULATION = "scientific-simulation"
+    REPLAYER = "replayer"
+    CACHE_THRASHER = "cache-thrasher"
+    MEMBW_HOG = "membw-hog"
+    COMPRESSION = "compression"
+    CPU_SPINNER = "cpu-spinner"
+
+
+@dataclass(frozen=True)
+class _AntagonistTraits:
+    base_cpi: float
+    demand_on: float
+    demand_off: float
+    burst_period: int
+    burst_duty: float
+    threads: int
+    profile: ResourceProfile
+
+
+_TRAITS: dict[AntagonistKind, _AntagonistTraits] = {
+    AntagonistKind.VIDEO_PROCESSING: _AntagonistTraits(
+        base_cpi=1.6, demand_on=6.0, demand_off=0.4,
+        burst_period=600, burst_duty=0.55, threads=12,
+        profile=ResourceProfile(
+            cache_mib_per_cpu=6.0, membw_gbps_per_cpu=4.0,
+            cache_sensitivity=0.3, membw_sensitivity=0.3, base_l3_mpki=12.0)),
+    AntagonistKind.SCIENTIFIC_SIMULATION: _AntagonistTraits(
+        base_cpi=1.1, demand_on=3.0, demand_off=1.0,
+        burst_period=900, burst_duty=0.6, threads=16,
+        profile=ResourceProfile(
+            cache_mib_per_cpu=4.0, membw_gbps_per_cpu=3.0,
+            cache_sensitivity=0.4, membw_sensitivity=0.4, base_l3_mpki=8.0)),
+    AntagonistKind.REPLAYER: _AntagonistTraits(
+        base_cpi=1.4, demand_on=4.0, demand_off=0.2,
+        burst_period=500, burst_duty=0.5, threads=8,
+        profile=ResourceProfile(
+            cache_mib_per_cpu=5.0, membw_gbps_per_cpu=3.5,
+            cache_sensitivity=0.3, membw_sensitivity=0.3, base_l3_mpki=10.0)),
+    AntagonistKind.CACHE_THRASHER: _AntagonistTraits(
+        base_cpi=2.2, demand_on=4.0, demand_off=0.5,
+        burst_period=400, burst_duty=0.5, threads=4,
+        profile=ResourceProfile(
+            cache_mib_per_cpu=9.0, membw_gbps_per_cpu=2.0,
+            cache_sensitivity=0.2, membw_sensitivity=0.2, base_l3_mpki=20.0)),
+    AntagonistKind.MEMBW_HOG: _AntagonistTraits(
+        base_cpi=1.8, demand_on=5.0, demand_off=0.3,
+        burst_period=450, burst_duty=0.5, threads=6,
+        profile=ResourceProfile(
+            cache_mib_per_cpu=2.0, membw_gbps_per_cpu=7.0,
+            cache_sensitivity=0.2, membw_sensitivity=0.3, base_l3_mpki=15.0)),
+    AntagonistKind.COMPRESSION: _AntagonistTraits(
+        base_cpi=1.3, demand_on=2.5, demand_off=0.5,
+        burst_period=700, burst_duty=0.6, threads=4,
+        profile=ResourceProfile(
+            cache_mib_per_cpu=3.5, membw_gbps_per_cpu=2.5,
+            cache_sensitivity=0.3, membw_sensitivity=0.3, base_l3_mpki=7.0)),
+    AntagonistKind.CPU_SPINNER: _AntagonistTraits(
+        base_cpi=0.7, demand_on=5.0, demand_off=0.5,
+        burst_period=550, burst_duty=0.5, threads=8,
+        profile=ResourceProfile(
+            cache_mib_per_cpu=0.05, membw_gbps_per_cpu=0.05,
+            cache_sensitivity=0.1, membw_sensitivity=0.1, base_l3_mpki=0.2)),
+}
+
+
+def make_antagonist_workload(
+    kind: AntagonistKind,
+    rng: np.random.Generator,
+    demand_scale: float = 1.0,
+    phase: int | None = None,
+    demand_noise: float = 0.1,
+) -> SyntheticWorkload:
+    """Build one antagonist task's workload model.
+
+    Args:
+        kind: the archetype.
+        rng: per-task noise source (also picks a burst phase if not given).
+        demand_scale: multiplier on the archetype's nominal demand.
+        phase: burst-phase offset in seconds; random if ``None``.
+        demand_noise: per-second fractional demand noise.
+    """
+    traits = _TRAITS[kind]
+    if phase is None:
+        phase = int(rng.integers(traits.burst_period))
+    demand = with_noise(
+        on_off(traits.demand_on * demand_scale, traits.demand_off * demand_scale,
+               period=traits.burst_period, duty=traits.burst_duty, phase=phase),
+        demand_noise, rng)
+    return BatchWorkload(
+        rng=rng,
+        demand=demand,
+        base_cpi=traits.base_cpi,
+        profile=traits.profile,
+        threads=traits.threads,
+    )
+
+
+def make_antagonist_job_spec(
+    name: str,
+    kind: AntagonistKind,
+    num_tasks: int = 1,
+    seed: int = 0,
+    cpu_limit_per_task: float = 8.0,
+    demand_scale: float = 1.0,
+    best_effort: bool = False,
+    priority_band: PriorityBand = PriorityBand.NONPRODUCTION,
+) -> JobSpec:
+    """A :class:`JobSpec` whose tasks are antagonists of the given kind."""
+
+    def factory(index: int) -> SyntheticWorkload:
+        rng = np.random.default_rng(np.random.SeedSequence((seed, index)))
+        return make_antagonist_workload(kind, rng, demand_scale=demand_scale)
+
+    return JobSpec(
+        name=name,
+        num_tasks=num_tasks,
+        scheduling_class=(SchedulingClass.BEST_EFFORT if best_effort
+                          else SchedulingClass.BATCH),
+        priority_band=priority_band,
+        cpu_limit_per_task=cpu_limit_per_task,
+        workload_factory=factory,
+    )

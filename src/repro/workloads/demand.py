@@ -1,0 +1,147 @@
+"""Composable CPU-demand functions.
+
+A demand function maps simulation time (seconds) to desired CPU usage in
+CPU-sec/sec.  Workloads are assembled from these small combinators; the case
+studies each need a specific temporal shape (bursty antagonists, bimodal
+self-inflicted victims, steady services) and these express them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DemandFn",
+    "constant",
+    "on_off",
+    "phased",
+    "ramp",
+    "bimodal",
+    "with_noise",
+    "scaled",
+]
+
+#: Seconds -> CPU-sec/sec.
+DemandFn = Callable[[int], float]
+
+
+def constant(level: float) -> DemandFn:
+    """Steady demand of ``level`` CPU-sec/sec."""
+    if level < 0:
+        raise ValueError(f"level must be >= 0, got {level}")
+    return lambda t: level
+
+
+def on_off(on_level: float, off_level: float, period: int,
+           duty: float = 0.5, phase: int = 0) -> DemandFn:
+    """Square-wave demand: ``on_level`` for ``duty`` of each ``period``.
+
+    This is the canonical bursty-antagonist shape: CPU usage spikes that a
+    victim's CPI spikes will correlate with.
+
+    Args:
+        on_level: demand while on.
+        off_level: demand while off.
+        period: cycle length in seconds.
+        duty: fraction of the period spent on (0..1).
+        phase: offset in seconds (lets many tasks desynchronise).
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    if not 0.0 <= duty <= 1.0:
+        raise ValueError(f"duty must be in [0, 1], got {duty}")
+    if on_level < 0 or off_level < 0:
+        raise ValueError("levels must be >= 0")
+    on_seconds = duty * period
+
+    def fn(t: int) -> float:
+        return on_level if ((t + phase) % period) < on_seconds else off_level
+
+    return fn
+
+
+def phased(segments: Sequence[tuple[int, float]], cycle: bool = True) -> DemandFn:
+    """Piecewise-constant demand from ``(duration_seconds, level)`` segments.
+
+    Args:
+        segments: the schedule, in order.
+        cycle: repeat the schedule forever if True; hold the final level
+            otherwise.
+    """
+    if not segments:
+        raise ValueError("need at least one segment")
+    for duration, level in segments:
+        if duration < 1:
+            raise ValueError(f"segment duration must be >= 1, got {duration}")
+        if level < 0:
+            raise ValueError(f"segment level must be >= 0, got {level}")
+    total = sum(d for d, _ in segments)
+
+    def fn(t: int) -> float:
+        if cycle:
+            t = t % total
+        elif t >= total:
+            return segments[-1][1]
+        elapsed = 0
+        for duration, level in segments:
+            elapsed += duration
+            if t < elapsed:
+                return level
+        return segments[-1][1]
+
+    return fn
+
+
+def ramp(start_level: float, end_level: float, duration: int) -> DemandFn:
+    """Linear ramp from ``start_level`` to ``end_level`` over ``duration`` s."""
+    if duration < 1:
+        raise ValueError(f"duration must be >= 1, got {duration}")
+    if start_level < 0 or end_level < 0:
+        raise ValueError("levels must be >= 0")
+
+    def fn(t: int) -> float:
+        if t >= duration:
+            return end_level
+        return start_level + (end_level - start_level) * (t / duration)
+
+    return fn
+
+
+def bimodal(low_level: float, high_level: float, period: int,
+            low_fraction: float = 0.5, phase: int = 0) -> DemandFn:
+    """Case 3's shape: the task alternates between near-idle and active.
+
+    When near-idle its CPI rises (cold caches) without any antagonist; the
+    0.25 CPU-sec/sec usage gate exists to filter exactly this false alarm.
+    """
+    return on_off(on_level=low_level, off_level=high_level,
+                  period=period, duty=low_fraction, phase=phase)
+
+
+def with_noise(base: DemandFn, sigma: float,
+               rng: np.random.Generator) -> DemandFn:
+    """Multiply a demand function by log-normal noise, clipped at zero.
+
+    Each call draws fresh noise, so call once per simulated second (which is
+    what the machine tick does).
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0.0:
+        return base
+
+    def fn(t: int) -> float:
+        return max(0.0, base(t) * float(np.exp(rng.normal(0.0, sigma))))
+
+    return fn
+
+
+def scaled(base: DemandFn, factor_fn: Callable[[int], float]) -> DemandFn:
+    """Modulate ``base`` by a time-varying factor (e.g. a diurnal pattern)."""
+
+    def fn(t: int) -> float:
+        return max(0.0, base(t) * factor_fn(t))
+
+    return fn

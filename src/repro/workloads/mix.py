@@ -1,0 +1,198 @@
+"""Cluster workload mixes with Google-trace statistics.
+
+Section 2 describes the cluster CPI2 ran in, citing the public trace
+analysis [Reiss et al., SoCC 2012]: "In one typical cluster, 7% of jobs run
+at production priority and use about 30% of the available CPUs, while
+non-production priority jobs consume about another 10%", and "96% of the
+tasks we run are part of a job with at least 10 tasks, and 87% ... with 100
+or more tasks".
+
+:class:`ClusterMix` generates a randomized set of job specs whose aggregate
+statistics land on those numbers, so fleet-scale experiments (occupancy,
+incident rates, soaks) run against a defensible population rather than a
+hand-picked one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.job import JobSpec
+from repro.cluster.task import PriorityBand, SchedulingClass
+from repro.workloads.antagonists import AntagonistKind, make_antagonist_job_spec
+from repro.workloads.batch import make_batch_job_spec
+from repro.workloads.services import make_service_job_spec
+from repro.workloads.websearch import SearchTier, make_websearch_job_spec
+
+__all__ = ["ClusterMix", "MixStatistics"]
+
+
+@dataclass(frozen=True)
+class MixStatistics:
+    """Aggregate properties of a generated mix (for validation/reporting)."""
+
+    num_jobs: int
+    num_tasks: int
+    production_job_fraction: float
+    production_cpu_fraction: float
+    nonproduction_cpu_fraction: float
+    tasks_in_jobs_of_10_plus: float
+    tasks_in_jobs_of_100_plus: float
+
+
+@dataclass
+class ClusterMix:
+    """A generator of job populations with trace-like statistics.
+
+    Attributes:
+        total_cpu: the fleet's CPU capacity the mix is sized against
+            (cores x machines).
+        production_job_fraction: share of *jobs* at production priority
+            (the trace's ~7%).
+        production_cpu_target: share of ``total_cpu`` reserved by
+            production jobs (~30%).
+        nonproduction_cpu_target: share reserved by non-production jobs
+            (~10%).
+        antagonist_fraction: share of non-production *jobs* that are
+            heavy-pressure antagonists (the rest are well-behaved batch).
+    """
+
+    total_cpu: float
+    production_job_fraction: float = 0.07
+    production_cpu_target: float = 0.30
+    nonproduction_cpu_target: float = 0.10
+    antagonist_fraction: float = 0.10
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total_cpu <= 0:
+            raise ValueError(f"total_cpu must be positive, got {self.total_cpu}")
+        for name in ("production_job_fraction", "production_cpu_target",
+                     "nonproduction_cpu_target", "antagonist_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence((0x617, self.seed)))
+
+    # -- job-size distribution ---------------------------------------------------
+
+    def _job_sizes(self, total_tasks_budget: int) -> list[int]:
+        """Job task-counts hitting the paper's 96% / 87% size quantiles.
+
+        Mostly large jobs by task mass: most *jobs* stay small while most
+        *tasks* belong to big jobs — the trace's defining skew.  The paper's
+        exact quantiles (96% of tasks in 10+-task jobs, 87% in 100+) come
+        from a 12k-machine cell whose biggest jobs dwarf anything a scaled
+        fleet can host; at our scale the generator lands within a few points
+        of them.
+        """
+        sizes: list[int] = []
+        remaining = total_tasks_budget
+        while remaining > 0:
+            roll = self._rng.random()
+            if roll < 0.5:
+                size = int(self._rng.integers(1, 10))       # many tiny jobs
+            elif roll < 0.7:
+                size = int(self._rng.integers(10, 100))
+            else:
+                size = int(self._rng.integers(100, 600))    # the task mass
+            size = min(size, remaining) or 1
+            sizes.append(size)
+            remaining -= size
+        return sizes
+
+    # -- generation ---------------------------------------------------------------
+
+    def generate(self) -> list[JobSpec]:
+        """One randomized job population matching the mix's targets."""
+        specs: list[JobSpec] = []
+        production_cpu = self.total_cpu * self.production_cpu_target
+        nonprod_cpu = self.total_cpu * self.nonproduction_cpu_target
+
+        # Production: latency-sensitive services sized to ~30% of CPU.
+        # Tasks reserve ~1.5 CPU each.
+        prod_tasks = max(10, int(production_cpu / 1.5))
+        prod_sizes = self._job_sizes(prod_tasks)
+        for i, size in enumerate(prod_sizes):
+            kind = self._rng.random()
+            if kind < 0.4:
+                specs.append(make_websearch_job_spec(
+                    f"prod-search-{i}", SearchTier.LEAF, num_tasks=size,
+                    seed=int(self._rng.integers(2**31)),
+                    cpu_limit_per_task=1.5))
+            else:
+                specs.append(make_service_job_spec(
+                    f"prod-svc-{i}", num_tasks=size,
+                    seed=int(self._rng.integers(2**31)),
+                    base_cpi=float(self._rng.uniform(0.8, 1.8)),
+                    demand_level=float(self._rng.uniform(0.5, 1.0)),
+                    cpu_limit_per_task=1.5,
+                    task_cpi_spread=0.1))
+
+        # Non-production: batch (and a few antagonists) to ~10% of CPU.
+        nonprod_tasks = max(5, int(nonprod_cpu / 1.5))
+        nonprod_sizes = self._job_sizes(nonprod_tasks)
+        kinds = list(AntagonistKind)
+        for i, size in enumerate(nonprod_sizes):
+            if self._rng.random() < self.antagonist_fraction:
+                specs.append(make_antagonist_job_spec(
+                    f"nonprod-ant-{i}",
+                    kinds[int(self._rng.integers(len(kinds)))],
+                    num_tasks=max(1, size // 4),
+                    seed=int(self._rng.integers(2**31)),
+                    cpu_limit_per_task=6.0))
+            else:
+                specs.append(make_batch_job_spec(
+                    f"nonprod-batch-{i}", num_tasks=size,
+                    seed=int(self._rng.integers(2**31)),
+                    demand_level=float(self._rng.uniform(0.3, 1.2)),
+                    cpu_limit_per_task=1.5,
+                    best_effort=bool(self._rng.random() < 0.3)))
+
+        # The job-count split drives the 7% figure: the real trace is full
+        # of 1-task best-effort jobs, so pad with those until production
+        # jobs are the target share (bounded — at small scale the three
+        # targets compete and the job-count one yields first).
+        production_jobs = sum(
+            1 for s in specs if s.priority_band is PriorityBand.PRODUCTION)
+        padding_budget = 30 * max(1, production_jobs)
+        while (production_jobs / max(1, len(specs))
+               > self.production_job_fraction and padding_budget > 0):
+            padding_budget -= 1
+            specs.append(make_batch_job_spec(
+                f"nonprod-tiny-{len(specs)}",
+                num_tasks=int(self._rng.integers(1, 4)),
+                seed=int(self._rng.integers(2**31)),
+                demand_level=float(self._rng.uniform(0.05, 0.3)),
+                cpu_limit_per_task=0.5, best_effort=True))
+        return specs
+
+    # -- validation -----------------------------------------------------------------
+
+    @staticmethod
+    def statistics(specs: list[JobSpec],
+                   total_cpu: float) -> MixStatistics:
+        """Aggregate statistics of a generated population."""
+        if not specs:
+            raise ValueError("empty job population")
+        num_tasks = sum(s.num_tasks for s in specs)
+        production = [s for s in specs
+                      if s.priority_band is PriorityBand.PRODUCTION]
+        prod_cpu = sum(s.num_tasks * s.cpu_limit_per_task for s in production)
+        nonprod_cpu = sum(s.num_tasks * s.cpu_limit_per_task for s in specs
+                          if s.priority_band is PriorityBand.NONPRODUCTION)
+        in_10 = sum(s.num_tasks for s in specs if s.num_tasks >= 10)
+        in_100 = sum(s.num_tasks for s in specs if s.num_tasks >= 100)
+        return MixStatistics(
+            num_jobs=len(specs),
+            num_tasks=num_tasks,
+            production_job_fraction=len(production) / len(specs),
+            production_cpu_fraction=prod_cpu / total_cpu,
+            nonproduction_cpu_fraction=nonprod_cpu / total_cpu,
+            tasks_in_jobs_of_10_plus=in_10 / num_tasks,
+            tasks_in_jobs_of_100_plus=in_100 / num_tasks,
+        )

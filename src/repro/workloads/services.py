@@ -1,0 +1,185 @@
+"""Generic latency-sensitive services.
+
+Case 1's suspect table names a zoo of latency-sensitive co-tenants — content
+digitizing, an image front-end, a BigTable tablet server, a storage server —
+and case 3 turns on a front-end web service whose own bimodal CPU usage made
+its CPI swing with no antagonist at all.  These helpers build such services:
+steady or bimodal latency-sensitive tasks with tunable sensitivity, used to
+populate machines realistically in the case-study benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.interference import ResourceProfile
+from repro.cluster.job import JobSpec
+from repro.cluster.task import PriorityBand, SchedulingClass
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.demand import bimodal, constant, with_noise
+
+__all__ = ["make_service_workload", "make_service_job_spec",
+           "make_bimodal_frontend_spec", "make_gc_service_spec"]
+
+#: A typical latency-sensitive service: light pressure, real sensitivity —
+#: services feel antagonists far more than they squeeze each other.
+_SERVICE_PROFILE = ResourceProfile(
+    cache_mib_per_cpu=0.8, membw_gbps_per_cpu=0.5,
+    cache_sensitivity=0.8, membw_sensitivity=0.6, base_l3_mpki=2.5)
+
+
+def make_service_workload(
+    rng: np.random.Generator,
+    base_cpi: float = 1.0,
+    demand_level: float = 1.0,
+    demand_noise: float = 0.06,
+    profile: ResourceProfile = _SERVICE_PROFILE,
+    threads: int = 16,
+) -> SyntheticWorkload:
+    """A steady latency-sensitive service task."""
+    return SyntheticWorkload(
+        base_cpi=base_cpi,
+        profile=profile,
+        demand=with_noise(constant(demand_level), demand_noise, rng),
+        threads=threads,
+    )
+
+
+def make_service_job_spec(
+    name: str,
+    num_tasks: int,
+    seed: int = 0,
+    base_cpi: float = 1.0,
+    demand_level: float = 1.0,
+    cpu_limit_per_task: float = 2.0,
+    priority_band: PriorityBand = PriorityBand.PRODUCTION,
+    protection_eligible: bool | None = None,
+    task_cpi_spread: float = 0.0,
+) -> JobSpec:
+    """A generic latency-sensitive service job.
+
+    ``task_cpi_spread`` gives each task a slightly different base CPI
+    (log-normal, sigma = spread): tasks in a job are similar, not identical
+    (Table 1's per-job stddevs are 10-20% of the mean).
+    """
+
+    def factory(index: int) -> SyntheticWorkload:
+        rng = np.random.default_rng(np.random.SeedSequence((seed, index)))
+        task_cpi = base_cpi
+        if task_cpi_spread > 0:
+            task_cpi *= float(np.exp(rng.normal(0.0, task_cpi_spread)))
+        return make_service_workload(rng, base_cpi=task_cpi,
+                                     demand_level=demand_level)
+
+    return JobSpec(
+        name=name,
+        num_tasks=num_tasks,
+        scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+        priority_band=priority_band,
+        cpu_limit_per_task=cpu_limit_per_task,
+        workload_factory=factory,
+        protection_eligible=protection_eligible,
+    )
+
+
+def make_bimodal_frontend_spec(
+    name: str,
+    num_tasks: int,
+    seed: int = 0,
+    low_usage: float = 0.05,
+    high_usage: float = 0.35,
+    period: int = 600,
+    cold_start_penalty: float = 4.0,
+    cpu_limit_per_task: float = 1.0,
+) -> JobSpec:
+    """Case 3's front-end: bimodal CPU usage whose CPI swings are self-inflicted.
+
+    During the low-usage phase the task's caches go cold and its CPI rises to
+    several times normal — with no antagonist anywhere.  CPI2's 0.25
+    CPU-sec/sec minimum-usage gate exists to suppress exactly this alarm.
+    """
+    profile = ResourceProfile(
+        cache_mib_per_cpu=1.5, membw_gbps_per_cpu=0.8,
+        cache_sensitivity=0.7, membw_sensitivity=0.5, base_l3_mpki=2.0,
+        cold_start_penalty=cold_start_penalty)
+
+    def factory(index: int) -> SyntheticWorkload:
+        rng = np.random.default_rng(np.random.SeedSequence((seed, index)))
+        phase = int(rng.integers(period))
+        return SyntheticWorkload(
+            base_cpi=1.4,
+            profile=profile,
+            demand=with_noise(
+                bimodal(low_usage, high_usage, period=period, phase=phase),
+                0.08, rng),
+            threads=12,
+        )
+
+    return JobSpec(
+        name=name,
+        num_tasks=num_tasks,
+        scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+        priority_band=PriorityBand.PRODUCTION,
+        cpu_limit_per_task=cpu_limit_per_task,
+        workload_factory=factory,
+    )
+
+
+def make_gc_service_spec(
+    name: str,
+    num_tasks: int,
+    seed: int = 0,
+    base_cpi: float = 1.1,
+    gc_period: int = 437,
+    gc_duration: int = 20,
+    gc_cpi_multiplier: float = 2.5,
+    demand_level: float = 1.0,
+    cpu_limit_per_task: float = 2.0,
+) -> JobSpec:
+    """A garbage-collected service: brief periodic CPI spikes, no antagonist.
+
+    Managed-runtime services stall for collection every few minutes; during
+    a pause the task burns cycles walking the heap (terrible CPI) while
+    serving nothing.  (The default period is deliberately not a multiple of
+    the 60-second sampling cycle, so pauses drift across the sampling
+    window instead of aliasing with it.)  A window that overlaps a
+    pause looks exactly like interference — which is precisely the kind of
+    isolated outlier the paper's 3-violations-in-5-minutes rule exists to
+    absorb.  Tasks get independent phases, so pauses do not align across the
+    job and the job-level spec stays tight.
+    """
+    if gc_duration >= gc_period:
+        raise ValueError("gc_duration must be < gc_period "
+                         f"({gc_duration} >= {gc_period})")
+    if gc_cpi_multiplier < 1.0:
+        raise ValueError(
+            f"gc_cpi_multiplier must be >= 1, got {gc_cpi_multiplier}")
+
+    profile = ResourceProfile(
+        cache_mib_per_cpu=1.0, membw_gbps_per_cpu=0.6,
+        cache_sensitivity=0.8, membw_sensitivity=0.6, base_l3_mpki=3.0)
+
+    def factory(index: int) -> SyntheticWorkload:
+        rng = np.random.default_rng(np.random.SeedSequence((seed, index)))
+        phase = int(rng.integers(gc_period))
+
+        def gc_modulation(t: int) -> float:
+            in_pause = ((t + phase) % gc_period) < gc_duration
+            return gc_cpi_multiplier if in_pause else 1.0
+
+        return SyntheticWorkload(
+            base_cpi=base_cpi,
+            profile=profile,
+            demand=with_noise(constant(demand_level), 0.06, rng),
+            threads=24,
+            cpi_modulation=gc_modulation,
+        )
+
+    return JobSpec(
+        name=name,
+        num_tasks=num_tasks,
+        scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+        priority_band=PriorityBand.PRODUCTION,
+        cpu_limit_per_task=cpu_limit_per_task,
+        workload_factory=factory,
+    )

@@ -1,0 +1,61 @@
+"""Shared fixtures for the CPI2 test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.platform import get_platform
+from repro.core.config import CpiConfig
+from repro.records import CpiSample, CpiSpec
+from repro.testing import make_quiet_machine
+
+
+@pytest.fixture
+def platform():
+    """The reference platform used throughout the tests."""
+    return get_platform("westmere-2.6")
+
+
+@pytest.fixture
+def machine():
+    """A quiet (noise-free) machine on the reference platform."""
+    return make_quiet_machine()
+
+
+@pytest.fixture
+def rng():
+    """A seeded generator for tests that need controlled randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def config():
+    """The paper's default CPI2 configuration."""
+    return CpiConfig()
+
+
+def make_sample(jobname="job", platforminfo="westmere-2.6", t=60,
+                cpu_usage=1.0, cpi=1.0, taskname=None) -> CpiSample:
+    """A CpiSample with convenient defaults (timestamp given in seconds)."""
+    return CpiSample(
+        jobname=jobname,
+        platforminfo=platforminfo,
+        timestamp=t * 1_000_000,
+        cpu_usage=cpu_usage,
+        cpi=cpi,
+        taskname=taskname if taskname is not None else f"{jobname}/0",
+    )
+
+
+def make_spec(jobname="job", platforminfo="westmere-2.6", num_samples=1000,
+              cpu_usage_mean=1.0, cpi_mean=1.0, cpi_stddev=0.1) -> CpiSpec:
+    """A CpiSpec with convenient defaults."""
+    return CpiSpec(
+        jobname=jobname,
+        platforminfo=platforminfo,
+        num_samples=num_samples,
+        cpu_usage_mean=cpu_usage_mean,
+        cpi_mean=cpi_mean,
+        cpi_stddev=cpi_stddev,
+    )

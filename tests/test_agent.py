@@ -1,0 +1,251 @@
+"""Integration-grade unit tests for repro.core.agent (the per-machine agent)."""
+
+import pytest
+
+from repro.cluster.task import SchedulingClass
+from repro.core.agent import MachineAgent
+from repro.core.config import CpiConfig
+from repro.core.policy import PolicyAction
+from repro.perf.sampler import CpiSampler, SamplerConfig
+from repro.records import SpecKey
+from repro.testing import (
+    NOISY_NEIGHBOR_PROFILE,
+    SENSITIVE_PROFILE,
+    make_quiet_machine,
+    make_scripted_job,
+)
+from tests.conftest import make_spec
+
+
+#: Fast config: 5s windows every 15s so tests stay quick, with paper
+#: thresholds otherwise.
+FAST = CpiConfig(sampling_duration=5, sampling_period=15,
+                 anomaly_window=120, correlation_window=300)
+
+
+def build_rig(config=FAST, with_antagonist=True, antagonist_script=None):
+    """A machine + sampler + agent with a sensitive victim and an on/off
+    antagonist whose bursts align with sampling windows."""
+    machine = make_quiet_machine()
+    sampler = CpiSampler(machine, SamplerConfig(config.sampling_duration,
+                                                config.sampling_period))
+    agent = MachineAgent(machine, config)
+
+    victim = make_scripted_job("victim", [1.0], cpu_limit=2.0,
+                               base_cpi=1.0, profile=SENSITIVE_PROFILE)
+    machine.place(victim.tasks[0])
+    jobs = {"victim": victim}
+    if with_antagonist:
+        script = antagonist_script or [6.0]
+        antagonist = make_scripted_job(
+            "ant", script, cpu_limit=8.0,
+            scheduling_class=SchedulingClass.BATCH,
+            profile=NOISY_NEIGHBOR_PROFILE)
+        machine.place(antagonist.tasks[0])
+        jobs["ant"] = antagonist
+    agent.update_specs({
+        SpecKey("victim", machine.platform.name): make_spec(
+            jobname="victim", cpi_mean=1.0, cpi_stddev=0.1),
+    })
+    return machine, sampler, agent, jobs
+
+
+def run_rig(machine, sampler, agent, seconds):
+    for t in range(seconds):
+        machine.tick(t)
+        agent.tick(t)
+        samples = sampler.tick(t)
+        if samples:
+            agent.ingest_samples(t, samples)
+
+
+class TestDetectionToThrottle:
+    def test_antagonist_detected_and_capped(self):
+        machine, sampler, agent, jobs = build_rig()
+        run_rig(machine, sampler, agent, 180)
+        assert agent.anomalies_seen >= 1
+        assert len(agent.incidents) >= 1
+        incident = agent.incidents[0]
+        assert incident.decision.action is PolicyAction.THROTTLE
+        assert incident.decision.target.name == "ant/0"
+        assert incident.decision.score.correlation >= 0.35
+        assert jobs["ant"].tasks[0].cgroup.is_capped(179)
+
+    def test_victim_recovers_and_followup_closes(self):
+        config = FAST.with_overrides(hardcap_duration=60)
+        machine, sampler, agent, jobs = build_rig(config)
+        run_rig(machine, sampler, agent, 300)
+        closed = [i for i in agent.incidents if i.recovered is not None]
+        assert closed
+        assert closed[0].recovered is True
+        assert closed[0].relative_cpi < 0.9
+
+    def test_incident_sink_called_on_followup(self):
+        sunk = []
+        config = FAST.with_overrides(hardcap_duration=60)
+        machine = make_quiet_machine()
+        sampler = CpiSampler(machine, SamplerConfig(5, 15))
+        agent = MachineAgent(machine, config, incident_sink=sunk.append)
+        victim = make_scripted_job("victim", [1.0], cpu_limit=2.0,
+                                   base_cpi=1.0, profile=SENSITIVE_PROFILE)
+        antagonist = make_scripted_job(
+            "ant", [6.0], cpu_limit=8.0,
+            scheduling_class=SchedulingClass.BATCH,
+            profile=NOISY_NEIGHBOR_PROFILE)
+        machine.place(victim.tasks[0])
+        machine.place(antagonist.tasks[0])
+        agent.update_specs({SpecKey("victim", machine.platform.name):
+                            make_spec(jobname="victim", cpi_mean=1.0,
+                                      cpi_stddev=0.1)})
+        run_rig(machine, sampler, agent, 300)
+        assert sunk
+        assert all(i.recovered is not None
+                   for i in sunk
+                   if i.decision.action is PolicyAction.THROTTLE)
+
+
+class TestNoFalsePositives:
+    def test_no_spec_no_anomaly(self):
+        machine, sampler, agent, _ = build_rig()
+        agent.update_specs({})
+        run_rig(machine, sampler, agent, 180)
+        assert agent.anomalies_seen == 0
+
+    def test_healthy_victim_no_incident(self):
+        machine, sampler, agent, _ = build_rig(with_antagonist=False)
+        run_rig(machine, sampler, agent, 180)
+        assert agent.incidents == []
+
+    def test_no_duplicate_incident_during_followup(self):
+        config = FAST.with_overrides(hardcap_duration=600)
+        machine, sampler, agent, _ = build_rig(config)
+        run_rig(machine, sampler, agent, 400)
+        throttles = [i for i in agent.incidents
+                     if i.decision.action is PolicyAction.THROTTLE]
+        # With the cap never expiring inside the run, the victim has an
+        # amelioration in flight: exactly one throttle incident.
+        assert len(throttles) == 1
+
+
+class TestSuspectSeries:
+    def test_own_jobmates_never_suspected(self):
+        config = FAST
+        machine = make_quiet_machine()
+        sampler = CpiSampler(machine, SamplerConfig(5, 15))
+        agent = MachineAgent(machine, config)
+        victim_job = make_scripted_job("victim", [1.0], num_tasks=2,
+                                       cpu_limit=2.0, base_cpi=1.0,
+                                       profile=SENSITIVE_PROFILE)
+        for task in victim_job:
+            machine.place(task)
+        antagonist = make_scripted_job(
+            "ant", [6.0], cpu_limit=8.0,
+            scheduling_class=SchedulingClass.BATCH,
+            profile=NOISY_NEIGHBOR_PROFILE)
+        machine.place(antagonist.tasks[0])
+        agent.update_specs({SpecKey("victim", machine.platform.name):
+                            make_spec(jobname="victim", cpi_mean=1.0,
+                                      cpi_stddev=0.1)})
+        run_rig(machine, sampler, agent, 200)
+        assert agent.incidents
+        for incident in agent.incidents:
+            suspect_names = {s.taskname for s in incident.suspects}
+            assert "victim/0" not in suspect_names
+            assert "victim/1" not in suspect_names
+
+    def test_rate_limit_one_analysis_per_batch(self):
+        # Two victims anomalous in the same ingest batch: only one analysis.
+        config = FAST
+        machine = make_quiet_machine()
+        sampler = CpiSampler(machine, SamplerConfig(5, 15))
+        agent = MachineAgent(machine, config)
+        for name in ("v1", "v2"):
+            job = make_scripted_job(name, [1.0], cpu_limit=2.0, base_cpi=1.0,
+                                    profile=SENSITIVE_PROFILE)
+            machine.place(job.tasks[0])
+        antagonist = make_scripted_job(
+            "ant", [6.0], cpu_limit=8.0,
+            scheduling_class=SchedulingClass.BATCH,
+            profile=NOISY_NEIGHBOR_PROFILE)
+        machine.place(antagonist.tasks[0])
+        specs = {}
+        for name in ("v1", "v2"):
+            specs[SpecKey(name, machine.platform.name)] = make_spec(
+                jobname=name, cpi_mean=1.0, cpi_stddev=0.1)
+        agent.update_specs(specs)
+        run_rig(machine, sampler, agent, 65)
+        # Both cross 3 violations at the same window close; rate limiting
+        # permits only one identification attempt per second.
+        times = [i.time_seconds for i in agent.incidents]
+        assert len(times) == len(set(times))
+
+
+class TestBookkeeping:
+    def test_forget_task_clears_state(self):
+        machine, sampler, agent, _ = build_rig()
+        run_rig(machine, sampler, agent, 60)
+        agent.forget_task("victim/0")
+        assert agent.detector.violations_for("victim/0") == 0
+
+    def test_spec_for_helper(self):
+        machine, _, agent, _ = build_rig()
+        assert agent.spec_for("victim") is not None
+        assert agent.spec_for("ghost") is None
+
+
+class TestPerPlatformSpecs:
+    def test_same_job_different_thresholds_per_platform(self):
+        """CPI2 computes specs per job x CPU type: the same job must be
+        judged against its own platform's threshold on each machine."""
+        from repro.cluster.machine import Machine
+        from repro.cluster.platform import get_platform
+
+        config = FAST
+        west = Machine("west", get_platform("westmere-2.6"),
+                       cpi_noise_sigma=0.0)
+        sandy = Machine("sandy", get_platform("sandybridge-2.9"),
+                        cpi_noise_sigma=0.0)
+        job = make_scripted_job("svc", [1.0], num_tasks=2, cpu_limit=2.0,
+                                base_cpi=1.0, profile=SENSITIVE_PROFILE)
+        west.place(job.tasks[0])
+        sandy.place(job.tasks[1])
+
+        agents = {}
+        specs = {
+            SpecKey("svc", "westmere-2.6"): make_spec(
+                jobname="svc", platforminfo="westmere-2.6",
+                cpi_mean=1.0, cpi_stddev=0.1),
+            SpecKey("svc", "sandybridge-2.9"): make_spec(
+                jobname="svc", platforminfo="sandybridge-2.9",
+                cpi_mean=0.88, cpi_stddev=0.088),
+        }
+        for machine in (west, sandy):
+            agent = MachineAgent(machine, config)
+            agent.update_specs(specs)
+            agents[machine.name] = agent
+        # Each agent resolves its own platform's spec.
+        assert agents["west"].spec_for("svc").cpi_mean == 1.0
+        assert agents["sandy"].spec_for("svc").cpi_mean == pytest.approx(0.88)
+
+    def test_missing_platform_spec_no_detection(self):
+        from repro.cluster.machine import Machine
+        from repro.cluster.platform import get_platform
+
+        machine = Machine("neh", get_platform("nehalem-2.3"),
+                          cpi_noise_sigma=0.0)
+        sampler = CpiSampler(machine, SamplerConfig(5, 15))
+        agent = MachineAgent(machine, FAST)
+        victim = make_scripted_job("victim", [1.0], cpu_limit=2.0,
+                                   base_cpi=1.0, profile=SENSITIVE_PROFILE)
+        antagonist = make_scripted_job(
+            "ant", [6.0], cpu_limit=8.0,
+            scheduling_class=SchedulingClass.BATCH,
+            profile=NOISY_NEIGHBOR_PROFILE)
+        machine.place(victim.tasks[0])
+        machine.place(antagonist.tasks[0])
+        # Spec exists for the job, but on a *different* platform.
+        agent.update_specs({SpecKey("victim", "westmere-2.6"): make_spec(
+            jobname="victim", cpi_mean=1.0, cpi_stddev=0.1)})
+        run_rig(machine, sampler, agent, 120)
+        assert agent.anomalies_seen == 0
+        assert agent.detector.samples_skipped_no_spec > 0

@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.aggregator (CPI spec learning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregator import CpiAggregator
+from repro.core.config import CpiConfig
+from repro.records import SpecKey
+from tests.conftest import make_sample, make_spec
+
+
+def small_gate_config(**kwargs):
+    """Gates low enough for small unit-test populations."""
+    defaults = dict(min_tasks_for_spec=2, min_samples_per_task=3)
+    defaults.update(kwargs)
+    return CpiConfig(**defaults)
+
+
+def feed(aggregator, jobname="job", num_tasks=5, samples_per_task=10,
+         cpi=1.5, usage=1.0, platform="westmere-2.6"):
+    for task_index in range(num_tasks):
+        for i in range(samples_per_task):
+            aggregator.ingest(make_sample(
+                jobname=jobname, platforminfo=platform, t=60 * (i + 1),
+                cpu_usage=usage, cpi=cpi,
+                taskname=f"{jobname}/{task_index}"))
+
+
+class TestIngestionAndStats:
+    def test_mean_and_stddev(self):
+        agg = CpiAggregator(small_gate_config())
+        rng = np.random.default_rng(3)
+        values = rng.normal(1.8, 0.16, size=600)
+        for i, cpi in enumerate(values):
+            agg.ingest(make_sample(t=60 * i, cpi=max(0.01, float(cpi)),
+                                   taskname=f"job/{i % 5}"))
+        specs = agg.recompute(now=0)
+        spec = specs[SpecKey("job", "westmere-2.6")]
+        assert spec.cpi_mean == pytest.approx(1.8, abs=0.03)
+        assert spec.cpi_stddev == pytest.approx(0.16, abs=0.03)
+        assert spec.num_samples == 600
+
+    def test_cpu_usage_mean(self):
+        agg = CpiAggregator(small_gate_config())
+        feed(agg, usage=2.0)
+        spec = agg.recompute(0)[SpecKey("job", "westmere-2.6")]
+        assert spec.cpu_usage_mean == pytest.approx(2.0)
+
+    def test_per_platform_separation(self):
+        # "CPI2 does separate CPI calculations for each platform."
+        agg = CpiAggregator(small_gate_config())
+        feed(agg, cpi=1.0, platform="westmere-2.6")
+        feed(agg, cpi=1.3, platform="nehalem-2.3")
+        specs = agg.recompute(0)
+        assert specs[SpecKey("job", "westmere-2.6")].cpi_mean == pytest.approx(1.0)
+        assert specs[SpecKey("job", "nehalem-2.3")].cpi_mean == pytest.approx(1.3)
+
+    def test_total_samples_counter(self):
+        agg = CpiAggregator(small_gate_config())
+        feed(agg, num_tasks=2, samples_per_task=4)
+        assert agg.total_samples_ingested == 8
+
+
+class TestRobustnessGates:
+    def test_too_few_tasks_not_published(self):
+        agg = CpiAggregator(CpiConfig(min_tasks_for_spec=5,
+                                      min_samples_per_task=1))
+        feed(agg, num_tasks=4, samples_per_task=10)
+        assert agg.recompute(0) == {}
+
+    def test_too_few_samples_not_published(self):
+        agg = CpiAggregator(CpiConfig(min_tasks_for_spec=2,
+                                      min_samples_per_task=100))
+        feed(agg, num_tasks=5, samples_per_task=50)
+        assert agg.recompute(0) == {}
+
+    def test_gate_failure_keeps_previous_spec(self):
+        agg = CpiAggregator(small_gate_config())
+        previous = make_spec(cpi_mean=1.5)
+        agg.set_spec(previous)
+        feed(agg, num_tasks=1, samples_per_task=1)  # below the gates
+        specs = agg.recompute(0)
+        assert specs[previous.key()] == previous
+
+
+class TestAgeWeighting:
+    def test_blend_pulls_toward_fresh_data(self):
+        agg = CpiAggregator(small_gate_config())
+        agg.set_spec(make_spec(cpi_mean=1.0, cpi_stddev=0.1, num_samples=1000))
+        feed(agg, cpi=2.0)
+        spec = agg.recompute(0)[SpecKey("job", "westmere-2.6")]
+        # (0.9 * 1.0 + 1.0 * 2.0) / 1.9
+        assert spec.cpi_mean == pytest.approx((0.9 + 2.0) / 1.9)
+
+    def test_history_decays_geometrically(self):
+        agg = CpiAggregator(small_gate_config())
+        agg.set_spec(make_spec(cpi_mean=1.0))
+        mean = 1.0
+        for day in range(5):
+            feed(agg, cpi=2.0)
+            mean = (0.9 * mean + 2.0) / 1.9
+            spec = agg.recompute(day)[SpecKey("job", "westmere-2.6")]
+            assert spec.cpi_mean == pytest.approx(mean)
+        assert spec.cpi_mean > 1.9  # converging to the new level
+
+    def test_zero_age_weight_forgets_history(self):
+        agg = CpiAggregator(small_gate_config(history_age_weight=0.0))
+        agg.set_spec(make_spec(cpi_mean=1.0))
+        feed(agg, cpi=2.0)
+        spec = agg.recompute(0)[SpecKey("job", "westmere-2.6")]
+        assert spec.cpi_mean == pytest.approx(2.0)
+
+    def test_num_samples_blends(self):
+        agg = CpiAggregator(small_gate_config())
+        agg.set_spec(make_spec(num_samples=1000))
+        feed(agg, num_tasks=5, samples_per_task=10)  # 50 fresh
+        spec = agg.recompute(0)[SpecKey("job", "westmere-2.6")]
+        assert spec.num_samples == int(0.9 * 1000) + 50
+
+
+class TestRefreshSchedule:
+    def test_maybe_recompute_first_call_always_fires(self):
+        agg = CpiAggregator(small_gate_config())
+        assert agg.maybe_recompute(0) is not None
+
+    def test_maybe_recompute_respects_period(self):
+        agg = CpiAggregator(small_gate_config(spec_refresh_period=3600))
+        agg.maybe_recompute(0)
+        assert agg.maybe_recompute(3599) is None
+        assert agg.maybe_recompute(3600) is not None
+
+    def test_period_data_cleared_after_recompute(self):
+        agg = CpiAggregator(small_gate_config())
+        feed(agg, cpi=2.0)
+        agg.recompute(0)
+        # No new data: specs unchanged on next recompute.
+        before = agg.specs()
+        agg.recompute(1)
+        assert agg.specs() == before
+
+
+class TestSpecAccess:
+    def test_spec_for(self):
+        agg = CpiAggregator(small_gate_config())
+        agg.set_spec(make_spec(jobname="search"))
+        assert agg.spec_for("search", "westmere-2.6") is not None
+        assert agg.spec_for("search", "unknown") is None
+        assert agg.spec_for("nope", "westmere-2.6") is None
+
+    def test_specs_returns_copy(self):
+        agg = CpiAggregator(small_gate_config())
+        agg.set_spec(make_spec())
+        specs = agg.specs()
+        specs.clear()
+        assert agg.specs()  # unchanged

@@ -1,0 +1,174 @@
+"""Unit tests for repro.workloads.batch (lame-duck, give-up, stragglers)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import Job
+from repro.cluster.task import SchedulingClass
+from repro.workloads.batch import (
+    BatchWorkload,
+    LameDuckBehavior,
+    MapReduceCoordinator,
+    MapReduceWorker,
+    make_batch_job_spec,
+    make_mapreduce_job_spec,
+)
+
+
+class TestLameDuckBehavior:
+    def test_normal_threads(self):
+        behavior = LameDuckBehavior()
+        assert behavior.thread_count() == 8
+        assert behavior.state_name == "normal"
+
+    def test_capped_grows_threads(self):
+        # Case 5: "the number of threads rapidly grows to around 80".
+        behavior = LameDuckBehavior()
+        behavior.observe(0, capped=True)
+        assert behavior.thread_count() == 80
+        assert behavior.state_name == "capped"
+
+    def test_lame_duck_after_cap_lifts(self):
+        # "the thread count drops to 2 ... for tens of minutes".
+        behavior = LameDuckBehavior(lameduck_duration=1800)
+        behavior.observe(0, capped=True)
+        behavior.observe(1, capped=False)
+        assert behavior.thread_count() == 2
+        assert behavior.state_name == "lame-duck"
+
+    def test_recovery_after_duration(self):
+        behavior = LameDuckBehavior(lameduck_duration=100)
+        behavior.observe(0, capped=True)
+        behavior.observe(1, capped=False)
+        behavior.observe(50, capped=False)
+        assert behavior.thread_count() == 2
+        behavior.observe(101, capped=False)
+        assert behavior.thread_count() == 8
+
+    def test_recap_during_lameduck(self):
+        behavior = LameDuckBehavior(lameduck_duration=100)
+        behavior.observe(0, capped=True)
+        behavior.observe(1, capped=False)
+        behavior.observe(2, capped=True)  # capped again mid-lame-duck
+        assert behavior.thread_count() == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LameDuckBehavior(normal_threads=0)
+        with pytest.raises(ValueError):
+            LameDuckBehavior(lameduck_duration=-1)
+
+
+class TestMapReduceWorker:
+    def make_worker(self, **kwargs):
+        return MapReduceWorker(rng=np.random.default_rng(0), **kwargs)
+
+    def test_survives_first_episode(self):
+        # Case 6: "survived the first hard-capping".
+        worker = self.make_worker(give_up_episode=2, exit_delay=10)
+        for t in range(60):
+            outcome = worker.on_tick(t, 0.1, capped=True)
+            assert outcome is None
+        assert worker.cap_episodes == 1
+
+    def test_exits_during_second_episode(self):
+        # "but exited abruptly during the second throttling".
+        worker = self.make_worker(give_up_episode=2, exit_delay=10)
+        for t in range(30):
+            worker.on_tick(t, 0.1, capped=True)        # episode 1
+        for t in range(30, 60):
+            worker.on_tick(t, 1.0, capped=False)        # cap lifted
+        outcome = None
+        for t in range(60, 90):
+            outcome = worker.on_tick(t, 0.1, capped=True)  # episode 2
+            if outcome:
+                break
+        assert outcome == "exited"
+        assert worker.cap_episodes == 2
+
+    def test_exit_delay_respected(self):
+        worker = self.make_worker(give_up_episode=1, exit_delay=5)
+        outcomes = [worker.on_tick(t, 0.1, capped=True) for t in range(7)]
+        assert outcomes[:5] == [None] * 5
+        assert outcomes[6] == "exited" or outcomes[5] == "exited"
+
+    def test_completes_after_work_done(self):
+        worker = self.make_worker(work_cpu_seconds=5.0)
+        outcome = None
+        for t in range(10):
+            outcome = worker.on_tick(t, 1.0, capped=False)
+            if outcome:
+                break
+        assert outcome == "completed"
+
+    def test_thread_count_follows_lame_duck(self):
+        worker = self.make_worker()
+        assert worker.thread_count(0) == 8
+        worker.on_tick(0, 0.1, capped=True)
+        assert worker.thread_count(1) == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="give_up_episode"):
+            self.make_worker(give_up_episode=0)
+        with pytest.raises(ValueError, match="exit_delay"):
+            self.make_worker(exit_delay=-1)
+
+
+class TestMapReduceCoordinator:
+    def make_job(self, num_workers=5):
+        return Job(make_mapreduce_job_spec("mr", num_workers=num_workers,
+                                           seed=1))
+
+    def test_no_stragglers_with_uniform_progress(self):
+        job = self.make_job()
+        for task in job:
+            task.mark_running("m0")
+            task.workload.granted_cpu_seconds = 100.0
+        coordinator = MapReduceCoordinator(job)
+        assert coordinator.stragglers() == []
+
+    def test_straggler_detected(self):
+        job = self.make_job()
+        for i, task in enumerate(job):
+            task.mark_running("m0")
+            task.workload.granted_cpu_seconds = 100.0 if i else 10.0
+        coordinator = MapReduceCoordinator(job)
+        names = [t.name for t in coordinator.stragglers()]
+        assert names == ["mr/0"]
+
+    def test_nominate_once(self):
+        job = self.make_job()
+        for i, task in enumerate(job):
+            task.mark_running("m0")
+            task.workload.granted_cpu_seconds = 100.0 if i else 10.0
+        coordinator = MapReduceCoordinator(job)
+        assert len(coordinator.nominate_duplicates()) == 1
+        assert coordinator.nominate_duplicates() == []
+
+    def test_too_few_workers_no_stragglers(self):
+        job = self.make_job(num_workers=2)
+        for task in job:
+            task.mark_running("m0")
+        coordinator = MapReduceCoordinator(job)
+        assert coordinator.stragglers() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapReduceCoordinator(self.make_job(), straggler_fraction=1.0)
+
+
+class TestJobSpecs:
+    def test_batch_spec(self):
+        spec = make_batch_job_spec("b", num_tasks=10)
+        assert spec.scheduling_class is SchedulingClass.BATCH
+        job = Job(spec)
+        assert isinstance(job.tasks[0].workload, BatchWorkload)
+
+    def test_best_effort_flag(self):
+        spec = make_batch_job_spec("b", num_tasks=1, best_effort=True)
+        assert spec.scheduling_class is SchedulingClass.BEST_EFFORT
+
+    def test_transactions_interface(self):
+        job = Job(make_batch_job_spec("b", num_tasks=1, seed=5))
+        workload = job.tasks[0].workload
+        assert workload.transactions_for(2e7) > 0

@@ -1,0 +1,104 @@
+"""Unit tests for repro.cluster.cgroup (CFS bandwidth control model)."""
+
+import pytest
+
+from repro.cluster.cgroup import BandwidthCap, Cgroup
+
+
+class TestBandwidthCap:
+    def test_active_window(self):
+        cap = BandwidthCap(quota=0.1, expires_at=100)
+        assert cap.active_at(0)
+        assert cap.active_at(99)
+        assert not cap.active_at(100)
+
+    def test_negative_quota_rejected(self):
+        with pytest.raises(ValueError, match="quota"):
+            BandwidthCap(quota=-0.1, expires_at=10)
+
+
+class TestCgroup:
+    def test_limit_enforced(self):
+        cg = Cgroup("job/0", cpu_limit=2.0)
+        assert cg.allowed_usage(5.0, t=0) == 2.0
+        assert cg.allowed_usage(1.5, t=0) == 1.5
+
+    def test_cap_tightens_allowance(self):
+        cg = Cgroup("job/0", cpu_limit=2.0)
+        cg.apply_cap(quota=0.1, now=0, duration=300)
+        assert cg.allowed_usage(5.0, t=0) == pytest.approx(0.1)
+        assert cg.is_capped(0)
+
+    def test_cap_expires(self):
+        cg = Cgroup("job/0", cpu_limit=2.0)
+        cg.apply_cap(quota=0.1, now=0, duration=300)
+        assert cg.allowed_usage(5.0, t=300) == 2.0
+        assert not cg.is_capped(300)
+
+    def test_cap_at_drops_lazily(self):
+        cg = Cgroup("job/0", cpu_limit=2.0)
+        cg.apply_cap(quota=0.1, now=0, duration=10)
+        assert cg.cap_at(5) is not None
+        assert cg.cap_at(10) is None
+        assert cg.cap_at(5) is None  # already dropped, even for earlier t
+
+    def test_recap_replaces(self):
+        cg = Cgroup("job/0", cpu_limit=2.0)
+        cg.apply_cap(quota=0.1, now=0, duration=300)
+        cg.apply_cap(quota=0.01, now=10, duration=300)
+        assert cg.allowed_usage(5.0, t=10) == pytest.approx(0.01)
+
+    def test_release_cap(self):
+        cg = Cgroup("job/0", cpu_limit=2.0)
+        cg.apply_cap(quota=0.1, now=0, duration=300)
+        cg.release_cap()
+        assert not cg.is_capped(1)
+
+    def test_paper_quota_semantics(self):
+        # "25 ms in each 250 ms window ... corresponds to a cap of
+        # 0.1 CPU-sec/sec".  Our quota is directly CPU-sec/sec.
+        cg = Cgroup("batch/0", cpu_limit=8.0)
+        cg.apply_cap(quota=25e-3 / 250e-3, now=0, duration=300)
+        assert cg.allowed_usage(8.0, t=0) == pytest.approx(0.1)
+
+    def test_charge_and_window_average(self):
+        cg = Cgroup("job/0", cpu_limit=4.0)
+        for t in range(10):
+            cg.charge(t, 2.0)
+        assert cg.usage_between(0, 10) == pytest.approx(2.0)
+        assert cg.usage_between(5, 10) == pytest.approx(2.0)
+
+    def test_window_with_missing_seconds_counts_zero(self):
+        cg = Cgroup("job/0", cpu_limit=4.0)
+        cg.charge(0, 4.0)
+        # seconds 1..3 unrecorded -> zero usage
+        assert cg.usage_between(0, 4) == pytest.approx(1.0)
+
+    def test_total_cpu_seconds(self):
+        cg = Cgroup("job/0", cpu_limit=4.0)
+        cg.charge(0, 1.5)
+        cg.charge(1, 0.5)
+        assert cg.total_cpu_seconds == pytest.approx(2.0)
+
+    def test_last_usage(self):
+        cg = Cgroup("job/0", cpu_limit=4.0)
+        assert cg.last_usage() == 0.0
+        cg.charge(0, 1.0)
+        cg.charge(1, 3.0)
+        assert cg.last_usage() == 3.0
+
+    def test_empty_window_raises(self):
+        cg = Cgroup("job/0", cpu_limit=4.0)
+        with pytest.raises(ValueError, match="empty window"):
+            cg.usage_between(10, 10)
+
+    def test_negative_inputs_rejected(self):
+        cg = Cgroup("job/0", cpu_limit=4.0)
+        with pytest.raises(ValueError):
+            cg.charge(0, -1.0)
+        with pytest.raises(ValueError):
+            cg.allowed_usage(-1.0, t=0)
+        with pytest.raises(ValueError):
+            Cgroup("job/0", cpu_limit=0.0)
+        with pytest.raises(ValueError):
+            cg.apply_cap(quota=0.1, now=0, duration=0)

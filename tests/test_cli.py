@@ -1,0 +1,99 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestParser:
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.minutes == 30
+        assert args.seed == 42
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(["demo", "--minutes", "5",
+                                          "--seed", "7"])
+        assert args.minutes == 5
+        assert args.seed == 7
+
+    def test_experiment_requires_names(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_demo_runs_and_reports(self, capsys):
+        assert main(["demo", "--minutes", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "incidents" in out
+        assert "throttle" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "== table2" in out
+        assert "0.35" in out
+
+    def test_experiment_unknown_name(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_mixed_valid_invalid(self, capsys):
+        assert main(["experiment", "table2", "fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "== table2" in captured.out
+        assert "fig99" in captured.err
+
+
+class TestRegistry:
+    def test_all_entries_have_descriptions(self):
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError, match="valid:"):
+            run_experiment("nope")
+
+    def test_table2_report_shape(self):
+        report = run_experiment("table2")
+        assert report.experiment == "table2"
+        assert len(report.rows) >= 3
+
+
+class TestExperimentAll:
+    def test_all_expands_to_registry(self, monkeypatch, capsys):
+        # Stub every runner so 'all' stays fast; verify each is invoked.
+        from repro.experiments import registry
+        from repro.experiments.reporting import ExperimentReport
+
+        invoked = []
+
+        def stub_for(name):
+            def runner():
+                invoked.append(name)
+                report = ExperimentReport(name, "stub")
+                report.add("q", 1, 1)
+                return report
+            return runner
+
+        stubbed = {name: (desc, stub_for(name))
+                   for name, (desc, _r) in registry.EXPERIMENTS.items()}
+        monkeypatch.setattr(registry, "EXPERIMENTS", stubbed)
+        assert main(["experiment", "all"]) == 0
+        assert invoked == list(stubbed)
+        out = capsys.readouterr().out
+        assert out.count("== ") == len(stubbed)

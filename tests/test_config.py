@@ -1,0 +1,64 @@
+"""Unit tests for repro.core.config — Table 2 fidelity."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, CpiConfig
+
+
+class TestTable2Defaults:
+    """Every default must match the paper's Table 2 verbatim."""
+
+    def test_sampling(self):
+        assert DEFAULT_CONFIG.sampling_duration == 10
+        assert DEFAULT_CONFIG.sampling_period == 60
+
+    def test_aggregation(self):
+        assert DEFAULT_CONFIG.spec_refresh_period == 24 * 3600
+
+    def test_outlier_thresholds(self):
+        assert DEFAULT_CONFIG.outlier_stddevs == 2.0
+        assert DEFAULT_CONFIG.min_cpu_usage == 0.25
+        assert DEFAULT_CONFIG.anomaly_violations == 3
+        assert DEFAULT_CONFIG.anomaly_window == 300
+
+    def test_correlation(self):
+        assert DEFAULT_CONFIG.correlation_threshold == 0.35
+        assert DEFAULT_CONFIG.correlation_window == 600
+
+    def test_hard_capping(self):
+        assert DEFAULT_CONFIG.hardcap_quota_batch == 0.1
+        assert DEFAULT_CONFIG.hardcap_quota_best_effort == 0.01
+        assert DEFAULT_CONFIG.hardcap_duration == 300
+
+    def test_section31_gates(self):
+        assert DEFAULT_CONFIG.min_tasks_for_spec == 5
+        assert DEFAULT_CONFIG.min_samples_per_task == 100
+        assert DEFAULT_CONFIG.history_age_weight == pytest.approx(0.9)
+
+
+class TestOverridesAndValidation:
+    def test_with_overrides_returns_copy(self):
+        fast = DEFAULT_CONFIG.with_overrides(spec_refresh_period=3600)
+        assert fast.spec_refresh_period == 3600
+        assert DEFAULT_CONFIG.spec_refresh_period == 24 * 3600
+        assert fast.correlation_threshold == DEFAULT_CONFIG.correlation_threshold
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.outlier_stddevs = 3.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("sampling_duration", 0),
+        ("anomaly_violations", 0),
+        ("hardcap_duration", 0),
+        ("min_cpu_usage", -0.1),
+        ("history_age_weight", 1.5),
+        ("correlation_threshold", 2.0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            CpiConfig(**{field: value})
+
+    def test_period_must_cover_duration(self):
+        with pytest.raises(ValueError, match="sampling_period"):
+            CpiConfig(sampling_duration=70, sampling_period=60)

@@ -1,0 +1,108 @@
+"""Unit tests for duty-cycle modulation (machine mechanism + throttler)."""
+
+import pytest
+
+from repro.cluster.task import SchedulingClass
+from repro.core.baselines.duty_cycle import DutyCycleThrottler
+from repro.core.config import CpiConfig
+from repro.testing import make_quiet_machine, make_scripted_job
+
+
+def place(machine, name, demand, **kwargs):
+    job = make_scripted_job(name, [demand], **kwargs)
+    machine.place(job.tasks[0])
+    return job.tasks[0]
+
+
+class TestMachineDutyCycle:
+    def test_target_grant_scaled_by_level(self, machine):
+        target = place(machine, "t", 4.0, cpu_limit=8.0)
+        machine.apply_duty_cycle("t/0", level=0.25, core_share=0.2,
+                                 now=0, duration=100)
+        result = machine.tick(0)
+        assert result.grants["t/0"] == pytest.approx(1.0)
+
+    def test_collateral_on_other_tasks(self, machine):
+        place(machine, "t", 4.0, cpu_limit=8.0)
+        place(machine, "other", 2.0, cpu_limit=4.0)
+        machine.apply_duty_cycle("t/0", level=0.0, core_share=0.5,
+                                 now=0, duration=100)
+        result = machine.tick(0)
+        assert result.grants["t/0"] == 0.0
+        # other loses core_share * (1 - level) = 50% of its grant.
+        assert result.grants["other/0"] == pytest.approx(1.0)
+
+    def test_expiry(self, machine):
+        place(machine, "t", 4.0, cpu_limit=8.0)
+        machine.apply_duty_cycle("t/0", level=0.1, core_share=0.2,
+                                 now=0, duration=10)
+        assert machine.duty_cycle_at(9) is not None
+        assert machine.duty_cycle_at(10) is None
+        result = machine.tick(10)
+        assert result.grants["t/0"] == pytest.approx(4.0)
+
+    def test_clear(self, machine):
+        place(machine, "t", 4.0, cpu_limit=8.0)
+        machine.apply_duty_cycle("t/0", level=0.1, core_share=0.2,
+                                 now=0, duration=100)
+        machine.clear_duty_cycle()
+        assert machine.duty_cycle_at(0) is None
+
+    def test_validation(self, machine):
+        place(machine, "t", 4.0, cpu_limit=8.0)
+        with pytest.raises(ValueError, match="level"):
+            machine.apply_duty_cycle("t/0", level=1.5, core_share=0.2,
+                                     now=0, duration=10)
+        with pytest.raises(ValueError, match="core_share"):
+            machine.apply_duty_cycle("t/0", level=0.5, core_share=0.0,
+                                     now=0, duration=10)
+        with pytest.raises(ValueError, match="duration"):
+            machine.apply_duty_cycle("t/0", level=0.5, core_share=0.2,
+                                     now=0, duration=0)
+        with pytest.raises(KeyError, match="no task"):
+            machine.apply_duty_cycle("ghost/0", level=0.5, core_share=0.2,
+                                     now=0, duration=10)
+
+
+class TestDutyCycleThrottler:
+    def test_level_targets_class_quota(self, machine):
+        target = place(machine, "b", 4.0, cpu_limit=8.0,
+                       scheduling_class=SchedulingClass.BATCH)
+        machine.tick(0)  # establish usage ~4.0
+        throttler = DutyCycleThrottler(CpiConfig())
+        action = throttler.cap(machine, target, now=1)
+        # quota 0.1 over usage 4.0 -> level 0.025, clamped to the 0.05 floor.
+        assert action.level == pytest.approx(0.05)
+        result = machine.tick(1)
+        assert result.grants["b/0"] == pytest.approx(4.0 * 0.05)
+
+    def test_core_share_rounds_up(self, machine):
+        target = place(machine, "b", 2.5, cpu_limit=8.0,
+                       scheduling_class=SchedulingClass.BATCH)
+        machine.tick(0)
+        throttler = DutyCycleThrottler(CpiConfig())
+        action = throttler.cap(machine, target, now=1)
+        # 2.5 CPU -> 3 cores of 24 -> 0.125 of the machine gated.
+        assert action.core_share == pytest.approx(3 / 24)
+
+    def test_release(self, machine):
+        target = place(machine, "b", 4.0, cpu_limit=8.0,
+                       scheduling_class=SchedulingClass.BATCH)
+        machine.tick(0)
+        throttler = DutyCycleThrottler(CpiConfig())
+        throttler.cap(machine, target, now=1)
+        throttler.release(machine)
+        assert machine.duty_cycle_at(1) is None
+
+    def test_audit_trail(self, machine):
+        target = place(machine, "b", 4.0, cpu_limit=8.0,
+                       scheduling_class=SchedulingClass.BATCH)
+        machine.tick(0)
+        throttler = DutyCycleThrottler(CpiConfig())
+        throttler.cap(machine, target, now=1)
+        assert len(throttler.actions) == 1
+        assert throttler.actions[0].taskname == "b/0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_level"):
+            DutyCycleThrottler(min_level=0.0)

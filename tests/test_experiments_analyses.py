@@ -1,0 +1,192 @@
+"""Unit tests for repro.experiments.analyses over synthetic trial corpora."""
+
+import math
+
+import pytest
+
+from repro.cluster.task import PriorityBand
+from repro.experiments.analyses import (
+    cpi_rel_cdfs,
+    detection_rates,
+    l3_vs_cpi_correlation,
+    median_relative_cpi,
+    rates_by_cpi_increase,
+    rates_by_threshold,
+    relative_cpi_by_degradation,
+    relative_cpi_by_threshold,
+    utilization_correlation,
+)
+from repro.experiments.trials import TrialResult
+
+
+def trial(seed=0, band=PriorityBand.PRODUCTION, detected=True, corr=0.5,
+          pre=2.0, post=1.0, mean=1.0, std=0.1, util=0.5,
+          pre_l3=0.004, post_l3=0.002, has_antagonist=True):
+    return TrialResult(
+        seed=seed, band=band, has_antagonist=has_antagonist,
+        antagonist_kind="x" if has_antagonist else None, num_tenants=6,
+        utilization=util, spec_mean=mean, spec_stddev=std,
+        anomaly_detected=detected, pre_cpi=pre, top_suspect="a/0",
+        top_suspect_job="antagonist", top_correlation=corr,
+        picked_true_antagonist=True, post_cpi=post,
+        pre_l3_mpi=pre_l3, post_l3_mpi=post_l3)
+
+
+class TestDetectionRates:
+    def test_counts_and_rates(self):
+        trials = [
+            trial(0, corr=0.5, pre=2.0, post=1.0),   # tp
+            trial(1, corr=0.5, pre=2.0, post=2.5),   # fp
+            trial(2, corr=0.5, pre=2.0, post=1.95),  # noise
+            trial(3, corr=0.2, pre=2.0, post=1.0),   # below threshold
+            trial(4, corr=0.9, detected=False),      # no anomaly -> excluded
+        ]
+        rates = detection_rates(trials, threshold=0.35)
+        assert rates.declared == 3
+        assert rates.true_positive_rate == pytest.approx(1 / 3)
+        assert rates.false_positive_rate == pytest.approx(1 / 3)
+        assert rates.noise_rate == pytest.approx(1 / 3)
+
+    def test_empty_declared(self):
+        rates = detection_rates([trial(corr=0.1)], threshold=0.35)
+        assert rates.declared == 0
+        assert rates.true_positive_rate == 0.0
+
+    def test_band_filter(self):
+        trials = [trial(0, band=PriorityBand.PRODUCTION, post=1.0),
+                  trial(1, band=PriorityBand.NONPRODUCTION, post=2.5)]
+        prod = rates_by_threshold(trials, thresholds=(0.35,),
+                                  band=PriorityBand.PRODUCTION)[0]
+        nonprod = rates_by_threshold(trials, thresholds=(0.35,),
+                                     band=PriorityBand.NONPRODUCTION)[0]
+        assert prod.true_positive_rate == 1.0
+        assert nonprod.false_positive_rate == 1.0
+
+    def test_threshold_sweep_monotone_declared(self):
+        trials = [trial(i, corr=0.1 * i) for i in range(10)]
+        sweep = rates_by_threshold(trials)
+        declared = [r.declared for r in sweep]
+        assert declared == sorted(declared, reverse=True)
+
+
+class TestRelativeCpiByThreshold:
+    def test_tp_only(self):
+        trials = [trial(0, post=1.0), trial(1, post=2.5)]
+        pairs = relative_cpi_by_threshold(trials, thresholds=(0.35,),
+                                          band=None)
+        assert pairs[0][1] == pytest.approx(0.5)  # only the TP counted
+
+    def test_nan_when_empty(self):
+        pairs = relative_cpi_by_threshold([trial(corr=0.0)],
+                                          thresholds=(0.35,), band=None)
+        assert math.isnan(pairs[0][1])
+
+
+class TestL3Correlation:
+    def test_perfectly_coupled(self):
+        trials = [
+            trial(i, pre=2.0, post=2.0 * rel, pre_l3=0.004,
+                  post_l3=0.004 * rel)
+            for i, rel in enumerate((0.3, 0.5, 0.7, 0.9))
+        ]
+        assert l3_vs_cpi_correlation(trials) == pytest.approx(1.0)
+
+    def test_too_few_raises(self):
+        with pytest.raises(ValueError, match="too few"):
+            l3_vs_cpi_correlation([trial()])
+
+
+class TestUtilizationCorrelation:
+    def test_independent_near_zero(self):
+        trials = [trial(i, util=0.1 * (i % 10), corr=0.5, pre=2.0)
+                  for i in range(40)]
+        corr_util, cpi_util = utilization_correlation(trials)
+        assert abs(corr_util) < 0.2
+        assert abs(cpi_util) < 0.2
+
+    def test_too_few_raises(self):
+        with pytest.raises(ValueError):
+            utilization_correlation([trial()])
+
+
+class TestCdfSplit:
+    def test_populations(self):
+        trials = ([trial(i, corr=0.5, pre=3.0) for i in range(5)]
+                  + [trial(i + 10, corr=0.1, pre=1.1) for i in range(5)])
+        with_ant, without = cpi_rel_cdfs(trials)
+        assert with_ant.median() == pytest.approx(3.0)
+        assert without.median() == pytest.approx(1.1)
+
+    def test_single_population_raises(self):
+        with pytest.raises(ValueError):
+            cpi_rel_cdfs([trial(corr=0.5)])
+
+
+class TestBuckets:
+    def test_rates_by_cpi_increase(self):
+        trials = [
+            trial(0, pre=1.25, post=1.24, mean=1.0, std=0.1),  # 2.5 sigma, noise
+            trial(1, pre=2.0, post=1.0, mean=1.0, std=0.1),    # 10 sigma, tp
+        ]
+        buckets = rates_by_cpi_increase(trials, sigma_buckets=(2.0, 5.0),
+                                        band=None)
+        assert buckets[0][2] == 1  # one trial in [2, 5)
+        assert buckets[0][1] == 0.0
+        assert buckets[1][1] == 1.0
+
+    def test_relative_cpi_by_degradation(self):
+        trials = [trial(0, pre=1.5, post=0.75), trial(1, pre=3.0, post=1.5)]
+        buckets = relative_cpi_by_degradation(trials, buckets=(1.0, 2.0),
+                                              band=None)
+        assert buckets[0] == (1.0, pytest.approx(0.5), 1)
+        assert buckets[1] == (2.0, pytest.approx(0.5), 1)
+
+
+class TestMedianRelativeCpi:
+    def test_includes_all_classes(self):
+        trials = [trial(0, post=1.0), trial(1, post=2.5), trial(2, post=2.0)]
+        median = median_relative_cpi(trials, band=None)
+        assert median == pytest.approx(1.0)  # rels: 0.5, 1.25, 1.0
+
+    def test_predicate(self):
+        trials = [trial(0, post=1.0), trial(1, post=2.5)]
+        median = median_relative_cpi(trials, band=None,
+                                     predicate=lambda t: t.classify() == "tp")
+        assert median == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_relative_cpi([trial(corr=0.0)], band=None)
+
+
+class TestBootstrapCI:
+    def test_ci_brackets_point_estimate(self):
+        from repro.experiments.analyses import tp_rate_confidence_interval
+        trials = ([trial(i, post=1.0) for i in range(30)]      # tps
+                  + [trial(i + 100, post=2.5) for i in range(10)])  # fps
+        lo, hi = tp_rate_confidence_interval(trials, band=None)
+        point = 30 / 40
+        assert lo <= point <= hi
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_all_tp_gives_degenerate_interval(self):
+        from repro.experiments.analyses import tp_rate_confidence_interval
+        trials = [trial(i, post=1.0) for i in range(20)]
+        lo, hi = tp_rate_confidence_interval(trials, band=None)
+        assert lo == hi == 1.0
+
+    def test_deterministic_given_seed(self):
+        from repro.experiments.analyses import tp_rate_confidence_interval
+        trials = ([trial(i, post=1.0) for i in range(15)]
+                  + [trial(i + 50, post=2.5) for i in range(5)])
+        assert (tp_rate_confidence_interval(trials, band=None, seed=1)
+                == tp_rate_confidence_interval(trials, band=None, seed=1))
+
+    def test_validation(self):
+        from repro.experiments.analyses import tp_rate_confidence_interval
+        with pytest.raises(ValueError, match="no trials declared"):
+            tp_rate_confidence_interval([trial(corr=0.0)], band=None)
+        with pytest.raises(ValueError, match="confidence"):
+            tp_rate_confidence_interval([trial()], band=None, confidence=1.0)
+        with pytest.raises(ValueError, match="resamples"):
+            tp_rate_confidence_interval([trial()], band=None, resamples=5)

@@ -1,0 +1,80 @@
+"""Small-scale sanity tests for the Section 3 experiment builders.
+
+The benchmarks run these at paper scale; here we run tiny configurations to
+pin the API contracts (shapes, determinism, sane ranges) so refactors fail
+fast instead of six minutes into a benchmark run.
+"""
+
+import pytest
+
+from repro.experiments.metric_validation import (
+    cpi_distribution_fits,
+    diurnal_cpi,
+    latency_vs_cpi_timeseries,
+    per_task_latency_correlations,
+    representative_cpi_specs,
+    tps_vs_ips,
+)
+from repro.workloads.websearch import SearchTier
+
+
+class TestTpsVsIps:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return tps_vs_ips(num_tasks=12, hours=0.5, window_seconds=300,
+                          seed=3)
+
+    def test_window_count(self, series):
+        assert len(series.series_a) == len(series.series_b) == 6
+
+    def test_rates_positive(self, series):
+        assert all(v > 0 for v in series.series_a)
+        assert all(v > 0 for v in series.series_b)
+
+    def test_correlated_even_at_small_scale(self, series):
+        assert series.correlation > 0.5
+
+
+class TestLatencyVsCpi:
+    def test_series_shape_and_positive(self):
+        series = latency_vs_cpi_timeseries(num_tasks=4, hours=1.0,
+                                           window_seconds=600, seed=3)
+        assert len(series.series_a) == 6
+        assert all(c > 0 for c in series.series_a)   # CPI
+        assert all(l > 0 for l in series.series_b)   # latency ms
+
+
+class TestPerTaskCorrelations:
+    def test_all_tiers_reported(self):
+        corrs = per_task_latency_correlations(tasks_per_tier=3, hours=0.75,
+                                              seed=3)
+        assert set(corrs) == set(SearchTier)
+        assert all(-1.0 <= v <= 1.0 for v in corrs.values())
+
+
+class TestDiurnal:
+    def test_bucket_count_and_cv(self):
+        result = diurnal_cpi(num_tasks=4, days=0.5, bucket_seconds=3600,
+                             seed=3)
+        assert len(result.mean_cpi) == 12
+        assert result.cv >= 0.0
+        assert all(c > 0 for c in result.mean_cpi)
+
+
+class TestRepresentativeSpecs:
+    def test_rows_and_ordering(self):
+        rows = representative_cpi_specs(seed=3, minutes=12, scale=0.04)
+        assert [name for name, *_ in rows] == ["job-A", "job-B", "job-C"]
+        means = [mean for _name, mean, _std, _n in rows]
+        assert means == sorted(means)
+        for _name, mean, std, tasks in rows:
+            assert mean > 0 and std >= 0 and tasks >= 5
+
+
+class TestDistributionFits:
+    def test_all_families_present(self):
+        result = cpi_distribution_fits(num_tasks=12, hours=1.0, seed=3)
+        assert set(result.fits) == {"normal", "lognormal", "gamma", "gev"}
+        assert result.num_samples > 500
+        assert result.mean > 0
+        assert result.best_family in result.fits

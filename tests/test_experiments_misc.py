@@ -1,0 +1,73 @@
+"""Sanity tests for the fleet, case-study and ablation experiment builders.
+
+The benchmarks assert the paper-shape properties; these tests pin the
+faster-to-check contracts (result types, invariants, determinism) so a
+refactor that silently breaks an experiment fails in the unit suite, not
+ten minutes into a benchmark run.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    age_weight_sweep,
+    anomaly_window_policies,
+    group_antagonists,
+)
+from repro.experiments.casestudies import (
+    case3_bimodal_false_alarm,
+    case6_mapreduce_exit,
+)
+from repro.experiments.fleet import machine_occupancy
+
+
+class TestFleet:
+    def test_occupancy_shapes(self):
+        result = machine_occupancy(num_machines=6, warmup_minutes=1)
+        assert result.tasks_per_machine.n == 6
+        assert result.threads_per_machine.n == 6
+        quantiles = result.quantiles()
+        assert set(quantiles) == {"tasks", "threads"}
+        assert all(q >= 0 for qs in quantiles.values() for q in qs)
+
+
+class TestCaseStudies:
+    def test_case3_deterministic(self):
+        a = case3_bimodal_false_alarm(seed=3)
+        b = case3_bimodal_false_alarm(seed=3)
+        assert a.anomalies_without_gate == b.anomalies_without_gate
+        assert a.best_correlation_without_gate == pytest.approx(
+            b.best_correlation_without_gate)
+
+    def test_case6_outcome_fields_consistent(self):
+        result = case6_mapreduce_exit(seed=6)
+        if result.exited_during_second:
+            assert result.final_state == "exited"
+            assert result.cap_episodes >= 2
+
+
+class TestAblations:
+    def test_window_policies_cover_three(self):
+        results = anomaly_window_policies(minutes=40)
+        assert [r.policy for r in results] == [
+            "1-shot", "3-in-5-min (paper)", "5-in-5-min"]
+        # Monotone: stricter policies never raise more anomalies.
+        interference = [r.anomalies_interference for r in results]
+        assert interference == sorted(interference, reverse=True)
+        noise = [r.anomalies_noise_only for r in results]
+        assert noise == sorted(noise, reverse=True)
+
+    def test_age_weight_sweep_shape(self):
+        results = age_weight_sweep(weights=(0.0, 0.9), days=6)
+        assert [r.age_weight for r in results] == [0.0, 0.9]
+        assert all(r.mean_abs_error >= 0 for r in results)
+        assert all(r.worst_abs_error >= r.mean_abs_error for r in results)
+
+    def test_group_antagonists_fields(self):
+        result = group_antagonists(group_size=3, seed=1)
+        assert result.num_antagonists == 3
+        assert -1.0 <= result.max_individual_correlation <= 1.0
+        assert -1.0 <= result.group_correlation <= 1.0
+        assert result.victim_cpi_inflation > 1.0
+        # Capping everyone can only help at least as much as capping one.
+        assert (result.relative_cpi_group_capped
+                <= result.relative_cpi_top1_capped + 0.05)

@@ -1,0 +1,60 @@
+"""Unit tests for repro.experiments.reporting."""
+
+import pytest
+
+from repro.experiments.reporting import Comparison, ExperimentReport
+
+
+class TestExperimentReport:
+    def test_add_and_render(self):
+        report = ExperimentReport("fig99", "A test figure")
+        report.add("quantity one", 0.97, 0.95)
+        report.add("quantity two", "~0.4", 0.37, note="scaled")
+        text = report.render()
+        assert "== fig99: A test figure ==" in text
+        assert "quantity one" in text
+        assert "0.97" in text and "0.95" in text
+        assert "scaled" in text
+
+    def test_column_alignment(self):
+        report = ExperimentReport("x", "t")
+        report.add("short", 1, 2)
+        report.add("a much longer quantity name", 3, 4)
+        lines = report.render().splitlines()
+        # Header and rows must align on the 'paper' column.
+        header = lines[1]
+        assert header.index("paper") > len("a much longer quantity name") - 1
+
+    def test_add_series(self):
+        report = ExperimentReport("x", "t")
+        report.add_series("tp", [(0.7, 0.72), (0.8, 0.79)],
+                          labels=["tp@0.35", "tp@0.40"])
+        assert [r.quantity for r in report.rows] == ["tp@0.35", "tp@0.40"]
+
+    def test_add_series_default_labels(self):
+        report = ExperimentReport("x", "t")
+        report.add_series("tp", [(1, 1), (2, 2)])
+        assert report.rows[0].quantity == "tp[0]"
+
+    def test_none_rendered_as_dash(self):
+        report = ExperimentReport("x", "t")
+        report.add("missing", None, None)
+        assert "-" in report.render()
+
+    def test_float_formatting(self):
+        report = ExperimentReport("x", "t")
+        report.add("f", 0.123456, 1234567.0)
+        text = report.render()
+        assert "0.123" in text
+        assert "1.23e+06" in text
+
+    def test_show_prints(self, capsys):
+        report = ExperimentReport("x", "t")
+        report.add("a", 1, 2)
+        report.show()
+        assert "== x: t ==" in capsys.readouterr().out
+
+    def test_comparison_immutable(self):
+        row = Comparison("q", 1, 2)
+        with pytest.raises(Exception):
+            row.paper = 3

@@ -1,0 +1,99 @@
+"""Unit tests for repro.experiments.scenarios."""
+
+import pytest
+
+from repro.core.config import CpiConfig
+from repro.experiments.scenarios import (
+    build_cluster,
+    populated_fleet,
+    victim_antagonist_machine,
+)
+from repro.records import SpecKey
+from repro.workloads.services import make_service_job_spec
+
+
+class TestBuildCluster:
+    def test_platform_cycling(self):
+        scenario = build_cluster(4, platforms=("westmere-2.6", "nehalem-2.3"))
+        platforms = [m.platform.name
+                     for m in scenario.simulation.machines.values()]
+        assert platforms.count("westmere-2.6") == 2
+        assert platforms.count("nehalem-2.3") == 2
+
+    def test_pipeline_wired(self):
+        scenario = build_cluster(2)
+        assert set(scenario.pipeline.agents) == {"m0", "m1"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_machines"):
+            build_cluster(0)
+
+    def test_submit_tracks_jobs(self):
+        scenario = build_cluster(2)
+        job = scenario.submit(make_service_job_spec("svc", num_tasks=2))
+        assert scenario.jobs["svc"] is job
+        assert all(t.machine_name for t in job)
+
+    def test_bootstrap_service_spec_covers_platforms(self):
+        scenario = build_cluster(4, platforms=("westmere-2.6", "nehalem-2.3"))
+        scenario.bootstrap_service_spec("svc", 1.0, 0.1)
+        aggregator = scenario.pipeline.aggregator
+        west = aggregator.spec_for("svc", "westmere-2.6")
+        neh = aggregator.spec_for("svc", "nehalem-2.3")
+        assert west is not None and neh is not None
+        # Platform scaling applied: nehalem's cpi_scale is 1.18.
+        assert neh.cpi_mean == pytest.approx(west.cpi_mean * 1.18, rel=0.01)
+
+
+class TestPopulatedFleet:
+    def test_every_machine_multi_tenant(self):
+        scenario = populated_fleet(num_machines=8, seed=1)
+        for machine in scenario.simulation.machines.values():
+            assert machine.num_tasks >= 2
+
+    def test_mix_contains_ls_and_batch(self):
+        from repro.cluster.task import SchedulingClass
+        scenario = populated_fleet(num_machines=8, seed=1)
+        classes = {job.scheduling_class for job in scenario.jobs.values()}
+        assert SchedulingClass.LATENCY_SENSITIVE in classes
+        assert SchedulingClass.BATCH in classes
+
+    def test_density_scales_population(self):
+        dense = populated_fleet(num_machines=6, seed=1)
+        sparse = populated_fleet(num_machines=6, seed=1, density=0.5)
+        dense_tasks = sum(m.num_tasks
+                          for m in dense.simulation.machines.values())
+        sparse_tasks = sum(m.num_tasks
+                           for m in sparse.simulation.machines.values())
+        assert sparse_tasks < 0.75 * dense_tasks
+
+    def test_antagonist_override_zero(self):
+        scenario = populated_fleet(num_machines=6, seed=1,
+                                   antagonist_tasks=(0, 0))
+        assert "video-transcode" not in scenario.jobs
+        assert "science-sim" not in scenario.jobs
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError, match="density"):
+            populated_fleet(num_machines=4, density=0.0)
+
+
+class TestVictimAntagonistMachine:
+    def test_setup(self):
+        scenario, victim, antagonist = victim_antagonist_machine(seed=3)
+        machine = next(iter(scenario.simulation.machines.values()))
+        assert machine.has_task(victim.tasks[0].name)
+        assert machine.has_task(antagonist.tasks[0].name)
+        assert machine.num_tasks >= 3  # fillers too
+
+    def test_spec_bootstrapped(self):
+        scenario, victim, _ = victim_antagonist_machine(seed=3)
+        agent = next(iter(scenario.pipeline.agents.values()))
+        assert agent.spec_for("victim-service") is not None
+
+    def test_detection_fires(self):
+        scenario, victim, antagonist = victim_antagonist_machine(
+            seed=3, antagonist_scale=1.4)
+        scenario.simulation.run_minutes(20)
+        agent = next(iter(scenario.pipeline.agents.values()))
+        assert agent.anomalies_seen > 0

@@ -1,0 +1,103 @@
+"""Unit tests for the Section 7 trial harness."""
+
+import math
+
+import pytest
+
+from repro.cluster.task import PriorityBand
+from repro.experiments.trials import TrialConfig, TrialResult, run_trial, run_trials
+
+#: Short phases so each trial takes well under a second.
+FAST = TrialConfig(calibration_seconds=300, interference_seconds=420,
+                   cap_seconds=120)
+
+
+@pytest.fixture(scope="module")
+def some_trials():
+    return run_trials(8, FAST)
+
+
+class TestRunTrial:
+    def test_deterministic(self):
+        a = run_trial(5, FAST)
+        b = run_trial(5, FAST)
+        assert a.pre_cpi == b.pre_cpi
+        assert a.top_correlation == b.top_correlation
+        assert a.band == b.band
+
+    def test_different_seeds_differ(self):
+        a = run_trial(5, FAST)
+        b = run_trial(6, FAST)
+        assert (a.pre_cpi, a.num_tenants) != (b.pre_cpi, b.num_tenants)
+
+    def test_result_sanity(self, some_trials):
+        for trial in some_trials:
+            assert trial.spec_mean > 0
+            assert trial.spec_stddev >= 0.03 * trial.spec_mean
+            assert trial.pre_cpi > 0
+            assert trial.post_cpi > 0
+            assert 0.0 <= trial.utilization <= 2.0
+            assert -1.0 <= trial.top_correlation <= 1.0
+            assert trial.num_tenants >= 3
+
+    def test_antagonist_mix(self, some_trials):
+        flags = {t.has_antagonist for t in some_trials}
+        assert flags == {True, False} or len(some_trials) < 6
+
+    def test_band_mix(self, some_trials):
+        bands = {t.band for t in some_trials}
+        assert PriorityBand.PRODUCTION in bands
+
+    def test_antagonist_trials_name_it(self, some_trials):
+        for trial in some_trials:
+            if trial.has_antagonist and trial.picked_true_antagonist:
+                assert trial.top_suspect_job.startswith("antagonist")
+
+
+class TestDerivedMetrics:
+    def make(self, **kwargs):
+        defaults = dict(
+            seed=0, band=PriorityBand.PRODUCTION, has_antagonist=True,
+            antagonist_kind="video-processing", num_tenants=5,
+            utilization=0.5, spec_mean=1.0, spec_stddev=0.1,
+            anomaly_detected=True, pre_cpi=2.0, top_suspect="a/0",
+            top_suspect_job="antagonist", top_correlation=0.5,
+            picked_true_antagonist=True, post_cpi=1.0,
+            pre_l3_mpi=0.004, post_l3_mpi=0.002)
+        defaults.update(kwargs)
+        return TrialResult(**defaults)
+
+    def test_relative_cpi(self):
+        assert self.make().relative_cpi == pytest.approx(0.5)
+
+    def test_degradation(self):
+        assert self.make().cpi_degradation == pytest.approx(2.0)
+
+    def test_sigmas(self):
+        assert self.make().cpi_increase_sigmas == pytest.approx(10.0)
+
+    def test_relative_l3(self):
+        assert self.make().relative_l3 == pytest.approx(0.5)
+
+    def test_classify_tp(self):
+        assert self.make(post_cpi=1.0).classify() == "tp"
+
+    def test_classify_fp(self):
+        assert self.make(post_cpi=2.2).classify() == "fp"
+
+    def test_classify_noise(self):
+        assert self.make(post_cpi=1.95).classify() == "noise"
+        assert self.make(post_cpi=2.05).classify() == "noise"
+
+    def test_nan_on_zero_pre(self):
+        assert math.isnan(self.make(pre_cpi=0.0).relative_cpi)
+
+
+class TestRunTrials:
+    def test_count_and_seeds(self):
+        trials = run_trials(3, FAST, seed_base=100)
+        assert [t.seed for t in trials] == [100, 101, 102]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(0, FAST)

@@ -1,0 +1,167 @@
+"""Failure-injection tests: churn, staleness and edge conditions.
+
+The agent and pipeline must stay sane when tasks die mid-window, when specs
+change underneath running detection, when victims depart mid-amelioration,
+and when whole jobs disappear — the normal background noise of a cluster.
+"""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, SimConfig
+from repro.cluster.task import SchedulingClass, TaskState
+from repro.core.agent import MachineAgent
+from repro.core.config import CpiConfig
+from repro.core.pipeline import CpiPipeline
+from repro.core.policy import PolicyAction
+from repro.perf.sampler import CpiSampler, SamplerConfig
+from repro.records import SpecKey
+from repro.testing import (
+    NOISY_NEIGHBOR_PROFILE,
+    SENSITIVE_PROFILE,
+    make_quiet_machine,
+    make_scripted_job,
+)
+from tests.conftest import make_spec
+
+FAST = CpiConfig(sampling_duration=5, sampling_period=15,
+                 anomaly_window=120, correlation_window=300,
+                 hardcap_duration=60)
+
+
+def build_victim_rig(config=FAST):
+    machine = make_quiet_machine()
+    sampler = CpiSampler(machine, SamplerConfig(config.sampling_duration,
+                                                config.sampling_period))
+    agent = MachineAgent(machine, config)
+    victim = make_scripted_job("victim", [1.0], cpu_limit=2.0, base_cpi=1.0,
+                               profile=SENSITIVE_PROFILE)
+    antagonist = make_scripted_job("ant", [6.0], cpu_limit=8.0,
+                                   scheduling_class=SchedulingClass.BATCH,
+                                   profile=NOISY_NEIGHBOR_PROFILE)
+    machine.place(victim.tasks[0])
+    machine.place(antagonist.tasks[0])
+    agent.update_specs({SpecKey("victim", machine.platform.name): make_spec(
+        jobname="victim", cpi_mean=1.0, cpi_stddev=0.1)})
+    return machine, sampler, agent, victim, antagonist
+
+
+def drive(machine, sampler, agent, start, seconds):
+    for t in range(start, start + seconds):
+        machine.tick(t)
+        agent.tick(t)
+        samples = sampler.tick(t)
+        if samples:
+            agent.ingest_samples(t, samples)
+    return start + seconds
+
+
+class TestVictimDeparture:
+    def test_victim_dies_before_analysis(self):
+        machine, sampler, agent, victim, _ = build_victim_rig()
+        now = drive(machine, sampler, agent, 0, 40)
+        machine.remove("victim/0", TaskState.KILLED)
+        agent.forget_task("victim/0")
+        # The stream continues without the victim; nothing blows up and no
+        # stale incident appears for it.
+        drive(machine, sampler, agent, now, 120)
+        assert all(i.victim_taskname != "victim/0" or i.time_seconds <= now
+                   for i in agent.incidents)
+
+    def test_victim_dies_during_followup(self):
+        machine, sampler, agent, victim, _ = build_victim_rig()
+        now = drive(machine, sampler, agent, 0, 180)
+        throttles = [i for i in agent.incidents
+                     if i.decision.action is PolicyAction.THROTTLE]
+        assert throttles, "need an in-flight amelioration for this test"
+        machine.remove("victim/0", TaskState.KILLED)
+        agent.forget_task("victim/0")
+        drive(machine, sampler, agent, now, 120)
+        # The follow-up closed gracefully: the ghost counts as recovered.
+        assert throttles[0].recovered is True
+
+
+class TestAntagonistDeparture:
+    def test_capped_antagonist_exits(self):
+        machine, sampler, agent, _victim, antagonist = build_victim_rig()
+        now = drive(machine, sampler, agent, 0, 180)
+        if machine.has_task("ant/0"):
+            machine.remove("ant/0", TaskState.EXITED)
+            agent.forget_task("ant/0")
+        drive(machine, sampler, agent, now, 180)
+        # With the antagonist gone the victim must stop being anomalous
+        # eventually: the last incidents close recovered.
+        closed = [i for i in agent.incidents if i.recovered is not None]
+        assert closed
+        assert closed[-1].recovered is True
+
+
+class TestSpecChurn:
+    def test_spec_update_mid_stream(self):
+        machine, sampler, agent, *_ = build_victim_rig()
+        now = drive(machine, sampler, agent, 0, 60)
+        # The aggregator publishes a much looser spec: detection must respect
+        # it immediately (no stale-threshold anomalies).
+        agent.update_specs({SpecKey("victim", machine.platform.name):
+                            make_spec(jobname="victim", cpi_mean=3.0,
+                                      cpi_stddev=1.0)})
+        before = agent.anomalies_seen
+        drive(machine, sampler, agent, now, 120)
+        assert agent.anomalies_seen == before
+
+    def test_spec_withdrawal_stops_detection(self):
+        machine, sampler, agent, *_ = build_victim_rig()
+        now = drive(machine, sampler, agent, 0, 60)
+        agent.update_specs({})
+        before = agent.anomalies_seen
+        drive(machine, sampler, agent, now, 120)
+        assert agent.anomalies_seen == before
+        assert agent.detector.samples_skipped_no_spec > 0
+
+
+class TestSchedulerChurn:
+    def test_mass_preemption_keeps_invariants(self):
+        from repro.cluster.scheduler import ClusterScheduler
+
+        machines = [make_quiet_machine(f"m{i}") for i in range(2)]
+        scheduler = ClusterScheduler(machines, batch_overcommit=1.2)
+        batch_jobs = [
+            make_scripted_job(f"b{i}", [1.0], num_tasks=2, cpu_limit=10.0,
+                              scheduling_class=SchedulingClass.BATCH)
+            for i in range(3)
+        ]
+        for job in batch_jobs:
+            scheduler.submit(job)
+        # A wave of LS arrivals forces preemptions.
+        for i in range(3):
+            scheduler.submit(make_scripted_job(f"ls{i}", [1.0], num_tasks=1,
+                                               cpu_limit=12.0))
+        for machine in machines:
+            ls = machine.reserved_cpu(SchedulingClass.LATENCY_SENSITIVE)
+            assert ls <= machine.cpu_capacity
+            assert machine.reserved_cpu() <= machine.cpu_capacity * 1.2 + 1e-9
+        # Preempted/unplaced tasks are cleanly off-machine and re-placeable.
+        for job in batch_jobs:
+            for task in job:
+                assert task.state in (TaskState.RUNNING, TaskState.PREEMPTED,
+                                      TaskState.PENDING)
+                if task.state is not TaskState.RUNNING:
+                    assert task.machine_name is None
+        scheduler.reschedule_pending()
+
+
+class TestPipelineChurn:
+    def test_workload_exits_flow_through_pipeline(self):
+        config = FAST
+        machines = [make_quiet_machine("m0")]
+        sim = ClusterSimulation(machines, SimConfig(
+            sampler=SamplerConfig(config.sampling_duration,
+                                  config.sampling_period)))
+        pipeline = CpiPipeline(sim, config)
+        dying = make_scripted_job("dying", [1.0], num_tasks=3, cpu_limit=2.0,
+                                  complete_at=50)
+        sim.scheduler.submit(dying)
+        sim.run(120)
+        assert all(t.state is TaskState.COMPLETED for t in dying)
+        agent = pipeline.agents["m0"]
+        for task in dying:
+            assert agent.detector.violations_for(task.name) == 0

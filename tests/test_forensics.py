@@ -1,0 +1,216 @@
+"""Unit tests for repro.core.forensics (the Dremel stand-in)."""
+
+import pytest
+
+from repro.core.agent import Incident
+from repro.core.correlation import SuspectScore
+from repro.core.forensics import ForensicsStore, IncidentRecord
+from repro.core.policy import PolicyAction, PolicyDecision
+from repro.cluster.task import SchedulingClass
+from repro.testing import make_scripted_job
+
+
+def make_incident(incident_id=1, t=100, victim_job="websearch",
+                  antagonist_job="video", correlation=0.5,
+                  action=PolicyAction.THROTTLE, recovered=True,
+                  victim_cpi=2.0, post_cpi=1.0):
+    target = None
+    score = None
+    if antagonist_job is not None:
+        target = make_scripted_job(
+            antagonist_job, [1.0],
+            scheduling_class=SchedulingClass.BATCH).tasks[0]
+        score = SuspectScore(target.name, antagonist_job, correlation)
+    incident = Incident(
+        incident_id=incident_id,
+        machine="m0",
+        time_seconds=t,
+        victim_taskname=f"{victim_job}/0",
+        victim_jobname=victim_job,
+        victim_cpi=victim_cpi,
+        cpi_threshold=1.2,
+        suspects=[score] if score else [],
+        decision=PolicyDecision(action=action, target=target, score=score),
+    )
+    incident.post_cpi = post_cpi
+    incident.recovered = recovered
+    return incident
+
+
+class TestRecordFlattening:
+    def test_from_incident(self):
+        row = IncidentRecord.from_incident(make_incident())
+        assert row.victim_job == "websearch"
+        assert row.antagonist_job == "video"
+        assert row.antagonist_task == "video/0"
+        assert row.correlation == 0.5
+        assert row.action == "throttle"
+        assert row.recovered is True
+        assert row.relative_cpi == pytest.approx(0.5)
+
+    def test_no_target(self):
+        row = IncidentRecord.from_incident(
+            make_incident(antagonist_job=None, action=PolicyAction.NO_ACTION,
+                          post_cpi=None, recovered=None))
+        assert row.antagonist_job is None
+        assert row.correlation is None
+        assert row.relative_cpi is None
+
+
+class TestStore:
+    def test_record_and_len(self):
+        store = ForensicsStore()
+        store.record(make_incident(1))
+        store.record(make_incident(2))
+        assert len(store) == 2
+        assert len(store.records) == 2
+
+    def test_to_dicts(self):
+        store = ForensicsStore()
+        store.record(make_incident())
+        (row,) = store.to_dicts()
+        assert row["victim_job"] == "websearch"
+
+
+class TestQuery:
+    @pytest.fixture
+    def store(self):
+        store = ForensicsStore()
+        store.record(make_incident(1, t=100, victim_job="search",
+                                   antagonist_job="video", correlation=0.6))
+        store.record(make_incident(2, t=200, victim_job="search",
+                                   antagonist_job="mapreduce", correlation=0.4))
+        store.record(make_incident(3, t=300, victim_job="ads",
+                                   antagonist_job="video", correlation=0.5))
+        store.record(make_incident(4, t=400, victim_job="ads",
+                                   antagonist_job=None,
+                                   action=PolicyAction.NO_ACTION,
+                                   post_cpi=None, recovered=None))
+        return store
+
+    def test_where_equality(self, store):
+        rows = store.query().where(victim_job="search").run()
+        assert [r.incident_id for r in rows] == [1, 2]
+
+    def test_where_unknown_field(self, store):
+        with pytest.raises(ValueError, match="unknown field"):
+            store.query().where(nonsense=1)
+
+    def test_where_fn_and_chaining(self, store):
+        rows = (store.query()
+                .where(victim_job="search")
+                .where_fn(lambda r: r.correlation and r.correlation > 0.5)
+                .run())
+        assert [r.incident_id for r in rows] == [1]
+
+    def test_between(self, store):
+        rows = store.query().between(150, 350).run()
+        assert [r.incident_id for r in rows] == [2, 3]
+        with pytest.raises(ValueError, match="empty time range"):
+            store.query().between(10, 10)
+
+    def test_order_by_descending_nones_last(self, store):
+        rows = store.query().order_by("correlation", descending=True).run()
+        assert [r.incident_id for r in rows] == [1, 3, 2, 4]
+
+    def test_order_by_unknown_field(self, store):
+        with pytest.raises(ValueError, match="unknown field"):
+            store.query().order_by("bogus")
+
+    def test_limit(self, store):
+        rows = store.query().order_by("time_seconds").limit(2).run()
+        assert [r.incident_id for r in rows] == [1, 2]
+        with pytest.raises(ValueError):
+            store.query().limit(-1)
+
+    def test_group_count(self, store):
+        counts = store.query().group_count("antagonist_job")
+        assert counts == {"video": 2, "mapreduce": 1, None: 1}
+
+
+class TestCannedAnalyses:
+    @pytest.fixture
+    def store(self):
+        store = ForensicsStore()
+        for i in range(3):
+            store.record(make_incident(i, t=100 * i, victim_job="search",
+                                       antagonist_job="video"))
+        store.record(make_incident(10, t=50, victim_job="search",
+                                   antagonist_job="mapreduce"))
+        store.record(make_incident(11, t=60, victim_job="ads",
+                                   antagonist_job="mapreduce"))
+        return store
+
+    def test_top_antagonists_overall(self, store):
+        assert store.top_antagonists() == [("video", 3), ("mapreduce", 2)]
+
+    def test_top_antagonists_per_victim_and_window(self, store):
+        ranked = store.top_antagonists(victim_job="search", start=0, end=150)
+        assert ranked == [("mapreduce", 1), ("video", 2)] or \
+               ranked == [("video", 2), ("mapreduce", 1)]
+        # Time window [0, 150) holds video incidents at t=0,100 and
+        # mapreduce at t=50.
+        assert dict(ranked) == {"video": 2, "mapreduce": 1}
+
+    def test_scheduler_hints_threshold(self, store):
+        assert store.scheduler_hints(min_incidents=2) == [("search", "video")]
+        hints = store.scheduler_hints(min_incidents=1)
+        assert ("ads", "mapreduce") in hints
+        assert len(hints) == 3
+
+    def test_scheduler_hints_validation(self, store):
+        with pytest.raises(ValueError):
+            store.scheduler_hints(0)
+
+
+class TestGroupAgg:
+    @pytest.fixture
+    def store(self):
+        store = ForensicsStore()
+        store.record(make_incident(1, victim_job="search",
+                                   antagonist_job="video", post_cpi=1.0,
+                                   victim_cpi=2.0))
+        store.record(make_incident(2, victim_job="search",
+                                   antagonist_job="video", post_cpi=1.5,
+                                   victim_cpi=2.0))
+        store.record(make_incident(3, victim_job="ads",
+                                   antagonist_job="mapreduce", post_cpi=1.8,
+                                   victim_cpi=2.0))
+        store.record(make_incident(4, victim_job="ads", antagonist_job=None,
+                                   action=PolicyAction.NO_ACTION,
+                                   post_cpi=None, recovered=None))
+        return store
+
+    def test_mean(self, store):
+        means = store.query().group_agg("antagonist_job", "relative_cpi")
+        assert means["video"] == pytest.approx((0.5 + 0.75) / 2)
+        assert means["mapreduce"] == pytest.approx(0.9)
+
+    def test_none_values_skipped(self, store):
+        means = store.query().group_agg("victim_job", "relative_cpi")
+        # incident 4 has relative_cpi None; ads still aggregates over one row
+        assert means["ads"] == pytest.approx(0.9)
+
+    def test_min_max_sum_count(self, store):
+        q = store.query().where(antagonist_job="video")
+        assert q.group_agg("victim_job", "relative_cpi", "min")["search"] == \
+            pytest.approx(0.5)
+        assert q.group_agg("victim_job", "relative_cpi", "max")["search"] == \
+            pytest.approx(0.75)
+        assert q.group_agg("victim_job", "relative_cpi", "count")["search"] == 2
+
+    def test_median_even_and_odd(self, store):
+        medians = store.query().group_agg("victim_job", "relative_cpi",
+                                          "median")
+        assert medians["search"] == pytest.approx(0.625)
+        assert medians["ads"] == pytest.approx(0.9)
+
+    def test_unknown_aggregate(self, store):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            store.query().group_agg("victim_job", "relative_cpi", "p99")
+
+    def test_unknown_fields(self, store):
+        with pytest.raises(ValueError, match="unknown field"):
+            store.query().group_agg("nope", "relative_cpi")
+        with pytest.raises(ValueError, match="unknown field"):
+            store.query().group_agg("victim_job", "nope")

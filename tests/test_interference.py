@@ -1,0 +1,178 @@
+"""Unit tests for repro.cluster.interference (the contention model)."""
+
+import pytest
+
+from repro.cluster.interference import (
+    InterferenceModel,
+    ResourceProfile,
+)
+from repro.cluster.platform import get_platform
+from repro.testing import NOISY_NEIGHBOR_PROFILE, QUIET_PROFILE, SENSITIVE_PROFILE
+
+
+@pytest.fixture
+def model():
+    return InterferenceModel()
+
+
+@pytest.fixture
+def platform():
+    return get_platform("westmere-2.6")
+
+
+class TestResourceProfile:
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError, match="cache_mib_per_cpu"):
+            ResourceProfile(cache_mib_per_cpu=-1.0, membw_gbps_per_cpu=0.0)
+
+    def test_defaults(self):
+        p = ResourceProfile(cache_mib_per_cpu=1.0, membw_gbps_per_cpu=1.0)
+        assert p.cache_sensitivity == 1.0
+        assert p.cold_start_penalty == 0.0
+
+
+class TestContention:
+    def test_empty_machine_has_no_pressure(self, model, platform):
+        c = model.contention(platform, [])
+        assert c.cache_pressure == 0.0
+        assert c.membw_pressure == 0.0
+
+    def test_pressure_scales_with_usage(self, model, platform):
+        c1 = model.contention(platform, [("a", 1.0, NOISY_NEIGHBOR_PROFILE)])
+        c2 = model.contention(platform, [("a", 2.0, NOISY_NEIGHBOR_PROFILE)])
+        assert c2.cache_pressure == pytest.approx(2 * c1.cache_pressure)
+
+    def test_pressure_normalised_to_platform(self, model):
+        small = get_platform("nehalem-2.3")     # 8 MiB LLC
+        big = get_platform("sandybridge-2.9")   # 20 MiB LLC
+        usage = [("a", 1.0, NOISY_NEIGHBOR_PROFILE)]
+        assert (model.contention(small, usage).cache_pressure
+                > model.contention(big, usage).cache_pressure)
+
+    def test_others_excludes_own_contribution(self, model, platform):
+        c = model.contention(platform, [
+            ("a", 1.0, NOISY_NEIGHBOR_PROFILE),
+            ("b", 1.0, NOISY_NEIGHBOR_PROFILE),
+        ])
+        assert c.others_cache("a") == pytest.approx(c.cache_contrib["b"])
+        assert c.others_cache("unknown") == pytest.approx(c.cache_pressure)
+
+    def test_idle_task_exerts_nothing(self, model, platform):
+        c = model.contention(platform, [("a", 0.0, NOISY_NEIGHBOR_PROFILE)])
+        assert c.cache_pressure == 0.0
+
+    def test_negative_usage_rejected(self, model, platform):
+        with pytest.raises(ValueError, match="usage"):
+            model.contention(platform, [("a", -1.0, QUIET_PROFILE)])
+
+
+class TestEffectiveCpi:
+    def test_alone_equals_base_times_platform(self, model, platform):
+        c = model.contention(platform, [("v", 1.0, SENSITIVE_PROFILE)])
+        cpi = model.effective_cpi("v", 1.5, SENSITIVE_PROFILE, c, platform, 1.0)
+        assert cpi == pytest.approx(1.5 * platform.cpi_scale)
+
+    def test_antagonist_inflates_victim(self, model, platform):
+        usages = [("v", 1.0, SENSITIVE_PROFILE),
+                  ("a", 4.0, NOISY_NEIGHBOR_PROFILE)]
+        c = model.contention(platform, usages)
+        alone = model.contention(platform, usages[:1])
+        cpi_with = model.effective_cpi("v", 1.5, SENSITIVE_PROFILE, c,
+                                       platform, 1.0)
+        cpi_alone = model.effective_cpi("v", 1.5, SENSITIVE_PROFILE, alone,
+                                        platform, 1.0)
+        assert cpi_with > cpi_alone * 1.5  # a hot antagonist hurts a lot
+
+    def test_insensitive_victim_unaffected(self, model, platform):
+        usages = [("v", 1.0, QUIET_PROFILE),
+                  ("a", 4.0, NOISY_NEIGHBOR_PROFILE)]
+        c = model.contention(platform, usages)
+        cpi = model.effective_cpi("v", 1.0, QUIET_PROFILE, c, platform, 1.0)
+        assert cpi == pytest.approx(1.0 * platform.cpi_scale)
+
+    def test_quiet_antagonist_harmless(self, model, platform):
+        # The CPU-spinner scenario: high usage, negligible footprint.
+        spinner = ResourceProfile(cache_mib_per_cpu=0.05,
+                                  membw_gbps_per_cpu=0.05)
+        usages = [("v", 1.0, SENSITIVE_PROFILE), ("s", 8.0, spinner)]
+        c = model.contention(platform, usages)
+        cpi = model.effective_cpi("v", 1.5, SENSITIVE_PROFILE, c, platform, 1.0)
+        assert cpi < 1.5 * platform.cpi_scale * 1.1
+
+    def test_inflation_monotone_in_antagonist_usage(self, model, platform):
+        cpis = []
+        for usage in (0.5, 1.0, 2.0, 4.0):
+            c = model.contention(platform, [
+                ("v", 1.0, SENSITIVE_PROFILE),
+                ("a", usage, NOISY_NEIGHBOR_PROFILE)])
+            cpis.append(model.effective_cpi("v", 1.5, SENSITIVE_PROFILE, c,
+                                            platform, 1.0))
+        assert cpis == sorted(cpis)
+        assert cpis[-1] > cpis[0]
+
+    def test_saturation_is_sublinear(self, model, platform):
+        def inflation(u):
+            c = model.contention(platform, [
+                ("v", 1.0, SENSITIVE_PROFILE),
+                ("a", u, NOISY_NEIGHBOR_PROFILE)])
+            return model.inflation("v", SENSITIVE_PROFILE, c)
+
+        # Doubling pressure must less-than-double inflation.
+        assert inflation(8.0) < 2 * inflation(4.0)
+
+    def test_bad_base_cpi_rejected(self, model, platform):
+        c = model.contention(platform, [])
+        with pytest.raises(ValueError, match="base_cpi"):
+            model.effective_cpi("v", 0.0, QUIET_PROFILE, c, platform, 1.0)
+
+
+class TestColdStart:
+    def test_penalty_at_zero_usage(self, model, platform):
+        profile = ResourceProfile(cache_mib_per_cpu=1.0, membw_gbps_per_cpu=1.0,
+                                  cold_start_penalty=4.0)
+        assert model.cold_start_factor(profile, 0.0) == pytest.approx(5.0)
+
+    def test_penalty_decays_with_usage(self, model):
+        profile = ResourceProfile(cache_mib_per_cpu=1.0, membw_gbps_per_cpu=1.0,
+                                  cold_start_penalty=4.0)
+        factors = [model.cold_start_factor(profile, u)
+                   for u in (0.0, 0.05, 0.25, 1.0)]
+        assert factors == sorted(factors, reverse=True)
+        assert factors[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_no_penalty_configured(self, model):
+        assert model.cold_start_factor(QUIET_PROFILE, 0.0) == 1.0
+
+    def test_case3_magnitude(self, model, platform):
+        # Case 3: CPI fluctuated "from about 3 to about 10" as usage went
+        # bimodal.  A cold-start penalty of ~4 with base ~1.4 spans that.
+        profile = ResourceProfile(cache_mib_per_cpu=1.0, membw_gbps_per_cpu=1.0,
+                                  cold_start_penalty=4.0)
+        c = model.contention(platform, [("v", 0.05, profile)])
+        low = model.effective_cpi("v", 1.4, profile, c, platform, 0.05)
+        high_usage = model.effective_cpi("v", 1.4, profile, c, platform, 0.35)
+        assert low / high_usage > 2.0
+
+
+class TestMissRate:
+    def test_baseline_when_alone(self, model, platform):
+        c = model.contention(platform, [("v", 1.0, SENSITIVE_PROFILE)])
+        assert model.l3_mpki("v", SENSITIVE_PROFILE, c) == pytest.approx(
+            SENSITIVE_PROFILE.base_l3_mpki)
+
+    def test_miss_rate_tracks_inflation(self, model, platform):
+        # Figure 15c: relative L3 misses/instruction correlates with
+        # relative CPI.  In-model the coupling is linear by construction.
+        c = model.contention(platform, [
+            ("v", 1.0, SENSITIVE_PROFILE),
+            ("a", 4.0, NOISY_NEIGHBOR_PROFILE)])
+        inflation = model.inflation("v", SENSITIVE_PROFILE, c)
+        mpki = model.l3_mpki("v", SENSITIVE_PROFILE, c)
+        expected = SENSITIVE_PROFILE.base_l3_mpki * (1 + 0.9 * inflation)
+        assert mpki == pytest.approx(expected)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError, match="cold_start_scale"):
+            InterferenceModel(cold_start_scale=0.0)
+        with pytest.raises(ValueError, match="miss_rate_coupling"):
+            InterferenceModel(miss_rate_coupling=-0.1)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.workloads.mix (trace-statistics job populations)."""
+
+import pytest
+
+from repro.cluster.task import PriorityBand, SchedulingClass
+from repro.workloads.mix import ClusterMix
+
+
+@pytest.fixture(scope="module")
+def population():
+    mix = ClusterMix(total_cpu=24 * 200, seed=1)
+    specs = mix.generate()
+    return specs, ClusterMix.statistics(specs, mix.total_cpu)
+
+
+class TestTraceStatistics:
+    def test_production_job_fraction_near_7_percent(self, population):
+        _, stats = population
+        assert 0.03 <= stats.production_job_fraction <= 0.12
+
+    def test_production_cpu_near_30_percent(self, population):
+        _, stats = population
+        assert 0.25 <= stats.production_cpu_fraction <= 0.35
+
+    def test_nonproduction_cpu_near_10_percent(self, population):
+        _, stats = population
+        assert 0.07 <= stats.nonproduction_cpu_fraction <= 0.18
+
+    def test_task_mass_in_large_jobs(self, population):
+        # The paper's 96%/87% quantiles come from a 12k-machine cell; at
+        # this scale the skew is present but softer.
+        _, stats = population
+        assert stats.tasks_in_jobs_of_10_plus >= 0.7
+        assert stats.tasks_in_jobs_of_100_plus >= 0.5
+
+    def test_most_jobs_are_small(self, population):
+        specs, _ = population
+        small = sum(1 for s in specs if s.num_tasks < 10)
+        assert small / len(specs) > 0.5
+
+
+class TestPopulationShape:
+    def test_contains_both_bands_and_classes(self, population):
+        specs, _ = population
+        bands = {s.priority_band for s in specs}
+        classes = {s.scheduling_class for s in specs}
+        assert bands == {PriorityBand.PRODUCTION, PriorityBand.NONPRODUCTION}
+        assert SchedulingClass.LATENCY_SENSITIVE in classes
+        assert (SchedulingClass.BATCH in classes
+                or SchedulingClass.BEST_EFFORT in classes)
+
+    def test_names_unique(self, population):
+        specs, _ = population
+        names = [s.name for s in specs]
+        assert len(names) == len(set(names))
+
+    def test_deterministic_per_seed(self):
+        a = ClusterMix(total_cpu=480, seed=9).generate()
+        b = ClusterMix(total_cpu=480, seed=9).generate()
+        assert [(s.name, s.num_tasks) for s in a] == \
+               [(s.name, s.num_tasks) for s in b]
+
+    def test_different_seeds_differ(self):
+        a = ClusterMix(total_cpu=480, seed=9).generate()
+        b = ClusterMix(total_cpu=480, seed=10).generate()
+        assert [(s.name, s.num_tasks) for s in a] != \
+               [(s.name, s.num_tasks) for s in b]
+
+    def test_jobs_are_instantiable(self, population):
+        from repro.cluster.job import Job
+        specs, _ = population
+        job = Job(specs[0])
+        assert job.tasks[0].workload.cpu_demand(0) >= 0.0
+
+
+class TestValidation:
+    def test_bad_total_cpu(self):
+        with pytest.raises(ValueError, match="total_cpu"):
+            ClusterMix(total_cpu=0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError, match="production_job_fraction"):
+            ClusterMix(total_cpu=100, production_job_fraction=1.5)
+
+    def test_empty_statistics(self):
+        with pytest.raises(ValueError, match="empty"):
+            ClusterMix.statistics([], 100)
+
+    def test_padding_bounded(self):
+        # Even with an extreme job-fraction target, generation terminates.
+        mix = ClusterMix(total_cpu=480, production_job_fraction=0.001, seed=2)
+        specs = mix.generate()
+        assert len(specs) < 10_000

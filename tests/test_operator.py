@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.operator (the Section 5 operator interface)."""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, SimConfig
+from repro.core.config import CpiConfig
+from repro.core.operator import OperatorConsole
+from repro.core.pipeline import CpiPipeline
+from repro.core.policy import PolicyAction
+from repro.perf.sampler import SamplerConfig
+from repro.testing import (
+    NOISY_NEIGHBOR_PROFILE,
+    SENSITIVE_PROFILE,
+    make_quiet_machine,
+    make_scripted_job,
+)
+from repro.cluster.task import SchedulingClass
+from tests.conftest import make_spec
+
+FAST = CpiConfig(sampling_duration=5, sampling_period=15,
+                 anomaly_window=120, correlation_window=300,
+                 hardcap_duration=60)
+
+
+def build_deployment(n_machines=2, config=FAST):
+    machines = [make_quiet_machine(f"m{i}") for i in range(n_machines)]
+    sim = ClusterSimulation(machines, SimConfig(
+        seed=4, sampler=SamplerConfig(config.sampling_duration,
+                                      config.sampling_period)))
+    pipeline = CpiPipeline(sim, config)
+    victim = make_scripted_job("victim", [1.0], cpu_limit=2.0, base_cpi=1.0,
+                               profile=SENSITIVE_PROFILE)
+    antagonist = make_scripted_job("ant", [6.0], cpu_limit=8.0,
+                                   scheduling_class=SchedulingClass.BATCH,
+                                   profile=NOISY_NEIGHBOR_PROFILE)
+    machines[0].place(victim.tasks[0])
+    machines[0].place(antagonist.tasks[0])
+    pipeline.bootstrap_specs([make_spec(jobname="victim", cpi_mean=1.0,
+                                        cpi_stddev=0.1)])
+    return sim, pipeline, victim, antagonist
+
+
+class TestProtectionSwitch:
+    def test_disable_stops_capping_but_not_detection(self):
+        sim, pipeline, _victim, antagonist = build_deployment()
+        console = OperatorConsole(pipeline)
+        console.disable_protection()
+        sim.run_minutes(6)
+        incidents = pipeline.all_incidents()
+        assert incidents  # detection and identification still run
+        assert all(i.decision.action is not PolicyAction.THROTTLE
+                   for i in incidents)
+        assert not antagonist.tasks[0].cgroup.is_capped(sim.now)
+        assert any(i.decision.action is PolicyAction.REPORT_ONLY
+                   for i in incidents)
+
+    def test_reenable(self):
+        sim, pipeline, _victim, antagonist = build_deployment()
+        console = OperatorConsole(pipeline)
+        console.disable_protection()
+        sim.run_minutes(3)
+        console.enable_protection()
+        assert console.protection_enabled
+        sim.run_minutes(6)
+        throttles = [i for i in pipeline.all_incidents()
+                     if i.decision.action is PolicyAction.THROTTLE]
+        assert throttles
+
+    def test_initial_state_follows_config(self):
+        sim, pipeline, *_ = build_deployment(
+            config=FAST.with_overrides(auto_throttle=False))
+        assert not OperatorConsole(pipeline).protection_enabled
+
+
+class TestManualActions:
+    def test_cap_and_release(self):
+        sim, pipeline, _victim, antagonist = build_deployment()
+        console = OperatorConsole(pipeline)
+        action = console.cap_task("ant/0")
+        assert antagonist.tasks[0].cgroup.is_capped(sim.now)
+        assert action.quota == pytest.approx(0.1)  # batch-class default
+        console.release_task("ant/0")
+        assert not antagonist.tasks[0].cgroup.is_capped(sim.now)
+
+    def test_cap_with_overrides(self):
+        sim, pipeline, *_ = build_deployment()
+        console = OperatorConsole(pipeline)
+        action = console.cap_task("ant/0", quota=0.05, duration=30)
+        assert action.quota == 0.05
+        assert action.expires_at == sim.now + 30
+
+    def test_unknown_task(self):
+        _sim, pipeline, *_ = build_deployment()
+        console = OperatorConsole(pipeline)
+        with pytest.raises(KeyError, match="no running task"):
+            console.cap_task("ghost/0")
+
+    def test_kill_and_restart_moves_task(self):
+        sim, pipeline, _victim, antagonist = build_deployment(n_machines=2)
+        console = OperatorConsole(pipeline)
+        new_machine = console.kill_and_restart("ant/0")
+        assert new_machine == "m1"
+        assert antagonist.tasks[0].machine_name == "m1"
+
+
+class TestStatus:
+    def test_status_reflects_activity(self):
+        sim, pipeline, *_ = build_deployment()
+        console = OperatorConsole(pipeline)
+        before = console.status()
+        assert before.machines == 2
+        assert before.incidents_total == 0
+        sim.run_minutes(8)
+        after = console.status()
+        assert after.anomalies_seen > 0
+        assert after.incidents_total > 0
+        assert after.active_caps >= 0
+
+    def test_worst_offenders(self):
+        sim, pipeline, *_ = build_deployment()
+        console = OperatorConsole(pipeline)
+        sim.run_minutes(10)
+        offenders = console.worst_offenders()
+        if offenders:
+            assert offenders[0][0] == "ant"

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.outlier (Section 4.1 rules)."""
+
+import pytest
+
+from repro.core.config import CpiConfig
+from repro.core.outlier import OutlierDetector
+from tests.conftest import make_sample, make_spec
+
+
+SPEC = make_spec(cpi_mean=1.0, cpi_stddev=0.1)  # threshold = 1.2
+
+
+class TestFlagging:
+    def test_above_two_sigma_flagged(self):
+        detector = OutlierDetector()
+        verdict, _ = detector.observe(make_sample(t=60, cpi=1.25), SPEC)
+        assert verdict.flagged
+        assert verdict.threshold == pytest.approx(1.2)
+
+    def test_at_or_below_threshold_not_flagged(self):
+        detector = OutlierDetector()
+        verdict, _ = detector.observe(make_sample(t=60, cpi=1.2), SPEC)
+        assert not verdict.flagged
+        verdict, _ = detector.observe(make_sample(t=120, cpi=0.9), SPEC)
+        assert not verdict.flagged
+
+    def test_low_usage_gate(self):
+        # "We ignore CPI measurements from tasks that use less than 0.25
+        # CPU-sec/sec."
+        detector = OutlierDetector()
+        verdict, anomaly = detector.observe(
+            make_sample(t=60, cpi=10.0, cpu_usage=0.2), SPEC)
+        assert verdict.skipped
+        assert verdict.skip_reason == "low-usage"
+        assert anomaly is None
+        assert detector.samples_skipped_low_usage == 1
+
+    def test_usage_gate_boundary(self):
+        detector = OutlierDetector()
+        verdict, _ = detector.observe(
+            make_sample(t=60, cpi=10.0, cpu_usage=0.25), SPEC)
+        assert verdict.flagged  # exactly at the gate counts
+
+    def test_missing_spec_skipped(self):
+        detector = OutlierDetector()
+        verdict, anomaly = detector.observe(make_sample(t=60, cpi=10.0), None)
+        assert verdict.skipped
+        assert verdict.skip_reason == "no-spec"
+        assert anomaly is None
+        assert detector.samples_skipped_no_spec == 1
+
+
+class TestAnomalyWindow:
+    def test_three_in_five_minutes_declares(self):
+        detector = OutlierDetector()
+        anomalies = []
+        for minute in range(1, 4):
+            _, anomaly = detector.observe(
+                make_sample(t=60 * minute, cpi=2.0), SPEC)
+            anomalies.append(anomaly)
+        assert anomalies[:2] == [None, None]
+        assert anomalies[2] is not None
+        assert anomalies[2].violations == 3
+
+    def test_two_flags_insufficient(self):
+        detector = OutlierDetector()
+        for t in (60, 120):
+            _, anomaly = detector.observe(make_sample(t=t, cpi=2.0), SPEC)
+        assert anomaly is None
+
+    def test_flags_expire_outside_window(self):
+        detector = OutlierDetector()
+        detector.observe(make_sample(t=60, cpi=2.0), SPEC)
+        detector.observe(make_sample(t=120, cpi=2.0), SPEC)
+        # Third flag 300+ seconds after the first: first has expired.
+        _, anomaly = detector.observe(make_sample(t=420, cpi=2.0), SPEC)
+        assert anomaly is None
+        assert detector.violations_for("job/0") == 2
+
+    def test_interleaved_normal_samples_dont_reset(self):
+        detector = OutlierDetector()
+        detector.observe(make_sample(t=60, cpi=2.0), SPEC)
+        detector.observe(make_sample(t=120, cpi=1.0), SPEC)  # normal
+        detector.observe(make_sample(t=180, cpi=2.0), SPEC)
+        _, anomaly = detector.observe(make_sample(t=240, cpi=2.0), SPEC)
+        assert anomaly is not None
+
+    def test_anomaly_redeclared_while_condition_persists(self):
+        detector = OutlierDetector()
+        declared = []
+        for minute in range(1, 7):
+            _, anomaly = detector.observe(
+                make_sample(t=60 * minute, cpi=2.0), SPEC)
+            declared.append(anomaly is not None)
+        assert declared == [False, False, True, True, True, True]
+
+    def test_tasks_tracked_independently(self):
+        detector = OutlierDetector()
+        for minute in range(1, 3):
+            detector.observe(
+                make_sample(t=60 * minute, cpi=2.0, taskname="job/0"), SPEC)
+        _, anomaly = detector.observe(
+            make_sample(t=180, cpi=2.0, taskname="job/1"), SPEC)
+        assert anomaly is None  # job/1 has only one flag
+
+    def test_anomaly_event_fields(self):
+        detector = OutlierDetector()
+        for minute in range(1, 4):
+            _, anomaly = detector.observe(
+                make_sample(t=60 * minute, cpi=2.5, jobname="search"), SPEC)
+        assert anomaly.jobname == "search"
+        assert anomaly.taskname == "search/0"
+        assert anomaly.cpi == 2.5
+        assert anomaly.threshold == pytest.approx(1.2)
+        assert anomaly.time_seconds == 180
+
+
+class TestConfigurability:
+    def test_custom_sigma(self):
+        detector = OutlierDetector(CpiConfig(outlier_stddevs=3.0))
+        verdict, _ = detector.observe(make_sample(t=60, cpi=1.25), SPEC)
+        assert not verdict.flagged  # 1.25 < 1.0 + 3*0.1
+
+    def test_one_shot_anomaly_config(self):
+        detector = OutlierDetector(CpiConfig(anomaly_violations=1))
+        _, anomaly = detector.observe(make_sample(t=60, cpi=2.0), SPEC)
+        assert anomaly is not None
+
+    def test_forget_task(self):
+        detector = OutlierDetector()
+        detector.observe(make_sample(t=60, cpi=2.0), SPEC)
+        detector.forget_task("job/0")
+        assert detector.violations_for("job/0") == 0

@@ -1,0 +1,164 @@
+"""Integration tests for repro.core.pipeline (the Figure 6 loop, end to end)."""
+
+import pytest
+
+from repro.cluster.job import Job
+from repro.cluster.simulation import ClusterSimulation, SimConfig
+from repro.core.config import CpiConfig
+from repro.core.pipeline import CpiPipeline
+from repro.core.policy import PolicyAction
+from repro.core.throttle import AdaptiveCapController
+from repro.perf.sampler import SamplerConfig
+from repro.records import SpecKey
+from repro.testing import make_quiet_machine
+from repro.workloads import AntagonistKind, make_antagonist_job_spec
+from repro.workloads.services import make_service_job_spec
+from tests.conftest import make_spec
+
+
+def make_cluster(n_machines=3, seed=1, config=None):
+    config = config or CpiConfig()
+    machines = [make_quiet_machine(f"m{i}") for i in range(n_machines)]
+    sim = ClusterSimulation(
+        machines,
+        SimConfig(seed=seed, sampler=SamplerConfig(
+            config.sampling_duration, config.sampling_period)))
+    pipeline = CpiPipeline(sim, config)
+    return sim, pipeline
+
+
+def submit_standard_mix(sim, seed=7):
+    victim = Job(make_service_job_spec("frontend", num_tasks=6, seed=seed))
+    antagonist = Job(make_antagonist_job_spec(
+        "video", AntagonistKind.VIDEO_PROCESSING, num_tasks=2, seed=seed + 1,
+        demand_scale=1.2))
+    sim.scheduler.submit(victim)
+    sim.scheduler.submit(antagonist)
+    return victim, antagonist
+
+
+class TestEndToEnd:
+    def test_incident_flow_with_bootstrap_specs(self):
+        sim, pipeline = make_cluster()
+        submit_standard_mix(sim)
+        pipeline.bootstrap_specs([make_spec(
+            jobname="frontend", cpi_mean=1.05, cpi_stddev=0.08)])
+        sim.run_minutes(30)
+        incidents = pipeline.all_incidents()
+        assert incidents
+        throttles = [i for i in incidents
+                     if i.decision.action is PolicyAction.THROTTLE]
+        assert throttles
+        assert all(i.decision.target.job.name == "video" for i in throttles)
+        # Recovered follow-ups flow into forensics.
+        assert len(pipeline.forensics) >= 1
+
+    def test_spec_learning_without_bootstrap(self):
+        # The pipeline must learn specs from scratch and then detect.
+        config = CpiConfig(spec_refresh_period=600, min_tasks_for_spec=5,
+                           min_samples_per_task=5)
+        sim, pipeline = make_cluster(config=config)
+        submit_standard_mix(sim)
+        sim.run_minutes(25)
+        key = SpecKey("frontend", "westmere-2.6")
+        assert key in pipeline.aggregator.specs()
+        spec = pipeline.aggregator.specs()[key]
+        assert 0.8 < spec.cpi_mean < 2.5
+
+    def test_samples_flow_upward(self):
+        sim, pipeline = make_cluster()
+        submit_standard_mix(sim)
+        sim.run_minutes(3)
+        # 8 tasks x 3 windows
+        assert pipeline.total_samples == 24
+        assert pipeline.aggregator.total_samples_ingested == 24
+
+    def test_departed_task_state_cleaned(self):
+        sim, pipeline = make_cluster()
+        victim, _ = submit_standard_mix(sim)
+        pipeline.bootstrap_specs([make_spec(
+            jobname="frontend", cpi_mean=1.05, cpi_stddev=0.08)])
+        sim.run_minutes(2)
+        task = victim.tasks[0]
+        machine = sim.machines[task.machine_name]
+        agent = pipeline.agents[machine.name]
+        from repro.cluster.task import TaskState
+        machine.remove(task.name, TaskState.KILLED)
+        # Simulate what the tick hook does on departures reported by ticks;
+        # direct removal bypasses it, so call forget explicitly.
+        agent.forget_task(task.name)
+        assert agent.detector.violations_for(task.name) == 0
+
+
+class TestIncidentRate:
+    def test_rate_counts_identified_only(self):
+        sim, pipeline = make_cluster()
+        submit_standard_mix(sim)
+        pipeline.bootstrap_specs([make_spec(
+            jobname="frontend", cpi_mean=1.05, cpi_stddev=0.08)])
+        sim.run_minutes(30)
+        rate = pipeline.incident_rate_per_machine_day()
+        assert rate > 0.0
+        identified = [i for i in pipeline.all_incidents()
+                      if i.decision.target is not None]
+        machine_days = pipeline.machine_seconds / 86400
+        assert rate == pytest.approx(len(identified) / machine_days)
+
+    def test_zero_before_running(self):
+        sim, pipeline = make_cluster()
+        assert pipeline.incident_rate_per_machine_day() == 0.0
+
+
+class TestSchedulerHints:
+    def test_hints_installed(self):
+        sim, pipeline = make_cluster()
+        submit_standard_mix(sim)
+        pipeline.bootstrap_specs([make_spec(
+            jobname="frontend", cpi_mean=1.05, cpi_stddev=0.08)])
+        sim.run_minutes(40)
+        installed = pipeline.apply_scheduler_hints(min_incidents=1)
+        assert installed >= 1
+        assert not sim.scheduler.colocation_allowed == {}  # API intact
+        # The pair must now be refused co-location.
+        machine = next(iter(sim.machines.values()))
+        assert ("frontend", "video") in pipeline.forensics.scheduler_hints(1)
+
+
+class TestAdaptiveThrottlerWiring:
+    def test_factory_used_per_agent(self):
+        config = CpiConfig()
+        machines = [make_quiet_machine(f"m{i}") for i in range(2)]
+        sim = ClusterSimulation(machines, SimConfig(
+            sampler=SamplerConfig(config.sampling_duration,
+                                  config.sampling_period)))
+        pipeline = CpiPipeline(
+            sim, config,
+            throttler_factory=lambda: AdaptiveCapController(config))
+        throttlers = {id(a.throttler) for a in pipeline.agents.values()}
+        assert len(throttlers) == 2
+        assert all(isinstance(a.throttler, AdaptiveCapController)
+                   for a in pipeline.agents.values())
+
+
+class TestSampleLogging:
+    def test_disabled_by_default(self):
+        sim, pipeline = make_cluster()
+        submit_standard_mix(sim)
+        sim.run_minutes(2)
+        assert pipeline.sample_log == []
+
+    def test_log_retains_all_samples(self, tmp_path):
+        config = CpiConfig()
+        machines = [make_quiet_machine("m0")]
+        sim = ClusterSimulation(machines, SimConfig(
+            sampler=SamplerConfig(config.sampling_duration,
+                                  config.sampling_period)))
+        pipeline = CpiPipeline(sim, config, log_samples=True)
+        submit_standard_mix(sim)
+        sim.run_minutes(3)
+        assert len(pipeline.sample_log) == pipeline.total_samples > 0
+        # Pairs with storage: the offline-analysis workflow.
+        from repro.core.storage import load_samples, save_samples
+        path = tmp_path / "cpis.jsonl"
+        save_samples(path, pipeline.sample_log)
+        assert load_samples(path) == pipeline.sample_log

@@ -1,0 +1,49 @@
+"""Unit tests for repro.cluster.platform."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.platform import PLATFORM_CATALOG, Platform, get_platform
+
+
+class TestPlatform:
+    def test_catalog_has_multiple_platforms(self):
+        # Figure 4 needs at least two CPU types.
+        assert len(PLATFORM_CATALOG) >= 2
+
+    def test_get_platform_roundtrip(self):
+        for name in PLATFORM_CATALOG:
+            assert get_platform(name).name == name
+
+    def test_unknown_platform_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known platforms"):
+            get_platform("pentium-90")
+
+    def test_cycles_per_cpu_second(self):
+        p = get_platform("westmere-2.6")
+        assert p.cycles_per_cpu_second == pytest.approx(2.6e9)
+
+    def test_platforms_differ_in_cpi_scale(self):
+        # Same workload must exhibit measurably different CPIs per platform.
+        scales = {p.cpi_scale for p in PLATFORM_CATALOG.values()}
+        assert len(scales) == len(PLATFORM_CATALOG)
+
+    def test_immutable(self):
+        p = get_platform("westmere-2.6")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.clock_ghz = 1.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("clock_ghz", 0.0),
+        ("num_cores", 0),
+        ("llc_mib", -1.0),
+        ("membw_gbps", 0.0),
+        ("cpi_scale", 0.0),
+    ])
+    def test_validation(self, field, value):
+        kwargs = dict(name="x", clock_ghz=2.0, num_cores=8,
+                      llc_mib=8.0, membw_gbps=20.0, cpi_scale=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError, match=field):
+            Platform(**kwargs)

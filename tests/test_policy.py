@@ -1,0 +1,169 @@
+"""Unit tests for repro.core.policy (Section 5's amelioration rules)."""
+
+import pytest
+
+from repro.cluster.task import SchedulingClass
+from repro.core.config import CpiConfig
+from repro.core.correlation import SuspectScore
+from repro.core.policy import AmeliorationPolicy, PolicyAction
+from repro.testing import make_scripted_job
+
+
+def task_of(name, scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+            protection_eligible=None):
+    job = make_scripted_job(name, [1.0], scheduling_class=scheduling_class)
+    if protection_eligible is not None:
+        object.__setattr__(job.spec, "protection_eligible", protection_eligible)
+    return job.tasks[0]
+
+
+def scored(task, correlation):
+    return (SuspectScore(task.name, task.job.name, correlation), task)
+
+
+class TestThrottleDecision:
+    def test_batch_suspect_above_threshold_throttled(self):
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        antagonist = task_of("ant", SchedulingClass.BATCH)
+        decision = policy.decide(victim, [scored(antagonist, 0.5)])
+        assert decision.action is PolicyAction.THROTTLE
+        assert decision.target is antagonist
+        assert decision.score.correlation == 0.5
+
+    def test_below_threshold_no_action(self):
+        # Case 3: best correlation 0.07 -> "CPI2 took no action".
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        antagonist = task_of("ant", SchedulingClass.BATCH)
+        decision = policy.decide(victim, [scored(antagonist, 0.07)])
+        assert decision.action is PolicyAction.NO_ACTION
+        assert "0.07" in decision.reason
+
+    def test_threshold_is_inclusive(self):
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        antagonist = task_of("ant", SchedulingClass.BATCH)
+        decision = policy.decide(victim, [scored(antagonist, 0.35)])
+        assert decision.action is PolicyAction.THROTTLE
+
+    def test_ls_suspects_never_throttled(self):
+        # Case 1: four of the top five suspects were latency-sensitive; the
+        # batch job was picked even at lower correlation than an LS peer.
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        ls_peer = task_of("ls-peer")
+        batch = task_of("batch", SchedulingClass.BATCH)
+        decision = policy.decide(
+            victim, [scored(ls_peer, 0.66), scored(batch, 0.36)])
+        assert decision.action is PolicyAction.THROTTLE
+        assert decision.target is batch
+
+    def test_all_ls_suspects_reports_only(self):
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        decision = policy.decide(victim, [scored(task_of("a"), 0.6),
+                                          scored(task_of("b"), 0.5)])
+        assert decision.action is PolicyAction.REPORT_ONLY
+
+    def test_best_effort_suspect_eligible(self):
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        be = task_of("be", SchedulingClass.BEST_EFFORT)
+        decision = policy.decide(victim, [scored(be, 0.4)])
+        assert decision.action is PolicyAction.THROTTLE
+
+    def test_ineligible_victim_reports_only(self):
+        policy = AmeliorationPolicy()
+        victim = task_of("victim", protection_eligible=False)
+        batch = task_of("b", SchedulingClass.BATCH)
+        decision = policy.decide(victim, [scored(batch, 0.5)])
+        assert decision.action is PolicyAction.REPORT_ONLY
+        assert "not protection-eligible" in decision.reason
+
+    def test_auto_throttle_disabled(self):
+        policy = AmeliorationPolicy(CpiConfig(auto_throttle=False))
+        victim = task_of("victim")
+        batch = task_of("b", SchedulingClass.BATCH)
+        decision = policy.decide(victim, [scored(batch, 0.5)])
+        assert decision.action is PolicyAction.REPORT_ONLY
+        assert decision.target is batch  # still named, for the operators
+
+    def test_no_suspects_no_action(self):
+        policy = AmeliorationPolicy()
+        decision = policy.decide(task_of("victim"), [])
+        assert decision.action is PolicyAction.NO_ACTION
+
+
+class TestReanalysisAndEscalation:
+    def test_collapsed_correlation_not_repicked(self):
+        # "Since throttling the antagonist's CPU reduces its correlation ...
+        # it is not likely to get picked in a later round": a currently
+        # capped suspect arrives with a collapsed score and loses naturally.
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        capped = task_of("a1", SchedulingClass.BATCH)
+        second = task_of("a2", SchedulingClass.BATCH)
+        policy.record_throttle(victim, capped)
+        decision = policy.decide(
+            victim, [scored(second, 0.4), scored(capped, 0.02)])
+        assert decision.target is second
+
+    def test_reoffending_antagonist_rethrottled(self):
+        # Case 4: the same antagonist may be throttled again once its cap
+        # lapsed and its correlation recovered.
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        antagonist = task_of("a1", SchedulingClass.BATCH)
+        policy.record_throttle(victim, antagonist)
+        policy.record_outcome(victim, recovered=False)
+        decision = policy.decide(victim, [scored(antagonist, 0.55)])
+        assert decision.action is PolicyAction.THROTTLE
+        assert decision.target is antagonist
+
+    def test_migrate_after_repeated_failures(self):
+        # Case 4's lesson: modest relief twice -> move the victim.
+        policy = AmeliorationPolicy(migrate_after_failures=2)
+        victim = task_of("victim")
+        policy.record_outcome(victim, recovered=False)
+        policy.record_outcome(victim, recovered=False)
+        batch = task_of("b", SchedulingClass.BATCH)
+        decision = policy.decide(victim, [scored(batch, 0.9)])
+        assert decision.action is PolicyAction.MIGRATE_VICTIM
+
+    def test_recovery_resets_failure_count(self):
+        policy = AmeliorationPolicy(migrate_after_failures=2)
+        victim = task_of("victim")
+        policy.record_outcome(victim, recovered=False)
+        policy.record_outcome(victim, recovered=True)
+        policy.record_outcome(victim, recovered=False)
+        batch = task_of("b", SchedulingClass.BATCH)
+        decision = policy.decide(victim, [scored(batch, 0.9)])
+        assert decision.action is PolicyAction.THROTTLE
+
+    def test_recovery_keeps_policy_open_to_rethrottle(self):
+        policy = AmeliorationPolicy()
+        victim = task_of("victim")
+        antagonist = task_of("a", SchedulingClass.BATCH)
+        policy.record_throttle(victim, antagonist)
+        policy.record_outcome(victim, recovered=True)
+        decision = policy.decide(victim, [scored(antagonist, 0.6)])
+        assert decision.action is PolicyAction.THROTTLE  # eligible again
+
+    def test_kill_persistent_offender(self):
+        policy = AmeliorationPolicy(kill_after_offences=2)
+        victim_a, victim_b = task_of("va"), task_of("vb")
+        offender = task_of("off", SchedulingClass.BATCH)
+        policy.record_throttle(victim_a, offender)
+        policy.record_throttle(victim_b, offender)
+        fresh_victim = task_of("vc")
+        decision = policy.decide(fresh_victim, [scored(offender, 0.5)])
+        assert decision.action is PolicyAction.KILL_ANTAGONIST
+        assert decision.target is offender
+        assert policy.offence_count(offender.name) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="migrate_after_failures"):
+            AmeliorationPolicy(migrate_after_failures=0)
+        with pytest.raises(ValueError, match="kill_after_offences"):
+            AmeliorationPolicy(kill_after_offences=0)

@@ -1,0 +1,60 @@
+"""Unit tests for the CPI2 wire records."""
+
+import pytest
+
+from repro.records import CpiSample, CpiSpec, SpecKey
+from tests.conftest import make_sample, make_spec
+
+
+class TestCpiSample:
+    def test_key(self):
+        sample = make_sample(jobname="search", platforminfo="westmere-2.6")
+        assert sample.key() == SpecKey("search", "westmere-2.6")
+
+    def test_timestamp_units(self):
+        sample = make_sample(t=90)
+        assert sample.timestamp == 90_000_000
+        assert sample.timestamp_seconds == pytest.approx(90.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cpu_usage"):
+            CpiSample("j", "p", 0, cpu_usage=-0.1, cpi=1.0)
+        with pytest.raises(ValueError, match="cpi"):
+            CpiSample("j", "p", 0, cpu_usage=0.1, cpi=-1.0)
+
+    def test_frozen(self):
+        sample = make_sample()
+        with pytest.raises(Exception):
+            sample.cpi = 2.0
+
+
+class TestCpiSpec:
+    def test_key(self):
+        spec = make_spec(jobname="search")
+        assert spec.key().jobname == "search"
+
+    def test_outlier_threshold_default_two_sigma(self):
+        spec = make_spec(cpi_mean=1.8, cpi_stddev=0.16)
+        assert spec.outlier_threshold() == pytest.approx(1.8 + 2 * 0.16)
+
+    def test_outlier_threshold_other_sigmas(self):
+        spec = make_spec(cpi_mean=1.0, cpi_stddev=0.2)
+        assert spec.outlier_threshold(3.0) == pytest.approx(1.6)
+        assert spec.outlier_threshold(0.0) == pytest.approx(1.0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="num_stddevs"):
+            make_spec().outlier_threshold(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            make_spec(num_samples=-1)
+        with pytest.raises(ValueError, match="cpi_mean"):
+            make_spec(cpi_mean=0.0)
+        with pytest.raises(ValueError, match="cpi_stddev"):
+            make_spec(cpi_stddev=-0.1)
+
+    def test_core_reexport(self):
+        # Backwards-compatible import location must keep working.
+        from repro.core.records import CpiSpec as CoreSpec
+        assert CoreSpec is CpiSpec

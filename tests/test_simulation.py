@@ -1,0 +1,111 @@
+"""Unit tests for repro.cluster.simulation."""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, SimConfig
+from repro.testing import make_quiet_machine, make_scripted_job
+
+
+def make_sim(n_machines=2, **config_kwargs):
+    machines = [make_quiet_machine(f"m{i}") for i in range(n_machines)]
+    return ClusterSimulation(machines, SimConfig(**config_kwargs))
+
+
+class TestConstruction:
+    def test_needs_machines(self):
+        with pytest.raises(ValueError, match="at least one machine"):
+            ClusterSimulation([])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="reschedule_period"):
+            SimConfig(reschedule_period=0)
+
+    def test_machines_get_spawned_rngs(self):
+        sim = make_sim(3, seed=5)
+        rngs = {id(m.rng) for m in sim.machines.values()}
+        assert len(rngs) == 3
+
+
+class TestClock:
+    def test_step_advances_clock(self):
+        sim = make_sim()
+        assert sim.now == 0
+        sim.step()
+        assert sim.now == 1
+
+    def test_run_seconds(self):
+        sim = make_sim()
+        sim.run(90)
+        assert sim.now == 90
+
+    def test_run_minutes_and_hours(self):
+        sim = make_sim()
+        sim.run_minutes(2)
+        assert sim.now == 120
+        sim.run_hours(0.5)
+        assert sim.now == 120 + 1800
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            make_sim().run(-1)
+
+
+class TestHooksAndSinks:
+    def test_tick_hooks_called_per_machine(self):
+        sim = make_sim(2)
+        calls = []
+        sim.add_tick_hook(lambda t, m, r: calls.append((t, m.name)))
+        sim.step()
+        assert calls == [(0, "m0"), (0, "m1")]
+
+    def test_sample_sink_receives_windows(self):
+        sim = make_sim(1)
+        job = make_scripted_job("j", [1.0], cpu_limit=4.0)
+        sim.scheduler.submit(job)
+        received = []
+        sim.add_sample_sink(lambda t, name, samples: received.append((t, name, len(samples))))
+        sim.run(61)
+        assert received == [(10, "m0", 1)]
+
+    def test_sink_not_called_without_samples(self):
+        sim = make_sim(1)  # no jobs
+        received = []
+        sim.add_sample_sink(lambda *a: received.append(a))
+        sim.run(61)
+        assert received == []
+
+
+class TestRescheduling:
+    def test_pending_batch_gets_placed_when_room_appears(self):
+        from repro.cluster.task import SchedulingClass, TaskState
+        machines = [make_quiet_machine("m0")]
+        sim = ClusterSimulation(machines, SimConfig(reschedule_period=60))
+        # Fill the machine past batch overcommit so one batch task waits.
+        filler = make_scripted_job("filler", [1.0], num_tasks=3,
+                                   cpu_limit=12.0, complete_at=30,
+                                   scheduling_class=SchedulingClass.BATCH)
+        waiter = make_scripted_job("waiter", [1.0], cpu_limit=12.0,
+                                   scheduling_class=SchedulingClass.BATCH)
+        sim.scheduler.submit(filler)
+        sim.scheduler.submit(waiter)
+        assert waiter.tasks[0].state is TaskState.PENDING
+        sim.run(121)  # fillers complete at t=30; reschedule at t=60
+        assert waiter.tasks[0].state is TaskState.RUNNING
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        def trace(seed):
+            machines = [make_quiet_machine("m0")]
+            machines[0].cpi_noise_sigma = 0.05
+            sim = ClusterSimulation(machines, SimConfig(seed=seed))
+            job = make_scripted_job("j", [1.0], cpu_limit=4.0)
+            sim.scheduler.submit(job)
+            cpis = []
+            sim.add_tick_hook(
+                lambda t, m, r: cpis.append(r.cpis.get("j/0")))
+            sim.run(30)
+            return cpis
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)

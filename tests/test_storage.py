@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.storage (JSONL persistence)."""
+
+import json
+
+import pytest
+
+from repro.core.storage import (
+    load_forensics,
+    load_samples,
+    load_specs,
+    sample_from_dict,
+    sample_to_dict,
+    save_forensics,
+    save_samples,
+    save_specs,
+    spec_from_dict,
+    spec_to_dict,
+)
+from tests.conftest import make_sample, make_spec
+from tests.test_forensics import make_incident
+from repro.core.forensics import ForensicsStore
+
+
+class TestSpecRoundtrip:
+    def test_dict_roundtrip(self):
+        spec = make_spec(jobname="search", cpi_mean=1.8, cpi_stddev=0.16)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_file_roundtrip(self, tmp_path):
+        specs = [make_spec(jobname=f"job-{i}", cpi_mean=1.0 + i * 0.1)
+                 for i in range(5)]
+        path = tmp_path / "specs.jsonl"
+        assert save_specs(path, specs) == 5
+        assert load_specs(path) == specs
+
+    def test_corrupt_keys_detected(self):
+        with pytest.raises(ValueError, match="bad spec record"):
+            spec_from_dict({"jobname": "x"})
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "specs.jsonl"
+        path.write_text(json.dumps(spec_to_dict(make_spec())) + "\n{broken\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_specs(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "specs.jsonl"
+        path.write_text("\n" + json.dumps(spec_to_dict(make_spec())) + "\n\n")
+        assert len(load_specs(path)) == 1
+
+
+class TestSampleRoundtrip:
+    def test_dict_roundtrip(self):
+        sample = make_sample(cpi=2.5, cpu_usage=1.3, taskname="j/7")
+        assert sample_from_dict(sample_to_dict(sample)) == sample
+
+    def test_file_roundtrip(self, tmp_path):
+        samples = [make_sample(t=60 * i, cpi=1.0 + 0.01 * i)
+                   for i in range(20)]
+        path = tmp_path / "samples.jsonl"
+        assert save_samples(path, samples) == 20
+        assert load_samples(path) == samples
+
+    def test_bad_keys(self):
+        with pytest.raises(ValueError, match="bad sample record"):
+            sample_from_dict({"cpi": 1.0})
+
+
+class TestForensicsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        store = ForensicsStore()
+        store.record(make_incident(1, victim_job="search"))
+        store.record(make_incident(2, victim_job="ads",
+                                   antagonist_job="mapreduce"))
+        path = tmp_path / "incidents.jsonl"
+        assert save_forensics(path, store) == 2
+        loaded = load_forensics(path)
+        assert len(loaded) == 2
+        assert loaded.records == store.records
+
+    def test_loaded_store_queryable(self, tmp_path):
+        store = ForensicsStore()
+        for i in range(4):
+            store.record(make_incident(i, victim_job="search"))
+        path = tmp_path / "incidents.jsonl"
+        save_forensics(path, store)
+        loaded = load_forensics(path)
+        assert loaded.top_antagonists() == store.top_antagonists()
+        assert len(loaded.query().where(victim_job="search").run()) == 4
+
+    def test_bad_record_keys(self, tmp_path):
+        path = tmp_path / "incidents.jsonl"
+        path.write_text('{"nope": 1}\n')
+        with pytest.raises(ValueError, match="bad incident record"):
+            load_forensics(path)
+
+
+class TestWarmStartWorkflow:
+    def test_specs_survive_process_boundary(self, tmp_path):
+        """The paper's warm start: yesterday's specs bootstrap today's run."""
+        from repro.core.aggregator import CpiAggregator
+
+        yesterday = CpiAggregator()
+        yesterday.set_spec(make_spec(jobname="search", cpi_mean=1.8))
+        path = tmp_path / "history.jsonl"
+        save_specs(path, yesterday.specs().values())
+
+        today = CpiAggregator()
+        for spec in load_specs(path):
+            today.set_spec(spec)
+        assert today.spec_for("search", "westmere-2.6").cpi_mean == 1.8

@@ -1,0 +1,144 @@
+"""Unit tests for repro.cluster.task and repro.cluster.job."""
+
+import pytest
+
+from repro.cluster.job import Job, JobSpec
+from repro.cluster.task import (
+    PriorityBand,
+    SchedulingClass,
+    TaskState,
+    WorkloadModel,
+)
+from repro.testing import ScriptedWorkload, make_scripted_job
+
+
+def simple_spec(name="job", num_tasks=3,
+                scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+                priority_band=PriorityBand.PRODUCTION,
+                protection_eligible=None):
+    return JobSpec(
+        name=name,
+        num_tasks=num_tasks,
+        scheduling_class=scheduling_class,
+        priority_band=priority_band,
+        cpu_limit_per_task=2.0,
+        workload_factory=lambda i: ScriptedWorkload([1.0]),
+        protection_eligible=protection_eligible,
+    )
+
+
+class TestSchedulingClass:
+    def test_batch_tiers(self):
+        assert SchedulingClass.BATCH.is_batch
+        assert SchedulingClass.BEST_EFFORT.is_batch
+        assert not SchedulingClass.LATENCY_SENSITIVE.is_batch
+
+
+class TestJobSpecValidation:
+    def test_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            simple_spec(name="")
+
+    def test_slash_in_name(self):
+        with pytest.raises(ValueError, match="'/'"):
+            simple_spec(name="a/b")
+
+    def test_zero_tasks(self):
+        with pytest.raises(ValueError, match="num_tasks"):
+            simple_spec(num_tasks=0)
+
+    def test_bad_cpu_limit(self):
+        with pytest.raises(ValueError, match="cpu_limit"):
+            JobSpec(name="j", num_tasks=1,
+                    scheduling_class=SchedulingClass.BATCH,
+                    priority_band=PriorityBand.NONPRODUCTION,
+                    cpu_limit_per_task=0.0,
+                    workload_factory=lambda i: ScriptedWorkload([1.0]))
+
+
+class TestJob:
+    def test_task_names_and_count(self):
+        job = Job(simple_spec(name="websearch", num_tasks=3))
+        assert len(job) == 3
+        assert [t.name for t in job] == ["websearch/0", "websearch/1",
+                                         "websearch/2"]
+
+    def test_tasks_start_pending(self):
+        job = Job(simple_spec())
+        assert all(t.state is TaskState.PENDING for t in job)
+        assert len(job.pending_tasks()) == 3
+        assert job.running_tasks() == []
+
+    def test_each_task_gets_own_workload_instance(self):
+        job = Job(simple_spec())
+        workloads = {id(t.workload) for t in job}
+        assert len(workloads) == 3
+
+    def test_protection_defaults(self):
+        ls = Job(simple_spec(scheduling_class=SchedulingClass.LATENCY_SENSITIVE))
+        batch = Job(simple_spec(scheduling_class=SchedulingClass.BATCH))
+        assert ls.protection_eligible
+        assert not batch.protection_eligible
+
+    def test_protection_explicit_override(self):
+        # "or because it is explicitly marked as eligible"
+        batch = Job(simple_spec(scheduling_class=SchedulingClass.BATCH,
+                                protection_eligible=True))
+        assert batch.protection_eligible
+        ls = Job(simple_spec(protection_eligible=False))
+        assert not ls.protection_eligible
+
+    def test_class_and_band_passthrough(self):
+        job = Job(simple_spec(scheduling_class=SchedulingClass.BEST_EFFORT,
+                              priority_band=PriorityBand.NONPRODUCTION))
+        task = job.tasks[0]
+        assert task.scheduling_class is SchedulingClass.BEST_EFFORT
+        assert task.priority_band is PriorityBand.NONPRODUCTION
+        assert not task.is_latency_sensitive
+
+
+class TestTaskLifecycle:
+    def test_place_and_stop(self):
+        job = make_scripted_job("j", [1.0])
+        task = job.tasks[0]
+        task.mark_running("m0")
+        assert task.state is TaskState.RUNNING
+        assert task.machine_name == "m0"
+        task.mark_stopped(TaskState.EXITED, reason="gave up")
+        assert task.state is TaskState.EXITED
+        assert task.machine_name is None
+        assert task.exit_reason == "gave up"
+
+    def test_cannot_place_running_task(self):
+        job = make_scripted_job("j", [1.0])
+        task = job.tasks[0]
+        task.mark_running("m0")
+        with pytest.raises(ValueError, match="cannot place"):
+            task.mark_running("m1")
+
+    def test_replace_after_preemption(self):
+        job = make_scripted_job("j", [1.0])
+        task = job.tasks[0]
+        task.mark_running("m0")
+        task.mark_stopped(TaskState.PREEMPTED)
+        task.mark_running("m1")  # replacement is allowed
+        assert task.machine_name == "m1"
+
+    def test_running_is_not_a_stop_state(self):
+        job = make_scripted_job("j", [1.0])
+        task = job.tasks[0]
+        task.mark_running("m0")
+        with pytest.raises(ValueError, match="not a stopped state"):
+            task.mark_stopped(TaskState.RUNNING)
+
+    def test_negative_index_rejected(self):
+        from repro.cluster.task import Task
+        job = make_scripted_job("j", [1.0])
+        with pytest.raises(ValueError, match="index"):
+            Task(job=job, index=-1, workload=ScriptedWorkload([1.0]),
+                 cpu_limit=1.0)
+
+
+class TestWorkloadProtocol:
+    def test_scripted_workload_satisfies_protocol(self):
+        assert isinstance(ScriptedWorkload([1.0]), WorkloadModel)

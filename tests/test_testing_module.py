@@ -1,0 +1,88 @@
+"""Unit tests for repro.testing (the deterministic building blocks)."""
+
+import pytest
+
+from repro.cluster.task import SchedulingClass, WorkloadModel
+from repro.testing import (
+    NOISY_NEIGHBOR_PROFILE,
+    QUIET_PROFILE,
+    SENSITIVE_PROFILE,
+    ScriptedWorkload,
+    make_quiet_machine,
+    make_scripted_job,
+)
+
+
+class TestScriptedWorkload:
+    def test_script_followed(self):
+        workload = ScriptedWorkload([1.0, 2.0, 3.0])
+        assert [workload.cpu_demand(t) for t in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_repeat(self):
+        workload = ScriptedWorkload([1.0, 2.0], repeat=True)
+        assert workload.cpu_demand(2) == 1.0
+        assert workload.cpu_demand(5) == 2.0
+
+    def test_hold_last(self):
+        workload = ScriptedWorkload([1.0, 2.0], repeat=False)
+        assert workload.cpu_demand(100) == 2.0
+
+    def test_tick_log(self):
+        workload = ScriptedWorkload([1.0])
+        workload.on_tick(0, 0.5, False)
+        workload.on_tick(1, 0.7, True)
+        assert workload.ticks == [(0, 0.5, False), (1, 0.7, True)]
+
+    def test_exit_and_complete(self):
+        exiting = ScriptedWorkload([1.0], exit_at=2)
+        assert exiting.on_tick(1, 1.0, False) is None
+        assert exiting.on_tick(2, 1.0, False) == "exited"
+        completing = ScriptedWorkload([1.0], complete_at=0)
+        assert completing.on_tick(0, 1.0, False) == "completed"
+
+    def test_protocol_conformance(self):
+        assert isinstance(ScriptedWorkload([1.0]), WorkloadModel)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ScriptedWorkload([])
+        with pytest.raises(ValueError, match=">= 0"):
+            ScriptedWorkload([-1.0])
+
+
+class TestProfiles:
+    def test_quiet_is_inert(self):
+        assert QUIET_PROFILE.cache_sensitivity == 0.0
+        assert QUIET_PROFILE.cache_mib_per_cpu < 0.1
+
+    def test_sensitive_feels_more_than_it_exerts(self):
+        assert SENSITIVE_PROFILE.cache_sensitivity >= 0.8
+        assert (SENSITIVE_PROFILE.cache_mib_per_cpu
+                < NOISY_NEIGHBOR_PROFILE.cache_mib_per_cpu / 4)
+
+    def test_noisy_neighbor_exerts_more_than_it_feels(self):
+        assert NOISY_NEIGHBOR_PROFILE.cache_mib_per_cpu >= 4.0
+        assert NOISY_NEIGHBOR_PROFILE.cache_sensitivity <= 0.2
+
+
+class TestFactories:
+    def test_quiet_machine_is_noiseless(self):
+        machine = make_quiet_machine()
+        assert machine.cpi_noise_sigma == 0.0
+
+    def test_scripted_job_properties(self):
+        job = make_scripted_job("j", [1.0], num_tasks=2,
+                                scheduling_class=SchedulingClass.BATCH,
+                                base_cpi=1.5)
+        assert len(job) == 2
+        assert job.scheduling_class is SchedulingClass.BATCH
+        assert job.tasks[0].workload.base_cpi() == 1.5
+
+    def test_scripted_job_deterministic_on_machine(self):
+        def run():
+            machine = make_quiet_machine()
+            job = make_scripted_job("j", [1.0, 2.0], base_cpi=1.2)
+            machine.place(job.tasks[0])
+            return [machine.tick(t).cpis["j/0"] for t in range(4)]
+
+        assert run() == run()

@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.throttle (hard-capping + adaptive capping)."""
+
+import pytest
+
+from repro.cluster.task import SchedulingClass
+from repro.core.config import CpiConfig
+from repro.core.throttle import AdaptiveCapController, ThrottleController
+from repro.testing import make_scripted_job
+
+
+def batch_task(name="b", scheduling_class=SchedulingClass.BATCH):
+    return make_scripted_job(name, [1.0], cpu_limit=8.0,
+                             scheduling_class=scheduling_class).tasks[0]
+
+
+class TestQuotaSelection:
+    def test_batch_gets_point_one(self):
+        controller = ThrottleController()
+        assert controller.quota_for(batch_task()) == pytest.approx(0.1)
+
+    def test_best_effort_gets_point_oh_one(self):
+        controller = ThrottleController()
+        task = batch_task(scheduling_class=SchedulingClass.BEST_EFFORT)
+        assert controller.quota_for(task) == pytest.approx(0.01)
+
+
+class TestCapping:
+    def test_cap_applies_to_cgroup(self):
+        controller = ThrottleController()
+        task = batch_task()
+        action = controller.cap(task, now=100, victim_taskname="v/0",
+                                correlation=0.5)
+        assert task.cgroup.is_capped(100)
+        assert task.cgroup.allowed_usage(8.0, t=100) == pytest.approx(0.1)
+        assert action.expires_at == 100 + 300  # 5 minutes
+        assert action.victim_taskname == "v/0"
+        assert action.correlation == 0.5
+
+    def test_cap_duration_from_config(self):
+        controller = ThrottleController(CpiConfig(hardcap_duration=60))
+        task = batch_task()
+        action = controller.cap(task, now=0)
+        assert action.expires_at == 60
+        assert not task.cgroup.is_capped(60)
+
+    def test_quota_override(self):
+        controller = ThrottleController()
+        task = batch_task()
+        action = controller.cap(task, now=0, quota=0.05)
+        assert action.quota == 0.05
+        assert task.cgroup.allowed_usage(8.0, t=0) == pytest.approx(0.05)
+
+    def test_release(self):
+        controller = ThrottleController()
+        task = batch_task()
+        controller.cap(task, now=0)
+        controller.release(task)
+        assert not task.cgroup.is_capped(1)
+
+    def test_audit_log_and_active_caps(self):
+        controller = ThrottleController()
+        t1, t2 = batch_task("b1"), batch_task("b2")
+        controller.cap(t1, now=0)
+        controller.cap(t2, now=100)
+        assert len(controller.actions) == 2
+        active = controller.active_caps(now=200)
+        assert [a.taskname for a in active] == ["b1/0", "b2/0"]
+        active = controller.active_caps(now=350)
+        assert [a.taskname for a in active] == ["b2/0"]
+
+
+class TestAdaptiveCapping:
+    def test_first_cap_uses_class_quota(self):
+        controller = AdaptiveCapController()
+        task = batch_task()
+        action = controller.cap(task, now=0)
+        assert action.quota == pytest.approx(0.1)
+
+    def test_failure_halves_quota(self):
+        controller = AdaptiveCapController()
+        task = batch_task()
+        controller.cap(task, now=0)
+        next_quota = controller.report_outcome(task.name, victim_recovered=False)
+        assert next_quota == pytest.approx(0.05)
+        action = controller.cap(task, now=400)
+        assert action.quota == pytest.approx(0.05)
+
+    def test_quota_floor(self):
+        controller = AdaptiveCapController(min_quota=0.01)
+        task = batch_task()
+        controller.cap(task, now=0)
+        for _ in range(10):
+            quota = controller.report_outcome(task.name, victim_recovered=False)
+        assert quota == pytest.approx(0.01)
+
+    def test_two_successes_double_quota(self):
+        controller = AdaptiveCapController()
+        task = batch_task()
+        controller.cap(task, now=0)
+        controller.report_outcome(task.name, True)
+        quota = controller.report_outcome(task.name, True)
+        assert quota == pytest.approx(0.2)
+
+    def test_one_success_not_enough(self):
+        controller = AdaptiveCapController()
+        task = batch_task()
+        controller.cap(task, now=0)
+        quota = controller.report_outcome(task.name, True)
+        assert quota == pytest.approx(0.1)
+
+    def test_failure_resets_success_streak(self):
+        controller = AdaptiveCapController()
+        task = batch_task()
+        controller.cap(task, now=0)
+        controller.report_outcome(task.name, True)
+        controller.report_outcome(task.name, False)   # halves to 0.05
+        controller.report_outcome(task.name, True)
+        quota = controller.report_outcome(task.name, True)  # doubles to 0.1
+        assert quota == pytest.approx(0.1)
+
+    def test_quota_ceiling(self):
+        controller = AdaptiveCapController(max_quota=0.4)
+        task = batch_task()
+        controller.cap(task, now=0)
+        for _ in range(10):
+            controller.report_outcome(task.name, True)
+        assert controller.current_quota(task.name) <= 0.4
+
+    def test_unknown_task_raises(self):
+        controller = AdaptiveCapController()
+        with pytest.raises(KeyError, match="no adaptive state"):
+            controller.report_outcome("ghost/0", True)
+
+    def test_current_quota_unknown(self):
+        assert AdaptiveCapController().current_quota("ghost/0") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_quota"):
+            AdaptiveCapController(min_quota=0.0)
+        with pytest.raises(ValueError, match="max_quota"):
+            AdaptiveCapController(min_quota=0.5, max_quota=0.1)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.cluster.trace."""
+
+import math
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, SimConfig
+from repro.cluster.trace import TraceRecorder, load_trace
+from repro.testing import make_quiet_machine, make_scripted_job
+
+
+def build_sim(n_tasks=2):
+    machine = make_quiet_machine()
+    sim = ClusterSimulation([machine], SimConfig(seed=1))
+    for i in range(n_tasks):
+        sim.scheduler.submit(make_scripted_job(f"j{i}", [1.0 + i],
+                                               cpu_limit=4.0))
+    return sim
+
+
+class TestRecording:
+    def test_records_all_tasks_by_default(self):
+        sim = build_sim(2)
+        recorder = TraceRecorder(sim)
+        sim.run(10)
+        assert recorder.tasknames() == ["j0/0", "j1/0"]
+        assert len(recorder.points) == 20
+
+    def test_task_filter(self):
+        sim = build_sim(3)
+        recorder = TraceRecorder(sim, task_filter=lambda n: n == "j1/0")
+        sim.run(5)
+        assert recorder.tasknames() == ["j1/0"]
+
+    def test_decimation(self):
+        sim = build_sim(1)
+        recorder = TraceRecorder(sim, interval=5)
+        sim.run(20)
+        ts = [p.t for p in recorder.points]
+        assert ts == [0, 5, 10, 15]
+
+    def test_point_contents(self):
+        sim = build_sim(1)
+        recorder = TraceRecorder(sim)
+        sim.run(3)
+        point = recorder.points[0]
+        assert point.taskname == "j0/0"
+        assert point.jobname == "j0"
+        assert point.machine == "m0"
+        assert point.grant == pytest.approx(1.0)
+        assert point.cpi > 0
+        assert point.capped is False
+
+    def test_capped_flag_tracks_cgroup(self):
+        sim = build_sim(1)
+        recorder = TraceRecorder(sim)
+        task = sim.scheduler.jobs["j0"].tasks[0]
+        task.cgroup.apply_cap(0.1, now=0, duration=5)
+        sim.run(8)
+        capped_flags = [p.capped for p in recorder.points]
+        assert capped_flags[:5] == [True] * 5
+        assert capped_flags[5:] == [False] * 3
+
+    def test_validation(self):
+        sim = build_sim(1)
+        with pytest.raises(ValueError, match="interval"):
+            TraceRecorder(sim, interval=0)
+
+
+class TestViews:
+    def test_series(self):
+        sim = build_sim(2)
+        recorder = TraceRecorder(sim)
+        sim.run(6)
+        ts, grants = recorder.series("j1/0", field="grant")
+        assert ts == list(range(6))
+        assert all(g == pytest.approx(2.0) for g in grants)
+        _, cpis = recorder.series("j1/0", field="cpi")
+        assert all(c > 0 for c in cpis)
+
+    def test_series_unknown_field(self):
+        sim = build_sim(1)
+        recorder = TraceRecorder(sim)
+        with pytest.raises(ValueError, match="field"):
+            recorder.series("j0/0", field="latency")
+
+    def test_window(self):
+        sim = build_sim(1)
+        recorder = TraceRecorder(sim)
+        sim.run(10)
+        assert [p.t for p in recorder.window(3, 6)] == [3, 4, 5]
+        with pytest.raises(ValueError, match="empty window"):
+            recorder.window(5, 5)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        sim = build_sim(2)
+        recorder = TraceRecorder(sim)
+        sim.run(5)
+        path = tmp_path / "trace.jsonl"
+        written = recorder.save(path)
+        loaded = load_trace(path)
+        assert written == len(loaded) == len(recorder.points)
+        assert loaded == recorder.points
+
+    def test_corrupt_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t": 1}\n')
+        with pytest.raises(ValueError, match="bad trace record"):
+            load_trace(path)
+
+    def test_nan_cpi_survives_roundtrip(self, tmp_path):
+        # JSON has no NaN literal by default; json module emits NaN tokens
+        # which it can also read back.
+        from repro.cluster.trace import TracePoint
+        sim = build_sim(1)
+        recorder = TraceRecorder(sim)
+        recorder.points.append(TracePoint(
+            t=0, machine="m0", taskname="x/0", jobname="x",
+            grant=0.0, cpi=float("nan"), capped=False))
+        path = tmp_path / "trace.jsonl"
+        recorder.save(path)
+        loaded = load_trace(path)
+        assert math.isnan(loaded[-1].cpi)

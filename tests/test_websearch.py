@@ -1,0 +1,114 @@
+"""Unit tests for repro.workloads.websearch (the Figures 3-5 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import pearson_correlation
+from repro.cluster.job import Job
+from repro.cluster.task import SchedulingClass
+from repro.workloads.websearch import (
+    LatencyModel,
+    SearchTier,
+    WebSearchWorkload,
+    make_websearch_job_spec,
+)
+
+
+def latency_cpi_correlation(tier, n=400, seed=0):
+    """Correlation between synthetic latency and the CPI ratio driving it."""
+    rng = np.random.default_rng(seed)
+    model = LatencyModel(tier, rng)
+    ratios = rng.uniform(1.0, 1.6, size=n)
+    latencies = [model.request_latency_ms(r) for r in ratios]
+    return pearson_correlation(ratios, latencies)
+
+
+class TestLatencyModel:
+    def test_leaf_latency_tracks_cpi(self):
+        # Figure 4a: leaf shows high correlation.
+        assert latency_cpi_correlation(SearchTier.LEAF) > 0.65
+
+    def test_intermediate_weaker_than_leaf(self):
+        leaf = latency_cpi_correlation(SearchTier.LEAF)
+        mid = latency_cpi_correlation(SearchTier.INTERMEDIATE)
+        assert mid > 0.4
+        assert mid < leaf
+
+    def test_root_poorly_correlated(self):
+        # Figure 4c: the root's latency is set by its children, not itself.
+        assert latency_cpi_correlation(SearchTier.ROOT) < 0.3
+
+    def test_latency_positive(self):
+        rng = np.random.default_rng(0)
+        model = LatencyModel(SearchTier.LEAF, rng)
+        assert model.request_latency_ms(1.0) > 0
+
+    def test_higher_cpi_higher_expected_latency(self):
+        rng = np.random.default_rng(0)
+        model = LatencyModel(SearchTier.LEAF, rng)
+        low = np.mean([model.request_latency_ms(1.0) for _ in range(300)])
+        high = np.mean([model.request_latency_ms(1.5) for _ in range(300)])
+        assert high > low * 1.2
+
+    def test_invalid_ratio(self):
+        model = LatencyModel(SearchTier.LEAF, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.request_latency_ms(0.0)
+
+
+class TestWebSearchWorkload:
+    def test_demand_follows_diurnal_pattern(self):
+        rng = np.random.default_rng(0)
+        workload = WebSearchWorkload(SearchTier.LEAF, rng, demand_noise=0.0)
+        peak = max(workload.cpu_demand(t) for t in range(0, 86400, 600))
+        trough = min(workload.cpu_demand(t) for t in range(0, 86400, 600))
+        assert peak > trough * 1.2
+
+    def test_cpi_modulation_small(self):
+        rng = np.random.default_rng(0)
+        workload = WebSearchWorkload(SearchTier.LEAF, rng,
+                                     cpi_diurnal_amplitude=0.04)
+        cpis = []
+        for t in range(0, 86400, 600):
+            workload.on_tick(t, 1.0, False)
+            cpis.append(workload.base_cpi())
+        cv = np.std(cpis) / np.mean(cpis)
+        assert 0.01 < cv < 0.05  # Figure 5: ~4% coefficient of variation
+
+    def test_baseline_cpi_per_tier(self):
+        rng = np.random.default_rng(0)
+        leaf = WebSearchWorkload(SearchTier.LEAF, rng)
+        root = WebSearchWorkload(SearchTier.ROOT, rng)
+        assert leaf.baseline_cpi() > root.baseline_cpi()
+
+    def test_leaf_has_more_threads(self):
+        rng = np.random.default_rng(0)
+        leaf = WebSearchWorkload(SearchTier.LEAF, rng)
+        root = WebSearchWorkload(SearchTier.ROOT, rng)
+        assert leaf.thread_count(0) > root.thread_count(0)
+
+
+class TestJobSpec:
+    def test_spec_shape(self):
+        spec = make_websearch_job_spec("search-leaf", SearchTier.LEAF,
+                                       num_tasks=100)
+        assert spec.scheduling_class is SchedulingClass.LATENCY_SENSITIVE
+        assert spec.num_tasks == 100
+
+    def test_tasks_get_independent_noise(self):
+        spec = make_websearch_job_spec("leaf", SearchTier.LEAF, num_tasks=2,
+                                       seed=3)
+        job = Job(spec)
+        w0, w1 = (t.workload for t in job)
+        series0 = [w0.cpu_demand(t) for t in range(20)]
+        series1 = [w1.cpu_demand(t) for t in range(20)]
+        assert series0 != series1
+
+    def test_same_seed_reproducible(self):
+        def demands(seed):
+            job = Job(make_websearch_job_spec("leaf", SearchTier.LEAF,
+                                              num_tasks=1, seed=seed))
+            return [job.tasks[0].workload.cpu_demand(t) for t in range(20)]
+
+        assert demands(5) == demands(5)
+        assert demands(5) != demands(6)

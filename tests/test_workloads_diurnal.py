@@ -1,0 +1,71 @@
+"""Unit tests for repro.workloads.diurnal."""
+
+import pytest
+
+from repro.cluster.simulation import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.workloads.diurnal import DiurnalPattern
+
+
+class TestShape:
+    def test_mean_near_one(self):
+        pattern = DiurnalPattern(amplitude=0.25)
+        values = [pattern(t) for t in range(0, SECONDS_PER_DAY, 300)]
+        assert sum(values) / len(values) == pytest.approx(1.0, abs=0.02)
+
+    def test_peak_near_configured_hour(self):
+        pattern = DiurnalPattern(amplitude=0.25, peak_hour=20.0)
+        best_t = max(range(0, SECONDS_PER_DAY, 60), key=pattern)
+        peak_hour = best_t / SECONDS_PER_HOUR
+        assert abs(peak_hour - 20.0) < 1.5
+
+    def test_trough_opposite_peak(self):
+        pattern = DiurnalPattern(amplitude=0.25, peak_hour=20.0)
+        worst_t = min(range(0, SECONDS_PER_DAY, 60), key=pattern)
+        trough_hour = worst_t / SECONDS_PER_HOUR
+        # Trough lands in the early-morning half of the cycle.
+        assert 2.0 < trough_hour < 14.0
+
+    def test_daily_periodicity(self):
+        pattern = DiurnalPattern()
+        for t in (0, 3600, 50000):
+            assert pattern(t) == pytest.approx(pattern(t + SECONDS_PER_DAY))
+
+    def test_amplitude_bounds_swing(self):
+        pattern = DiurnalPattern(amplitude=0.25)
+        lo, hi = pattern.daily_extremes()
+        assert 0.7 <= lo < 1.0 < hi <= 1.3
+
+    def test_zero_amplitude_is_flat(self):
+        pattern = DiurnalPattern(amplitude=0.0)
+        assert pattern(0) == pytest.approx(pattern(40000)) == pytest.approx(1.0)
+
+    def test_never_negative(self):
+        pattern = DiurnalPattern(amplitude=0.99)
+        assert all(pattern(t) >= 0.0 for t in range(0, SECONDS_PER_DAY, 600))
+
+
+class TestWeekend:
+    def test_weekend_damping(self):
+        pattern = DiurnalPattern(amplitude=0.2, weekend_damping=0.3)
+        weekday_noon = 2 * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR
+        saturday_noon = 5 * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR
+        assert pattern(saturday_noon) == pytest.approx(
+            pattern(weekday_noon) * 0.7)
+
+    def test_no_damping_by_default(self):
+        pattern = DiurnalPattern()
+        assert pattern(5 * SECONDS_PER_DAY) == pytest.approx(pattern(0))
+
+
+class TestValidation:
+    def test_amplitude_range(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalPattern(amplitude=1.0)
+
+    def test_peak_hour_range(self):
+        with pytest.raises(ValueError, match="peak_hour"):
+            DiurnalPattern(peak_hour=24.0)
+
+    def test_damping_range(self):
+        with pytest.raises(ValueError, match="weekend_damping"):
+            DiurnalPattern(weekend_damping=1.0)
