@@ -30,6 +30,15 @@ from repro.cluster import (
     TaskState,
     get_platform,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    StructuredLogger,
+    Tracer,
+    configure_logging,
+    default_observability,
+    render_metrics_report,
+)
 from repro.core import (
     AdaptiveCapController,
     ClusterStatus,
@@ -88,4 +97,12 @@ __all__ = [
     "ThrottleController",
     "antagonist_correlation",
     "rank_suspects",
+    # observability
+    "MetricsRegistry",
+    "Observability",
+    "StructuredLogger",
+    "Tracer",
+    "configure_logging",
+    "default_observability",
+    "render_metrics_report",
 ]

@@ -7,15 +7,39 @@ Commands:
 * ``list`` — the registered paper experiments.
 * ``experiment <name> [...]`` — run experiments by name and print their
   paper-vs-measured reports.
+
+Global observability flags (accepted by every command):
+
+* ``--log-level {debug,info,warning,error}`` — console event verbosity.
+* ``--log-json PATH`` — write every structured event as one JSON line.
+* ``--trace-json PATH`` — export pipeline-stage traces as JSONL
+  (``demo`` only).
+
+``demo`` and ``experiment`` print a metrics report (counters, gauges,
+histogram summaries) when the run recorded any; see
+``docs/observability.md`` for the catalogue.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser,
+                   tracing: bool = False) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--log-level", default="warning",
+                       choices=["debug", "info", "warning", "error"],
+                       help="console log verbosity (default warning)")
+    group.add_argument("--log-json", metavar="PATH", default=None,
+                       help="write structured events to PATH as JSONL")
+    if tracing:
+        group.add_argument("--trace-json", metavar="PATH", default=None,
+                           help="export pipeline-stage traces to PATH as JSONL")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,8 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--minutes", type=int, default=30,
                       help="simulated minutes to run (default 30)")
     demo.add_argument("--seed", type=int, default=42)
+    _add_obs_flags(demo, tracing=True)
 
-    subparsers.add_parser("list", help="list registered experiments")
+    list_parser = subparsers.add_parser(
+        "list", help="list registered experiments")
+    _add_obs_flags(list_parser)
 
     experiment = subparsers.add_parser(
         "experiment", help="run one or more registered experiments")
@@ -39,19 +66,38 @@ def build_parser() -> argparse.ArgumentParser:
                             help="experiment names (see 'repro list'), "
                                  "or 'all' for every registered experiment "
                                  "(takes several minutes)")
+    _add_obs_flags(experiment)
     return parser
 
 
-def _cmd_demo(minutes: int, seed: int) -> int:
+def _format_incident_line(incident) -> str:
+    """One demo-output line for an incident (exposed for testing)."""
+    target = incident.decision.target
+    line = (f"  t={incident.time_seconds:>5}s {incident.victim_taskname} "
+            f"cpi={incident.victim_cpi:.2f} -> "
+            f"{incident.decision.action.value}")
+    if target is not None:
+        line += f" {target.name}"
+    if incident.recovered is not None:
+        relative = incident.relative_cpi
+        relative_text = (f"{relative:.2f}" if relative is not None
+                         else "n/a")  # departed victims have no post-CPI
+        line += (f" (recovered={incident.recovered}, "
+                 f"relative CPI={relative_text})")
+    return line
+
+
+def _cmd_demo(minutes: int, seed: int,
+              trace_json: Optional[str] = None) -> int:
     from repro import (ClusterSimulation, CpiConfig, CpiPipeline, CpiSpec,
-                       Job, Machine, SimConfig, get_platform)
+                       Job, Machine, Observability, SimConfig, get_platform)
     from repro.workloads import AntagonistKind, make_antagonist_job_spec
     from repro.workloads.services import make_service_job_spec
 
     platform = get_platform("westmere-2.6")
     machine = Machine("demo", platform, cpi_noise_sigma=0.03)
     sim = ClusterSimulation([machine], SimConfig(seed=seed))
-    pipeline = CpiPipeline(sim, CpiConfig())
+    pipeline = CpiPipeline(sim, CpiConfig(), obs=Observability())
     sim.scheduler.submit(Job(make_service_job_spec("frontend", num_tasks=1,
                                                    seed=seed)))
     sim.scheduler.submit(Job(make_antagonist_job_spec(
@@ -64,16 +110,12 @@ def _cmd_demo(minutes: int, seed: int) -> int:
     incidents = pipeline.all_incidents()
     print(f"{len(incidents)} incidents; actions:")
     for incident in incidents:
-        target = incident.decision.target
-        line = (f"  t={incident.time_seconds:>5}s {incident.victim_taskname} "
-                f"cpi={incident.victim_cpi:.2f} -> "
-                f"{incident.decision.action.value}")
-        if target is not None:
-            line += f" {target.name}"
-        if incident.recovered is not None:
-            line += (f" (recovered={incident.recovered}, "
-                     f"relative CPI={incident.relative_cpi:.2f})")
-        print(line)
+        print(_format_incident_line(incident))
+    print()
+    print(pipeline.metrics_report())
+    if trace_json:
+        written = pipeline.obs.tracer.export_jsonl(trace_json)
+        print(f"wrote {written} traces to {trace_json}")
     return 0
 
 
@@ -88,6 +130,7 @@ def _cmd_list() -> int:
 
 def _cmd_experiment(names: Sequence[str]) -> int:
     from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.obs import default_observability, render_metrics_report
 
     if list(names) == ["all"]:
         names = list(EXPERIMENTS)
@@ -100,14 +143,27 @@ def _cmd_experiment(names: Sequence[str]) -> int:
             status = 2
             continue
         report.show()
+    # Experiments build their own pipelines, which fall back to the process
+    # default observability — report whatever the runs recorded.
+    registry = default_observability().metrics
+    if registry.counters() or registry.gauges() or registry.histograms():
+        print()
+        print(render_metrics_report(registry))
     return status
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
+    from repro.obs import (Observability, configure_logging,
+                           set_default_observability)
+
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_path=args.log_json)
+    # Each invocation reports its own run, not whatever the process
+    # accumulated before (matters when main() is called in-process).
+    set_default_observability(Observability())
     if args.command == "demo":
-        return _cmd_demo(args.minutes, args.seed)
+        return _cmd_demo(args.minutes, args.seed, trace_json=args.trace_json)
     if args.command == "list":
         return _cmd_list()
     if args.command == "experiment":

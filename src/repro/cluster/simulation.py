@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.cluster.machine import Machine, TickResult
 from repro.cluster.scheduler import ClusterScheduler
+from repro.obs import Observability
 from repro.records import CpiSample
 from repro.perf.sampler import CpiSampler, SamplerConfig
 
@@ -66,8 +67,16 @@ class ClusterSimulation:
         machines: Iterable[Machine],
         config: SimConfig | None = None,
         scheduler: Optional[ClusterScheduler] = None,
+        obs: Optional[Observability] = None,
     ):
         self.config = config or SimConfig()
+        #: Telemetry handle; ``None`` keeps the tick loop uninstrumented.
+        #: The CPI2 pipeline injects its own via :meth:`set_observability`.
+        self.obs: Optional[Observability] = None
+        self._c_ticks = None
+        self._c_departures = None
+        if obs is not None:
+            self.set_observability(obs)
         self.machines: dict[str, Machine] = {m.name: m for m in machines}
         if not self.machines:
             raise ValueError("simulation needs at least one machine")
@@ -97,16 +106,30 @@ class ClusterSimulation:
         """Register a per-(tick, machine) observer, called after execution."""
         self._tick_hooks.append(hook)
 
+    def set_observability(self, obs: Observability) -> None:
+        """Attach telemetry: tick/departure counters and departure events."""
+        self.obs = obs
+        self._c_ticks = obs.metrics.counter("sim_ticks")
+        self._c_departures = obs.metrics.counter("task_departures")
+
     # -- running ------------------------------------------------------------------
 
     def step(self) -> dict[str, TickResult]:
         """Execute one simulated second across the whole cluster."""
         t = self.now
         results: dict[str, TickResult] = {}
+        if self._c_ticks is not None:
+            self._c_ticks.inc()
         for name in sorted(self.machines):
             machine = self.machines[name]
             result = machine.tick(t)
             results[name] = result
+            if self.obs is not None and result.departures:
+                self._c_departures.inc(len(result.departures))
+                for task, state in result.departures:
+                    self.obs.events.event(
+                        "task_departed", machine=name, task=task.name,
+                        job=task.job.name, state=state.value)
             for hook in self._tick_hooks:
                 hook(t, machine, result)
         for name in sorted(self.samplers):

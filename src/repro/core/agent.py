@@ -19,6 +19,7 @@ picked poorly the first time"), and finalises the incident record.
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -31,10 +32,15 @@ from repro.core.outlier import AnomalyEvent, OutlierDetector
 from repro.core.policy import AmeliorationPolicy, PolicyAction, PolicyDecision
 from repro.core.records import CpiSample, CpiSpec, SpecKey
 from repro.core.throttle import ThrottleController
+from repro.obs import Observability, default_observability
+from repro.obs.tracing import PipelineTrace, Span
 
 __all__ = ["Incident", "MachineAgent"]
 
 _incident_ids = itertools.count(1)
+
+#: Correlation scores live in [-1, 1]; bucket at the paper's 0.35 threshold.
+_CORRELATION_BUCKETS = (-0.5, 0.0, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0)
 
 
 @dataclass
@@ -53,6 +59,9 @@ class Incident:
     #: Filled in at follow-up time for throttled incidents.
     post_cpi: Optional[float] = None
     recovered: Optional[bool] = None
+    #: Stage-by-stage span trace (detect→identify→decide→actuate→followup).
+    trace: Optional[PipelineTrace] = field(default=None, repr=False,
+                                           compare=False)
 
     @property
     def top_suspect(self) -> Optional[SuspectScore]:
@@ -75,6 +84,8 @@ class _FollowUp:
     incident: Incident
     victim: Task
     antagonist: Task
+    #: The open ``followup`` trace span, closed when the check completes.
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -95,6 +106,7 @@ class MachineAgent:
         policy: Optional[AmeliorationPolicy] = None,
         incident_sink: Optional[Callable[[Incident], None]] = None,
         migrator: Optional[Callable[[Task], None]] = None,
+        obs: Optional[Observability] = None,
     ):
         """Args:
             machine: the machine this agent manages.
@@ -106,11 +118,16 @@ class MachineAgent:
             migrator: called when the policy says MIGRATE_VICTIM or
                 KILL_ANTAGONIST; receives the task to move.  If ``None``
                 those decisions are logged but not actuated.
+            obs: telemetry handle (metrics/events/traces); the process
+                default when omitted.
         """
         self.machine = machine
         self.config = config
-        self.detector = OutlierDetector(config)
+        self.obs = obs or default_observability()
+        self.detector = OutlierDetector(config, obs=self.obs)
         self.throttler = throttler or ThrottleController(config)
+        if getattr(self.throttler, "obs", None) is None:
+            self.throttler.obs = self.obs
         self.policy = policy or AmeliorationPolicy(config)
         self.incident_sink = incident_sink
         self.migrator = migrator
@@ -147,6 +164,17 @@ class MachineAgent:
             if anomaly is None:
                 continue
             self.anomalies_seen += 1
+            self.obs.metrics.counter("anomalies_detected").inc()
+            self.obs.metrics.histogram("victim_cpi").observe(anomaly.cpi)
+            self.obs.events.event(
+                "anomaly_detected",
+                machine=self.machine.name,
+                task=anomaly.taskname,
+                job=anomaly.jobname,
+                cpi=round(anomaly.cpi, 4),
+                threshold=round(anomaly.threshold, 4),
+                violations=anomaly.violations,
+            )
             incident = self._handle_anomaly(t, anomaly)
             if incident is not None:
                 incidents.append(incident)
@@ -184,21 +212,53 @@ class MachineAgent:
             for ts in timestamps
         ]
 
+    def _drop_analysis(self, t: int, anomaly: AnomalyEvent,
+                       reason: str) -> None:
+        """Make a skipped analysis visible: one event + one counted reason."""
+        self.obs.metrics.counter("analyses_dropped", reason=reason).inc()
+        if reason == "rate_limited":
+            self.obs.metrics.counter("analyses_rate_limited").inc()
+        self.obs.events.event(
+            "analysis_dropped",
+            reason=reason,
+            machine=self.machine.name,
+            task=anomaly.taskname,
+            job=anomaly.jobname,
+            cpi=round(anomaly.cpi, 4),
+        )
+
     def _handle_anomaly(self, t: int, anomaly: AnomalyEvent) -> Optional[Incident]:
         """Identification + policy + actuation for one anomaly."""
         if self._rate_limited(t):
+            self._drop_analysis(t, anomaly, "rate_limited")
             return None
         if not self.machine.has_task(anomaly.taskname):
-            return None  # the victim departed between sampling and analysis
+            # The victim departed between sampling and analysis.
+            self._drop_analysis(t, anomaly, "victim_departed")
+            return None
         if any(f.victim.name == anomaly.taskname for f in self._followups):
             # An amelioration is already in flight for this victim; the paper
             # re-analyses only after the cap, if the CPI remained high.
+            self._drop_analysis(t, anomaly, "followup_in_flight")
             return None
         self._last_analysis = t
+
+        detect_start = (t if anomaly.first_flag_seconds is None
+                        else anomaly.first_flag_seconds)
+        trace = self.obs.tracer.start_trace(
+            "incident", detect_start,
+            machine=self.machine.name, victim=anomaly.taskname,
+            victim_job=anomaly.jobname)
+        trace.span("detect", detect_start, t,
+                   cpi=round(anomaly.cpi, 4),
+                   threshold=round(anomaly.threshold, 4),
+                   violations=anomaly.violations)
 
         victim = self.machine.get_task(anomaly.taskname)
         timestamps, victim_cpi = self._victim_series(anomaly.taskname, t)
         if len(timestamps) < 2:
+            self._drop_analysis(t, anomaly, "too_few_samples")
+            trace.span("identify", t, t, outcome="too_few_samples")
             return None
         suspects_input: dict[str, tuple[str, list[float]]] = {}
         suspect_tasks: dict[str, Task] = {}
@@ -209,11 +269,26 @@ class MachineAgent:
                 task.job.name, self._suspect_usage(task, timestamps))
             suspect_tasks[task.name] = task
         if not suspects_input:
+            self._drop_analysis(t, anomaly, "no_cotenants")
+            trace.span("identify", t, t, outcome="no_cotenants")
             return None
 
+        wall_start = time.perf_counter()
         scores = rank_suspects(victim_cpi, anomaly.threshold, suspects_input)
+        identify_span = trace.span(
+            "identify", t, t, suspects=len(scores),
+            wall_us=int((time.perf_counter() - wall_start) * 1e6))
+        if scores:
+            identify_span.attributes["top_correlation"] = round(
+                scores[0].correlation, 4)
+            self.obs.metrics.histogram(
+                "correlation_score", buckets=_CORRELATION_BUCKETS,
+            ).observe(scores[0].correlation)
         scored_tasks = [(s, suspect_tasks[s.taskname]) for s in scores]
         decision = self.policy.decide(victim, scored_tasks)
+        trace.span("decide", t, t, action=decision.action.value,
+                   target=decision.target.name if decision.target else None,
+                   reason=decision.reason)
         incident = Incident(
             incident_id=next(_incident_ids),
             machine=self.machine.name,
@@ -224,8 +299,23 @@ class MachineAgent:
             cpi_threshold=anomaly.threshold,
             suspects=scores,
             decision=decision,
+            trace=trace,
         )
+        trace.attributes["incident_id"] = incident.incident_id
         self.incidents.append(incident)
+        self.obs.metrics.counter("incidents_by_action",
+                                 action=decision.action.value).inc()
+        self.obs.events.event(
+            "incident_opened",
+            incident_id=incident.incident_id,
+            machine=self.machine.name,
+            victim=victim.name,
+            victim_job=victim.job.name,
+            action=decision.action.value,
+            target=decision.target.name if decision.target else None,
+            correlation=(round(decision.score.correlation, 4)
+                         if decision.score else None),
+        )
         self._actuate(t, incident, victim, decision)
         if decision.action is not PolicyAction.THROTTLE and self.incident_sink:
             # Throttled incidents reach the sink once their follow-up closes.
@@ -234,26 +324,46 @@ class MachineAgent:
 
     def _actuate(self, t: int, incident: Incident, victim: Task,
                  decision: PolicyDecision) -> None:
+        trace = incident.trace
         if decision.action is PolicyAction.THROTTLE:
             assert decision.target is not None and decision.score is not None
-            self.throttler.cap(
+            action = self.throttler.cap(
                 decision.target, t,
                 victim_taskname=victim.name,
                 correlation=decision.score.correlation,
             )
             self.policy.record_throttle(victim, decision.target)
+            followup_span = None
+            if trace is not None:
+                trace.span("actuate", t, t, action="throttle",
+                           target=decision.target.name, quota=action.quota)
+                followup_span = trace.span("followup", t,
+                                           antagonist=decision.target.name)
             self._followups.append(_FollowUp(
                 due_at=t + self.config.hardcap_duration,
                 incident=incident,
                 victim=victim,
                 antagonist=decision.target,
+                span=followup_span,
             ))
+            self._update_caps_gauge(t)
         elif decision.action in (PolicyAction.MIGRATE_VICTIM,
                                  PolicyAction.KILL_ANTAGONIST):
             target = (victim if decision.action is PolicyAction.MIGRATE_VICTIM
                       else decision.target)
-            if self.migrator is not None and target is not None:
+            actuated = self.migrator is not None and target is not None
+            if trace is not None:
+                trace.span("actuate", t, t, action=decision.action.value,
+                           target=target.name if target else None,
+                           actuated=actuated)
+            if actuated:
                 self.migrator(target)
+        elif trace is not None:
+            trace.span("actuate", t, t, action=decision.action.value)
+
+    def _update_caps_gauge(self, t: int) -> None:
+        self.obs.metrics.gauge("caps_active", machine=self.machine.name).set(
+            len(self.throttler.active_caps(t)))
 
     # -- follow-ups --------------------------------------------------------------------
 
@@ -275,10 +385,30 @@ class MachineAgent:
             # The victim left or stopped sampling; treat as recovered so we
             # don't escalate against a ghost.
             incident.recovered = True
+            outcome = "victim_gone"
         else:
             incident.recovered = post_cpi <= incident.cpi_threshold
+            outcome = "recovered" if incident.recovered else "still_suffering"
         if self.machine.has_task(victim.name):
             self.policy.record_outcome(victim, bool(incident.recovered))
+        if followup.span is not None:
+            followup.span.finish(t, outcome=outcome,
+                                 post_cpi=(round(post_cpi, 4)
+                                           if post_cpi is not None else None))
+        self.obs.metrics.counter("followups_completed", outcome=outcome).inc()
+        relative = incident.relative_cpi
+        self.obs.events.event(
+            "followup_completed",
+            incident_id=incident.incident_id,
+            machine=self.machine.name,
+            victim=victim.name,
+            antagonist=followup.antagonist.name,
+            outcome=outcome,
+            recovered=incident.recovered,
+            post_cpi=round(post_cpi, 4) if post_cpi is not None else None,
+            relative_cpi=round(relative, 4) if relative is not None else None,
+        )
+        self._update_caps_gauge(t)
         if self.incident_sink:
             self.incident_sink(incident)
         # If the victim is still suffering, the next anomalous sample will
@@ -298,7 +428,37 @@ class MachineAgent:
 
     # -- bookkeeping ----------------------------------------------------------------------
 
-    def forget_task(self, taskname: str) -> None:
-        """Drop per-task state when a task departs the machine."""
+    def forget_task(self, taskname: str, now: Optional[int] = None) -> None:
+        """Drop per-task state when a task departs the machine.
+
+        Pending follow-ups whose victim is the departed task are purged and
+        their incidents finalised through the sink immediately (departed
+        victims count as recovered, with no post-cap CPI) — otherwise the
+        stale entries would block analyses for any later task reusing the
+        name until the follow-up's due time.
+
+        Args:
+            taskname: the departed task.
+            now: current simulation time; each purged follow-up falls back
+                to its own due time when omitted.
+        """
+        stale = [f for f in self._followups if f.victim.name == taskname]
+        if stale:
+            self._followups = [f for f in self._followups
+                               if f.victim.name != taskname]
+        # Window first: _finish_followup must see the victim as gone so the
+        # departed-victim rule (recovered, post_cpi=None) applies.
         self._windows.pop(taskname, None)
         self.detector.forget_task(taskname)
+        for followup in stale:
+            self.obs.metrics.counter("followups_purged").inc()
+            self.obs.events.event(
+                "followup_purged",
+                reason="victim_departed",
+                incident_id=followup.incident.incident_id,
+                machine=self.machine.name,
+                victim=taskname,
+                antagonist=followup.antagonist.name,
+            )
+            self._finish_followup(now if now is not None else followup.due_at,
+                                  followup)

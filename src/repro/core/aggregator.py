@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.records import CpiSample, CpiSpec, SpecKey
+from repro.obs import Observability
 
 __all__ = ["CpiAggregator"]
 
@@ -75,12 +76,17 @@ class _RunningStats:
 class CpiAggregator:
     """The cluster-level CPI-spec learner."""
 
-    def __init__(self, config: CpiConfig = DEFAULT_CONFIG):
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG,
+                 obs: Optional[Observability] = None):
         self.config = config
         self._current: dict[SpecKey, _RunningStats] = {}
         self._specs: dict[SpecKey, CpiSpec] = {}
         self._last_refresh: Optional[int] = None
         self.total_samples_ingested = 0
+        self._obs = obs
+        # Cached so the per-sample ingest path is one attribute increment.
+        self._c_ingested = (obs.metrics.counter("samples_ingested")
+                            if obs is not None else None)
 
     # -- ingest -----------------------------------------------------------------
 
@@ -92,6 +98,8 @@ class CpiAggregator:
             self._current[sample.key()] = stats
         stats.add(sample)
         self.total_samples_ingested += 1
+        if self._c_ingested is not None:
+            self._c_ingested.inc()
 
     def ingest_many(self, samples: Iterable[CpiSample]) -> None:
         """Accumulate a batch of samples."""
@@ -148,12 +156,19 @@ class CpiAggregator:
 
         Returns the full published spec map.
         """
+        updated = 0
         for key, stats in self._current.items():
             if stats.count == 0 or not self._eligible(stats):
                 continue
             self._specs[key] = self._blend(key, stats)
+            updated += 1
         self._current = {}
         self._last_refresh = now
+        if self._obs is not None:
+            self._obs.metrics.counter("spec_refreshes").inc()
+            self._obs.metrics.gauge("specs_published").set(len(self._specs))
+            self._obs.events.event("specs_published", updated=updated,
+                                   published=len(self._specs))
         return dict(self._specs)
 
     def maybe_recompute(self, now: int) -> Optional[dict[SpecKey, CpiSpec]]:

@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.records import CpiSample, CpiSpec
+from repro.obs import Observability
 
 __all__ = ["OutlierVerdict", "AnomalyEvent", "OutlierDetector"]
 
@@ -52,18 +53,34 @@ class AnomalyEvent:
     cpi: float
     threshold: float
     violations: int
+    #: When the oldest in-window outlier flag landed — the start of the
+    #: detection episode, used as the trace's ``detect`` span start.
+    first_flag_seconds: Optional[int] = None
 
 
 class OutlierDetector:
     """Per-machine streak tracker implementing the Section 4.1 rules."""
 
-    def __init__(self, config: CpiConfig = DEFAULT_CONFIG):
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG,
+                 obs: Optional[Observability] = None):
         self.config = config
         #: Per-task timestamps (seconds) of recent outlier flags.
         self._flags: dict[str, deque[int]] = {}
         self.samples_seen = 0
         self.samples_skipped_low_usage = 0
         self.samples_skipped_no_spec = 0
+        # Instruments are resolved once here so the per-sample path below
+        # pays a plain attribute increment, nothing more.
+        metrics = (obs.metrics if obs is not None else None)
+        self._c_seen = metrics.counter("detector_samples_seen") if metrics else None
+        self._c_no_spec = (metrics.counter("detector_samples_skipped",
+                                           reason="no_spec")
+                           if metrics else None)
+        self._c_low_usage = (metrics.counter("detector_samples_skipped",
+                                             reason="low_usage")
+                             if metrics else None)
+        self._c_flagged = (metrics.counter("detector_outliers_flagged")
+                           if metrics else None)
 
     def observe(self, sample: CpiSample, spec: Optional[CpiSpec]
                 ) -> tuple[OutlierVerdict, Optional[AnomalyEvent]]:
@@ -74,13 +91,19 @@ class OutlierDetector:
         what stops that from causing repeated work.
         """
         self.samples_seen += 1
+        if self._c_seen is not None:
+            self._c_seen.inc()
         if spec is None:
             self.samples_skipped_no_spec += 1
+            if self._c_no_spec is not None:
+                self._c_no_spec.inc()
             return OutlierVerdict(flagged=False, skipped=True,
                                   skip_reason="no-spec"), None
         threshold = spec.outlier_threshold(self.config.outlier_stddevs)
         if sample.cpu_usage < self.config.min_cpu_usage:
             self.samples_skipped_low_usage += 1
+            if self._c_low_usage is not None:
+                self._c_low_usage.inc()
             return OutlierVerdict(flagged=False, skipped=True,
                                   skip_reason="low-usage",
                                   threshold=threshold), None
@@ -99,6 +122,8 @@ class OutlierDetector:
                                   violations_in_window=len(flags),
                                   threshold=threshold), None
         flags.append(t)
+        if self._c_flagged is not None:
+            self._c_flagged.inc()
         verdict = OutlierVerdict(flagged=True, skipped=False,
                                  violations_in_window=len(flags),
                                  threshold=threshold)
@@ -112,6 +137,7 @@ class OutlierDetector:
                 cpi=sample.cpi,
                 threshold=threshold,
                 violations=len(flags),
+                first_flag_seconds=flags[0],
             )
         return verdict, anomaly
 

@@ -29,6 +29,7 @@ from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.forensics import ForensicsStore
 from repro.core.records import CpiSample, CpiSpec
 from repro.core.throttle import ThrottleController
+from repro.obs import Observability, default_observability, render_metrics_report
 
 __all__ = ["CpiPipeline"]
 
@@ -44,6 +45,7 @@ class CpiPipeline:
         throttler_factory=None,
         enable_migration: bool = False,
         log_samples: bool = False,
+        obs: Optional[Observability] = None,
     ):
         """Args:
             simulation: the cluster to deploy onto.  The pipeline registers
@@ -60,10 +62,17 @@ class CpiPipeline:
                 offline analysis ("we log and store data about CPIs and
                 suspected antagonists"); pair with
                 :func:`repro.core.storage.save_samples` to persist.
+            obs: telemetry handle shared by the whole deployment — the
+                aggregator, every agent (and through them detectors and
+                throttlers), and the simulation.  The process default when
+                omitted; pass a fresh :class:`~repro.obs.Observability` for
+                an isolated registry.
         """
         self.simulation = simulation
         self.config = config
-        self.aggregator = CpiAggregator(config)
+        self.obs = obs or default_observability()
+        self.obs.bind_clock(lambda: simulation.now)
+        self.aggregator = CpiAggregator(config, obs=self.obs)
         self.forensics = forensics or ForensicsStore()
         self.enable_migration = enable_migration
         make_throttler = throttler_factory or (lambda: ThrottleController(config))
@@ -75,9 +84,12 @@ class CpiPipeline:
                 throttler=make_throttler(),
                 incident_sink=self.forensics.record,
                 migrator=self._migrate if enable_migration else None,
+                obs=self.obs,
             )
         simulation.add_sample_sink(self._on_samples)
         simulation.add_tick_hook(self._on_tick)
+        if simulation.obs is None:
+            simulation.set_observability(self.obs)
         self.total_samples = 0
         self.machine_seconds = 0
         self.log_samples = log_samples
@@ -103,13 +115,19 @@ class CpiPipeline:
         agent = self.agents[machine.name]
         agent.tick(t)
         for task, _state in result.departures:
-            agent.forget_task(task.name)
+            agent.forget_task(task.name, now=t)
 
     def _migrate(self, task: Task) -> None:
         try:
             self.simulation.scheduler.migrate_task(task)
+            self.obs.metrics.counter("migrations", outcome="moved").inc()
+            self.obs.events.event("task_migrated", task=task.name,
+                                  job=task.job.name)
         except PlacementError:
-            pass  # nowhere to go; the task stays put and CPI2 retries later
+            # Nowhere to go; the task stays put and CPI2 retries later.
+            self.obs.metrics.counter("migrations", outcome="no_placement").inc()
+            self.obs.events.event("migration_failed", task=task.name,
+                                  job=task.job.name, reason="no_placement")
 
     # -- operator conveniences ---------------------------------------------------------
 
@@ -131,6 +149,10 @@ class CpiPipeline:
         refreshed = self.aggregator.recompute(self.simulation.now)
         for agent in self.agents.values():
             agent.update_specs(refreshed)
+
+    def metrics_report(self) -> str:
+        """This deployment's metrics, rendered for the terminal."""
+        return render_metrics_report(self.obs.metrics)
 
     def all_incidents(self) -> list[Incident]:
         """Every incident raised by any agent, in id order."""

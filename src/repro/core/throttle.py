@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.cluster.task import SchedulingClass, Task
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
+from repro.obs import Observability
 
 __all__ = ["CapAction", "ThrottleController", "AdaptiveCapController"]
 
@@ -42,9 +43,12 @@ class CapAction:
 class ThrottleController:
     """Applies and releases CFS bandwidth caps on antagonist tasks."""
 
-    def __init__(self, config: CpiConfig = DEFAULT_CONFIG):
+    def __init__(self, config: CpiConfig = DEFAULT_CONFIG,
+                 obs: Optional[Observability] = None):
         self.config = config
         self.actions: list[CapAction] = []
+        #: Telemetry handle; the owning agent injects its own if unset.
+        self.obs = obs
 
     def quota_for(self, task: Task) -> float:
         """The cap quota the policy assigns to this task's class."""
@@ -81,11 +85,29 @@ class ThrottleController:
             correlation=correlation,
         )
         self.actions.append(action)
+        if self.obs is not None:
+            self.obs.metrics.counter("caps_applied").inc()
+            self.obs.metrics.histogram(
+                "cap_quota", buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+            ).observe(actual_quota)
+            self.obs.events.event(
+                "cap_applied",
+                task=task.name,
+                job=task.job.name,
+                quota=actual_quota,
+                applied_at=now,
+                expires_at=action.expires_at,
+                victim=victim_taskname,
+                correlation=correlation,
+            )
         return action
 
     def release(self, task: Task) -> None:
         """Lift a cap early (operator intervention)."""
         task.cgroup.release_cap()
+        if self.obs is not None:
+            self.obs.events.event("cap_released", task=task.name,
+                                  job=task.job.name)
 
     def active_caps(self, now: int) -> list[CapAction]:
         """Audit-log entries whose caps are still in force at ``now``."""

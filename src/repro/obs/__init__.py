@@ -1,0 +1,61 @@
+"""Fleet observability for the CPI2 control loop.
+
+The paper's production deployment leaned on Google's monitoring and the
+Dremel-backed forensics log (Section 5); this package is the reproduction's
+equivalent telemetry substrate, deliberately zero-dependency:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+* :mod:`repro.obs.events` — dict-shaped structured events through stdlib
+  ``logging``, with a JSONL file handler for grep-able run logs.
+* :mod:`repro.obs.tracing` — simulated-time span traces of the
+  detect→identify→decide→actuate→follow-up pipeline.
+* :mod:`repro.obs.report` — terminal rendering of a registry.
+* :mod:`repro.obs.observability` — the :class:`Observability` facade that
+  instrumented components accept.
+
+See ``docs/observability.md`` for the event schema and metric catalogue.
+"""
+
+from repro.obs.events import (
+    EVENT_LOGGER_NAME,
+    JsonlFormatter,
+    StructuredLogger,
+    configure_logging,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observability import (
+    Observability,
+    default_observability,
+    set_default_observability,
+)
+from repro.obs.report import metrics_lines, render_metrics_report
+from repro.obs.tracing import PipelineTrace, Span, Tracer
+
+__all__ = [
+    "EVENT_LOGGER_NAME",
+    "JsonlFormatter",
+    "StructuredLogger",
+    "configure_logging",
+    "reset_logging",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "default_observability",
+    "set_default_observability",
+    "metrics_lines",
+    "render_metrics_report",
+    "PipelineTrace",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,294 @@
+"""Zero-dependency metrics primitives for the CPI2 control loop.
+
+The paper's operators watched CPI2 through Google's monitoring stack; this
+module is the reproduction's stand-in: a :class:`MetricsRegistry` holding
+named counters, gauges, and fixed-bucket histograms, designed so the hot
+sampling path pays one dict lookup (or none, if the caller caches the
+instrument) plus one float add per increment.
+
+Instruments are identified by a family name plus optional labels, in the
+Prometheus style::
+
+    registry.counter("analyses_dropped", reason="rate_limited").inc()
+    registry.gauge("caps_active", machine="m3").set(2)
+    registry.histogram("victim_cpi").observe(3.7)
+
+Families are untyped until first use; re-using one name with a different
+instrument kind raises.  ``registry.total("incidents_by_action")`` sums a
+counter family across all label sets — the invariant checked by the CLI's
+metrics report (it must equal ``len(pipeline.all_incidents())``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Generic latency/ratio buckets: fine resolution near the CPI range the
+#: paper's Figure 3 covers, coarse above it.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+#: A label set, normalised to a sorted tuple of (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(name: str, labels: LabelKey) -> str:
+    """``name{k=v,...}`` — the report/snapshot spelling of an instrument."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({render_key(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. caps currently in force)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({render_key(self.name, self.labels)}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with an implicit +Inf overflow bucket.
+
+    Buckets are cumulative-upper-bound style: ``observe(v)`` lands in the
+    first bucket whose bound is >= v.  ``quantile`` interpolates inside the
+    winning bucket, which is exact enough for a report and keeps the
+    observe path at one bisect + two adds.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds in {bounds}")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        #: One slot per bound plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated q-quantile (q in [0, 1]); None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        estimate = self.max
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lo = self.bounds[i - 1] if i > 0 else (
+                    min(self.min or 0.0, self.bounds[0]))
+                hi = self.bounds[i] if i < len(self.bounds) else (
+                    self.max if self.max is not None else self.bounds[-1])
+                if math.isinf(hi):
+                    estimate = lo
+                else:
+                    fraction = (rank - seen) / bucket_count
+                    estimate = lo + (hi - lo) * min(1.0, max(0.0, fraction))
+                break
+            seen += bucket_count
+        if estimate is None:
+            return None
+        # Interpolation cannot beat the observed extremes.
+        if self.min is not None:
+            estimate = max(estimate, self.min)
+        if self.max is not None:
+            estimate = min(estimate, self.max)
+        return estimate
+
+    def summary(self) -> dict[str, object]:
+        """The report/snapshot view of this histogram."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({render_key(self.name, self.labels)} "
+                f"count={self.count} mean={self.mean:.3g})")
+
+
+class MetricsRegistry:
+    """Owns every instrument for one deployment (usually one pipeline).
+
+    Thread-safe on the create path (first use of a (name, labels) pair);
+    increments on the instruments themselves are plain float adds, which is
+    what keeps the per-sample cost negligible.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -- instrument lookup / creation -----------------------------------------
+
+    def _claim(self, name: str, kind: str) -> None:
+        claimed = self._kinds.setdefault(name, kind)
+        if claimed != kind:
+            raise ValueError(
+                f"metric family {name!r} is a {claimed}, not a {kind}")
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        found = self._counters.get(key)
+        if found is None:
+            with self._lock:
+                self._claim(name, "counter")
+                found = self._counters.setdefault(key, Counter(*key))
+        return found
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        found = self._gauges.get(key)
+        if found is None:
+            with self._lock:
+                self._claim(name, "gauge")
+                found = self._gauges.setdefault(key, Gauge(*key))
+        return found
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: object) -> Histogram:
+        key = (name, _label_key(labels))
+        found = self._histograms.get(key)
+        if found is None:
+            with self._lock:
+                self._claim(name, "histogram")
+                found = self._histograms.setdefault(
+                    key, Histogram(*key, buckets=buckets or DEFAULT_BUCKETS))
+        return found
+
+    # -- family queries ----------------------------------------------------------
+
+    def counters(self, name: Optional[str] = None) -> list[Counter]:
+        """All counters, or one family's, sorted by label key."""
+        found = [c for (n, _), c in self._counters.items()
+                 if name is None or n == name]
+        return sorted(found, key=lambda c: (c.name, c.labels))
+
+    def gauges(self, name: Optional[str] = None) -> list[Gauge]:
+        found = [g for (n, _), g in self._gauges.items()
+                 if name is None or n == name]
+        return sorted(found, key=lambda g: (g.name, g.labels))
+
+    def histograms(self, name: Optional[str] = None) -> list[Histogram]:
+        found = [h for (n, _), h in self._histograms.items()
+                 if name is None or n == name]
+        return sorted(found, key=lambda h: (h.name, h.labels))
+
+    def total(self, name: str) -> float:
+        """Sum a counter family across all of its label sets."""
+        return sum(c.value for c in self.counters(name))
+
+    def value(self, name: str, **labels: object) -> Optional[float]:
+        """One counter/gauge value, or None if it was never touched."""
+        key = (name, _label_key(labels))
+        found = self._counters.get(key) or self._gauges.get(key)
+        return found.value if found is not None else None
+
+    # -- export ----------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-friendly dump of every instrument."""
+        return {
+            "counters": {render_key(c.name, c.labels): c.value
+                         for c in self.counters()},
+            "gauges": {render_key(g.name, g.labels): g.value
+                       for g in self.gauges()},
+            "histograms": {render_key(h.name, h.labels): h.summary()
+                           for h in self.histograms()},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and long-lived default registries)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._kinds.clear()

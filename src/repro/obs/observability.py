@@ -1,0 +1,62 @@
+"""The observability facade: one handle bundling metrics, events, traces.
+
+Every instrumented component (pipeline, agents, aggregator, detector,
+throttler, simulation) takes an optional :class:`Observability` and falls
+back to the process-wide default, so ad-hoc scripts get working telemetry
+for free while tests and experiments can pass an isolated instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.events import StructuredLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "Observability",
+    "default_observability",
+    "set_default_observability",
+]
+
+
+class Observability:
+    """Metrics registry + structured event logger + pipeline tracer."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[StructuredLogger] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], int]] = None,
+    ):
+        self.metrics = metrics or MetricsRegistry()
+        self.events = events or StructuredLogger(clock=clock)
+        self.tracer = tracer or Tracer()
+        if clock is not None:
+            self.events.clock = clock
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Stamp future events with this simulated-time source."""
+        self.events.clock = clock
+
+
+_default: Optional[Observability] = None
+
+
+def default_observability() -> Observability:
+    """The process-wide instance used when no explicit one is passed."""
+    global _default
+    if _default is None:
+        _default = Observability()
+    return _default
+
+
+def set_default_observability(obs: Optional[Observability]
+                              ) -> Optional[Observability]:
+    """Swap the process default (None re-arms lazy creation); returns the old one."""
+    global _default
+    previous = _default
+    _default = obs
+    return previous

@@ -1,0 +1,76 @@
+"""Render a :class:`~repro.obs.metrics.MetricsRegistry` for the terminal.
+
+The CLI prints this after ``demo`` and ``experiment`` runs: per-stage
+counters (samples in, anomalies, drops by reason, incidents by action),
+gauges, and histogram summaries — the quick "did the control loop behave"
+read an operator wants before reaching for the JSONL event log.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Histogram, MetricsRegistry, render_key
+
+__all__ = ["render_metrics_report", "metrics_lines"]
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _histogram_line(hist: Histogram) -> str:
+    summary = hist.summary()
+    return (f"count={_fmt(summary['count'])} mean={_fmt(summary['mean'])} "
+            f"min={_fmt(summary['min'])} p50={_fmt(summary['p50'])} "
+            f"p95={_fmt(summary['p95'])} max={_fmt(summary['max'])}")
+
+
+def metrics_lines(registry: MetricsRegistry) -> list[str]:
+    """The report as a list of lines (joined by :func:`render_metrics_report`)."""
+    lines: list[str] = []
+    counters = registry.counters()
+    gauges = registry.gauges()
+    histograms = registry.histograms()
+    if not (counters or gauges or histograms):
+        return ["(no metrics recorded)"]
+
+    width = max(
+        [len(render_key(c.name, c.labels)) for c in counters]
+        + [len(render_key(g.name, g.labels)) for g in gauges]
+        + [len(render_key(h.name, h.labels)) for h in histograms]
+    )
+
+    if counters:
+        lines.append("counters:")
+        families = sorted({c.name for c in counters})
+        for family in families:
+            members = registry.counters(family)
+            for counter in members:
+                key = render_key(counter.name, counter.labels)
+                lines.append(f"  {key:<{width}}  {_fmt(counter.value)}")
+            if len(members) > 1:
+                total_key = f"{family} (total)"
+                lines.append(
+                    f"  {total_key:<{width}}  {_fmt(registry.total(family))}")
+    if gauges:
+        lines.append("gauges:")
+        for gauge in gauges:
+            key = render_key(gauge.name, gauge.labels)
+            lines.append(f"  {key:<{width}}  {_fmt(gauge.value)}")
+    if histograms:
+        lines.append("histograms:")
+        for hist in histograms:
+            key = render_key(hist.name, hist.labels)
+            lines.append(f"  {key:<{width}}  {_histogram_line(hist)}")
+    return lines
+
+
+def render_metrics_report(registry: MetricsRegistry,
+                          title: str = "metrics") -> str:
+    """A ready-to-print metrics report."""
+    return "\n".join([f"== {title} =="] + metrics_lines(registry))

@@ -1,0 +1,149 @@
+"""Simulated-time span tracing for the detect→actuate→follow-up pipeline.
+
+Each handled anomaly becomes one :class:`PipelineTrace` holding a span per
+stage — ``detect`` (first outlier flag to anomaly declaration), ``identify``
+(correlation ranking), ``decide`` (policy), ``actuate`` (cap/migrate), and
+``followup`` (cap window to recovery check).  Span times are simulated
+seconds, so the stage latencies an operator reads off a trace are the ones
+the paper's control loop actually exhibits (e.g. a follow-up span is the
+5-minute hard-cap duration); wall-clock cost of the analysis itself is
+attached as span attributes where it is interesting.
+
+Traces export as JSONL (one trace per line) via :meth:`Tracer.export_jsonl`,
+mirroring the structured event log's format so the same tooling greps both.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Optional, Union
+
+__all__ = ["Span", "PipelineTrace", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One pipeline stage inside a trace, in simulated seconds."""
+
+    name: str
+    start: int
+    end: Optional[int] = None
+    attributes: dict = field(default_factory=dict)
+
+    def finish(self, t: int, **attributes: object) -> "Span":
+        """Close the span at simulated time ``t``; returns self."""
+        self.end = t
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> Optional[int]:
+        """Simulated seconds the stage spanned (None while open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+@dataclass
+class PipelineTrace:
+    """One anomaly's journey through the control loop."""
+
+    trace_id: int
+    kind: str
+    start: int
+    attributes: dict = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+
+    def span(self, name: str, start: int, end: Optional[int] = None,
+             **attributes: object) -> Span:
+        """Open (or record a completed) stage span."""
+        created = Span(name=name, start=start, end=end,
+                       attributes=dict(attributes))
+        self.spans.append(created)
+        return created
+
+    def find_span(self, name: str) -> Optional[Span]:
+        """The first span with this stage name, if recorded."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def end(self) -> Optional[int]:
+        """Latest closed-span end, or None if nothing closed yet."""
+        ends = [s.end for s in self.spans if s.end is not None]
+        return max(ends) if ends else None
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+
+class Tracer:
+    """Collects pipeline traces, bounded so long runs cannot grow unbounded.
+
+    Args:
+        max_traces: retain at most this many most-recent traces.
+    """
+
+    def __init__(self, max_traces: int = 10_000):
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self._ids = itertools.count(1)
+        self.traces: deque[PipelineTrace] = deque(maxlen=max_traces)
+
+    def start_trace(self, kind: str, t: int,
+                    **attributes: object) -> PipelineTrace:
+        """Open a new trace at simulated time ``t``."""
+        trace = PipelineTrace(trace_id=next(self._ids), kind=kind, start=t,
+                              attributes=dict(attributes))
+        self.traces.append(trace)
+        return trace
+
+    def find(self, trace_id: int) -> Optional[PipelineTrace]:
+        for trace in self.traces:
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def by_attribute(self, **attributes: object) -> list[PipelineTrace]:
+        """Traces whose attributes include every given (key, value) pair."""
+        return [t for t in self.traces
+                if all(t.attributes.get(k) == v
+                       for k, v in attributes.items())]
+
+    def export_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write one JSON line per trace; returns the number written."""
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return self._write(handle, self.traces)
+        return self._write(destination, self.traces)
+
+    @staticmethod
+    def _write(handle: IO[str], traces: Iterable[PipelineTrace]) -> int:
+        written = 0
+        for trace in traces:
+            handle.write(json.dumps(trace.to_dict(), sort_keys=True,
+                                    separators=(",", ":"), default=str))
+            handle.write("\n")
+            written += 1
+        return written

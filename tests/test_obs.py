@@ -1,0 +1,285 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    JsonlFormatter,
+    MetricsRegistry,
+    Observability,
+    StructuredLogger,
+    Tracer,
+    configure_logging,
+    default_observability,
+    render_metrics_report,
+    reset_logging,
+    set_default_observability,
+)
+from repro.obs.metrics import Counter, Histogram, render_key
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("events").inc(-1)
+
+    def test_same_name_and_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("drops", reason="rate_limited")
+        b = registry.counter("drops", reason="rate_limited")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_label_sets_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("drops", reason="rate_limited").inc(2)
+        registry.counter("drops", reason="no_cotenants").inc(3)
+        assert registry.total("drops") == 5
+        assert registry.value("drops", reason="rate_limited") == 2
+        assert len(registry.counters("drops")) == 2
+
+    def test_value_for_untouched_instrument_is_none(self):
+        assert MetricsRegistry().value("nothing") is None
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("caps_active", machine="m1")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 3
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+
+class TestHistogram:
+    def test_observe_updates_count_sum_extremes(self):
+        hist = MetricsRegistry().histogram("cpi", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(14.0)
+        assert hist.min == 0.5
+        assert hist.max == 9.0
+        assert hist.mean == pytest.approx(3.5)
+        # Bucket occupancy: <=1, <=2, <=4, +Inf.
+        assert hist.bucket_counts == [1, 1, 1, 1]
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram("q", buckets=(1.0, 10.0))
+        hist.observe(3.0)
+        assert hist.quantile(0.0) >= 3.0 - 1e-9
+        assert hist.quantile(0.5) == pytest.approx(3.0)
+        assert hist.quantile(1.0) == pytest.approx(3.0)
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram("q", buckets=(1.0,)).quantile(0.5) is None
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("q", buckets=(1.0,)).quantile(1.5)
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Histogram("q", buckets=(1.0, 1.0))
+
+    def test_summary_shape(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        summary = hist.summary()
+        assert set(summary) == {"count", "sum", "mean", "min", "max",
+                                "p50", "p95", "p99"}
+
+
+class TestRegistry:
+    def test_snapshot_is_json_friendly(self):
+        registry = MetricsRegistry()
+        registry.counter("a", k="v").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(0.3)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"]["a{k=v}"] == 1
+        assert snapshot["gauges"]["g"] == 2
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.counters() == []
+        assert registry.value("a") is None
+
+    def test_render_key(self):
+        assert render_key("n", ()) == "n"
+        counter = Counter("n", (("a", "1"), ("b", "2")))
+        assert render_key(counter.name, counter.labels) == "n{a=1,b=2}"
+
+
+class TestStructuredLogger:
+    def test_sink_receives_payload_with_clock_stamp(self):
+        events = []
+        logger = StructuredLogger(name="repro.test.sink", clock=lambda: 77)
+        logger.add_sink(events.append)
+        payload = logger.event("anomaly_detected", task="t/0", cpi=3.0)
+        assert payload == {"event": "anomaly_detected", "t": 77,
+                           "task": "t/0", "cpi": 3.0}
+        assert events == [payload]
+
+    def test_no_listeners_means_no_payload(self):
+        # Nothing configured: level gates INFO out, and there is no sink,
+        # so the hot path skips building the dict entirely.
+        logging.getLogger("repro.test.mute").setLevel(logging.WARNING)
+        logger = StructuredLogger(name="repro.test.mute")
+        assert logger.event("sampled") is None
+
+    def test_remove_sink(self):
+        events = []
+        logger = StructuredLogger(name="repro.test.rm")
+        logger.add_sink(events.append)
+        logger.remove_sink(events.append)
+        logger.event("x")
+        assert events == []
+
+
+class TestJsonlLogging:
+    def teardown_method(self):
+        reset_logging()
+
+    def test_events_land_in_jsonl_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        configure_logging(level="error", json_path=str(path),
+                          stream=io.StringIO())
+        logger = StructuredLogger(clock=lambda: 5)
+        logger.event("cap_applied", task="ant/0", quota=0.1)
+        logger.event("analysis_dropped", reason="rate_limited")
+        for handler in logging.getLogger("repro").handlers:
+            handler.flush()
+        lines = [json.loads(line)
+                 for line in path.read_text().strip().splitlines()]
+        assert [e["event"] for e in lines] == ["cap_applied",
+                                               "analysis_dropped"]
+        assert lines[0] == {"event": "cap_applied", "t": 5,
+                            "task": "ant/0", "quota": 0.1}
+
+    def test_plain_records_wrapped_as_log_events(self):
+        formatter = JsonlFormatter()
+        record = logging.LogRecord("repro.x", logging.WARNING, __file__, 1,
+                                   "plain %s", ("msg",), None)
+        parsed = json.loads(formatter.format(record))
+        assert parsed["event"] == "log"
+        assert parsed["message"] == "plain msg"
+        assert parsed["level"] == "warning"
+
+    def test_reconfigure_does_not_stack_handlers(self, tmp_path):
+        stream = io.StringIO()
+        for _ in range(3):
+            configure_logging(level="info", stream=stream)
+        assert len(logging.getLogger("repro").handlers) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_console_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        logger = StructuredLogger()
+        logger.event("quiet_info")
+        logger.warning("loud_warning")
+        output = stream.getvalue()
+        assert "quiet_info" not in output
+        assert "loud_warning" in output
+
+
+class TestTracer:
+    def test_trace_spans_and_durations(self):
+        tracer = Tracer()
+        trace = tracer.start_trace("incident", 100, machine="m1")
+        trace.span("detect", 40, 100, violations=3)
+        span = trace.span("followup", 100)
+        assert span.duration is None
+        span.finish(400, outcome="recovered")
+        assert span.duration == 300
+        assert trace.end == 400
+        assert trace.find_span("detect").attributes["violations"] == 3
+        assert tracer.find(trace.trace_id) is trace
+        assert tracer.by_attribute(machine="m1") == [trace]
+        assert tracer.by_attribute(machine="m2") == []
+
+    def test_export_jsonl(self, tmp_path):
+        tracer = Tracer()
+        trace = tracer.start_trace("incident", 0)
+        trace.span("detect", 0, 10)
+        path = tmp_path / "traces.jsonl"
+        assert tracer.export_jsonl(str(path)) == 1
+        parsed = json.loads(path.read_text().strip())
+        assert parsed["kind"] == "incident"
+        assert parsed["spans"][0]["duration"] == 10
+
+    def test_bounded_retention(self):
+        tracer = Tracer(max_traces=2)
+        for i in range(5):
+            tracer.start_trace("t", i)
+        assert len(tracer.traces) == 2
+        assert [t.start for t in tracer.traces] == [3, 4]
+
+    def test_bad_max_traces(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+
+class TestReport:
+    def test_report_includes_counters_gauges_histograms_and_totals(self):
+        registry = MetricsRegistry()
+        registry.counter("incidents_by_action", action="throttle").inc(3)
+        registry.counter("incidents_by_action", action="no-action").inc(1)
+        registry.gauge("caps_active", machine="m1").set(2)
+        registry.histogram("victim_cpi").observe(2.0)
+        report = render_metrics_report(registry)
+        assert report.startswith("== metrics ==")
+        assert "incidents_by_action{action=throttle}" in report
+        assert "incidents_by_action (total)" in report
+        assert "caps_active{machine=m1}" in report
+        assert "victim_cpi" in report
+
+    def test_empty_registry(self):
+        assert "(no metrics recorded)" in render_metrics_report(
+            MetricsRegistry())
+
+
+class TestObservabilityFacade:
+    def test_bind_clock_stamps_events(self):
+        obs = Observability()
+        events = []
+        obs.events.add_sink(events.append)
+        obs.bind_clock(lambda: 42)
+        obs.events.event("x")
+        assert events[0]["t"] == 42
+
+    def test_default_is_singleton_and_swappable(self):
+        original = set_default_observability(None)
+        try:
+            first = default_observability()
+            assert default_observability() is first
+            mine = Observability()
+            assert set_default_observability(mine) is first
+            assert default_observability() is mine
+        finally:
+            set_default_observability(original)
