@@ -30,6 +30,15 @@ from repro.cluster import (
     TaskState,
     get_platform,
 )
+from repro.faults import (
+    FAULT_PROFILES,
+    AgentCheckpoint,
+    FaultPlane,
+    FaultProfile,
+    LinkFaults,
+    RetryPolicy,
+    resolve_fault_profile,
+)
 from repro.obs import (
     MetricsRegistry,
     Observability,
@@ -97,6 +106,14 @@ __all__ = [
     "ThrottleController",
     "antagonist_correlation",
     "rank_suspects",
+    # fault injection / robustness
+    "FAULT_PROFILES",
+    "AgentCheckpoint",
+    "FaultPlane",
+    "FaultProfile",
+    "LinkFaults",
+    "RetryPolicy",
+    "resolve_fault_profile",
     # observability
     "MetricsRegistry",
     "Observability",

@@ -3,7 +3,10 @@
 Commands:
 
 * ``demo`` — the quickstart scenario: one victim, one antagonist, watch
-  CPI2 detect, identify, throttle, and the victim recover.
+  CPI2 detect, identify, throttle, and the victim recover.  Pass
+  ``--fault-profile {none,light,moderate,heavy}`` (and ``--fault-seed N``)
+  to run the same scenario over a faulty sample/spec fabric; see
+  ``docs/robustness.md``.
 * ``list`` — the registered paper experiments.
 * ``experiment <name> [...]`` — run experiments by name and print their
   paper-vs-measured reports.
@@ -42,6 +45,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser,
                            help="export pipeline-stage traces to PATH as JSONL")
 
 
+def _fault_profile_names() -> list[str]:
+    from repro.faults.profile import FAULT_PROFILES
+
+    return list(FAULT_PROFILES)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -54,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--minutes", type=int, default=30,
                       help="simulated minutes to run (default 30)")
     demo.add_argument("--seed", type=int, default=42)
+    faults = demo.add_argument_group("fault injection")
+    faults.add_argument("--fault-profile", default="none",
+                        choices=sorted(_fault_profile_names()),
+                        help="transport/crash fault intensity (default "
+                             "none: all paths in-process, output identical "
+                             "to a run without fault injection)")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the injected-fault schedule, "
+                             "independent of --seed (default 0)")
     _add_obs_flags(demo, tracing=True)
 
     list_parser = subparsers.add_parser(
@@ -88,7 +106,8 @@ def _format_incident_line(incident) -> str:
 
 
 def _cmd_demo(minutes: int, seed: int,
-              trace_json: Optional[str] = None) -> int:
+              trace_json: Optional[str] = None,
+              fault_profile: str = "none", fault_seed: int = 0) -> int:
     from repro import (ClusterSimulation, CpiConfig, CpiPipeline, CpiSpec,
                        Job, Machine, Observability, SimConfig, get_platform)
     from repro.workloads import AntagonistKind, make_antagonist_job_spec
@@ -97,7 +116,9 @@ def _cmd_demo(minutes: int, seed: int,
     platform = get_platform("westmere-2.6")
     machine = Machine("demo", platform, cpi_noise_sigma=0.03)
     sim = ClusterSimulation([machine], SimConfig(seed=seed))
-    pipeline = CpiPipeline(sim, CpiConfig(), obs=Observability())
+    pipeline = CpiPipeline(sim, CpiConfig(), obs=Observability(),
+                           fault_profile=fault_profile,
+                           fault_seed=fault_seed)
     sim.scheduler.submit(Job(make_service_job_spec("frontend", num_tasks=1,
                                                    seed=seed)))
     sim.scheduler.submit(Job(make_antagonist_job_spec(
@@ -113,6 +134,15 @@ def _cmd_demo(minutes: int, seed: int,
         print(_format_incident_line(incident))
     print()
     print(pipeline.metrics_report())
+    if pipeline.faults is not None:
+        # Only under a non-zero profile: the default demo output must stay
+        # identical to a build without fault injection.
+        tallies = pipeline.faults.fault_tallies()
+        injected = ", ".join(f"{kind}={count}"
+                             for kind, count in sorted(tallies.items()))
+        print()
+        print(f"fault profile '{pipeline.fault_profile.name}' "
+              f"(seed {fault_seed}): {injected or 'no faults fired'}")
     if trace_json:
         written = pipeline.obs.tracer.export_jsonl(trace_json)
         print(f"wrote {written} traces to {trace_json}")
@@ -163,7 +193,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     # accumulated before (matters when main() is called in-process).
     set_default_observability(Observability())
     if args.command == "demo":
-        return _cmd_demo(args.minutes, args.seed, trace_json=args.trace_json)
+        return _cmd_demo(args.minutes, args.seed, trace_json=args.trace_json,
+                         fault_profile=args.fault_profile,
+                         fault_seed=args.fault_seed)
     if args.command == "list":
         return _cmd_list()
     if args.command == "experiment":

@@ -88,7 +88,7 @@ class ClusterSimulation:
         self.scheduler = scheduler or ClusterScheduler(
             self.machines.values(), rng=self.rng)
         self.samplers: dict[str, CpiSampler] = {
-            name: CpiSampler(machine, self.config.sampler)
+            name: CpiSampler(machine, self.config.sampler, obs=self.obs)
             for name, machine in self.machines.items()
         }
         self._sample_sinks: list[SampleSink] = []
@@ -107,10 +107,16 @@ class ClusterSimulation:
         self._tick_hooks.append(hook)
 
     def set_observability(self, obs: Observability) -> None:
-        """Attach telemetry: tick/departure counters and departure events."""
+        """Attach telemetry: tick/departure counters and departure events.
+
+        Also handed to every sampler so discarded windows (zero
+        instructions, corrupted counter reads) are counted at the source.
+        """
         self.obs = obs
         self._c_ticks = obs.metrics.counter("sim_ticks")
         self._c_departures = obs.metrics.counter("task_departures")
+        for sampler in getattr(self, "samplers", {}).values():
+            sampler.obs = obs
 
     # -- running ------------------------------------------------------------------
 

@@ -32,6 +32,9 @@ from repro.core.outlier import AnomalyEvent, OutlierDetector
 from repro.core.policy import AmeliorationPolicy, PolicyAction, PolicyDecision
 from repro.core.records import CpiSample, CpiSpec, SpecKey
 from repro.core.throttle import ThrottleController
+from repro.faults.checkpoint import (AgentCheckpoint, FollowUpState,
+                                     sample_from_dict, sample_to_dict)
+from repro.faults.quarantine import sample_quarantine_reason, spec_is_plausible
 from repro.obs import Observability, default_observability
 from repro.obs.tracing import PipelineTrace, Span
 
@@ -83,7 +86,10 @@ class _FollowUp:
     due_at: int
     incident: Incident
     victim: Task
-    antagonist: Task
+    #: The throttled task; ``None`` after a checkpoint restore found it
+    #: gone (the name below still identifies it in events).
+    antagonist: Optional[Task]
+    antagonist_name: str
     #: The open ``followup`` trace span, closed when the check completes.
     span: Optional[Span] = None
 
@@ -137,28 +143,146 @@ class MachineAgent:
         self._last_analysis: Optional[int] = None
         self.incidents: list[Incident] = []
         self.anomalies_seen = 0
+        #: Simulated time the freshest applied spec push was *issued*;
+        #: ``None`` (bootstrap/tests) means the specs never go stale.
+        self._spec_anchor: Optional[int] = None
+        self._degraded = False
+        self._last_checkpoint: Optional[AgentCheckpoint] = None
+        self.crash_count = 0
 
     # -- spec distribution (pipeline -> agent) ----------------------------------
 
-    def update_specs(self, specs: dict[SpecKey, CpiSpec]) -> None:
-        """Receive the latest predicted-CPI specs from the aggregator."""
+    def update_specs(self, specs: dict[SpecKey, CpiSpec],
+                     now: Optional[int] = None) -> None:
+        """Receive the latest predicted-CPI specs from the aggregator.
+
+        Args:
+            specs: the full published spec map.
+            now: when this push was issued; anchors staleness tracking.
+                Omitted (bootstrap, tests, operator injection) the specs
+                never expire.
+        """
         self._specs = dict(specs)
+        if now is not None:
+            self._spec_anchor = now
+
+    def receive_spec_push(self, t: int, specs: dict[SpecKey, CpiSpec],
+                          issued_at: int) -> None:
+        """Apply one spec push that crossed the (possibly faulty) fabric.
+
+        Unlike :meth:`update_specs` this defends against wire damage and
+        disorder: pushes older than the one already applied are ignored
+        (delay/reorder faults can deliver them late), and implausible
+        entries — NaN or absurd means, the signature of corruption — fall
+        back to the last known-good spec for that key, counted per entry.
+        """
+        if self._spec_anchor is not None and issued_at < self._spec_anchor:
+            self.obs.metrics.counter("spec_pushes_ignored",
+                                     reason="out_of_order").inc()
+            self.obs.events.event("spec_push_ignored", reason="out_of_order",
+                                  machine=self.machine.name,
+                                  issued_at=issued_at,
+                                  applied=self._spec_anchor)
+            return
+        accepted: dict[SpecKey, CpiSpec] = {}
+        rejected = 0
+        for key, spec in specs.items():
+            if spec_is_plausible(spec, self.config.quarantine_cpi_bound):
+                accepted[key] = spec
+                continue
+            rejected += 1
+            self.obs.metrics.counter("spec_entries_rejected",
+                                     reason="implausible").inc()
+            previous = self._specs.get(key)
+            if previous is not None:
+                accepted[key] = previous  # last known-good
+        self._specs = accepted
+        self._spec_anchor = issued_at
+        if rejected:
+            self.obs.events.event(
+                "spec_push_degraded", machine=self.machine.name,
+                rejected=rejected, accepted=len(accepted))
+        self._refresh_degraded(t)
 
     def spec_for(self, jobname: str) -> Optional[CpiSpec]:
         """The spec for a job on this machine's platform, if published."""
         return self._specs.get(SpecKey(jobname, self.machine.platform.name))
 
+    # -- degraded mode (stale specs) ---------------------------------------------
+
+    def spec_staleness(self, t: int) -> Optional[int]:
+        """Seconds since the applied spec push was issued; ``None`` when
+        the specs came from bootstrap/operator injection (never stale)."""
+        if self._spec_anchor is None:
+            return None
+        return t - self._spec_anchor
+
+    def specs_too_stale(self, t: int) -> bool:
+        """Whether specs are beyond the TTL and detection must stand down.
+
+        The TTL is ``spec_ttl_periods`` refresh periods: a healthy fabric
+        delivers a push every period, so staleness past a few periods
+        means the world the specs describe is gone and anomalies against
+        them would be noise.
+        """
+        staleness = self.spec_staleness(t)
+        if staleness is None:
+            return False
+        ttl = self.config.spec_ttl_periods * self.config.spec_refresh_period
+        return staleness > ttl
+
+    def _refresh_degraded(self, t: int) -> None:
+        """Track degraded-mode transitions (events + gauge, never silent)."""
+        stale = self.specs_too_stale(t)
+        if stale == self._degraded:
+            return
+        self._degraded = stale
+        self.obs.metrics.gauge("degraded_agents").inc(1 if stale else -1)
+        self.obs.events.event(
+            "degraded_mode_entered" if stale else "degraded_mode_exited",
+            machine=self.machine.name,
+            staleness=self.spec_staleness(t))
+
     # -- sample ingestion ---------------------------------------------------------
 
     def ingest_samples(self, t: int, samples: list[CpiSample]) -> list[Incident]:
-        """Process one closed sampling window's samples; returns new incidents."""
+        """Process one closed sampling window's samples; returns new incidents.
+
+        Implausible samples (NaN, zero-CPI, absurd-CPI — corrupted counter
+        reads or wire damage) are quarantined before they can poison the
+        correlation windows or detector streaks.  When specs are too stale
+        (:meth:`specs_too_stale`) detection is suppressed with a counted
+        ``analysis_dropped`` reason: samples still feed the windows so
+        follow-ups keep working, but no new incidents open against a
+        long-expired model.
+        """
+        self._refresh_degraded(t)
         incidents: list[Incident] = []
         for sample in samples:
+            quarantine = sample_quarantine_reason(
+                sample, self.config.quarantine_cpi_bound)
+            if quarantine is not None:
+                self.obs.metrics.counter("samples_quarantined",
+                                         reason=quarantine).inc()
+                self.obs.events.event(
+                    "sample_quarantined", reason=quarantine,
+                    machine=self.machine.name, task=sample.taskname,
+                    job=sample.jobname)
+                continue
             window = self._windows.get(sample.taskname)
             if window is None:
                 window = _TaskWindow()
                 self._windows[sample.taskname] = window
             window.samples.append(sample)
+            if self._degraded:
+                self.obs.metrics.counter("analyses_dropped",
+                                         reason="stale_spec").inc()
+                self.obs.events.event(
+                    "analysis_dropped", reason="stale_spec",
+                    machine=self.machine.name, task=sample.taskname,
+                    job=sample.jobname,
+                    staleness=self.spec_staleness(t))
+                continue
             spec = self._specs.get(sample.key())
             _verdict, anomaly = self.detector.observe(sample, spec)
             if anomaly is None:
@@ -344,6 +468,7 @@ class MachineAgent:
                 incident=incident,
                 victim=victim,
                 antagonist=decision.target,
+                antagonist_name=decision.target.name,
                 span=followup_span,
             ))
             self._update_caps_gauge(t)
@@ -369,6 +494,7 @@ class MachineAgent:
 
     def tick(self, t: int) -> None:
         """Process due recovery checks.  Call at least once a minute."""
+        self._refresh_degraded(t)
         due = [f for f in self._followups if f.due_at <= t]
         if not due:
             return
@@ -402,7 +528,7 @@ class MachineAgent:
             incident_id=incident.incident_id,
             machine=self.machine.name,
             victim=victim.name,
-            antagonist=followup.antagonist.name,
+            antagonist=followup.antagonist_name,
             outcome=outcome,
             recovered=incident.recovered,
             post_cpi=round(post_cpi, 4) if post_cpi is not None else None,
@@ -458,7 +584,147 @@ class MachineAgent:
                 incident_id=followup.incident.incident_id,
                 machine=self.machine.name,
                 victim=taskname,
-                antagonist=followup.antagonist.name,
+                antagonist=followup.antagonist_name,
             )
             self._finish_followup(now if now is not None else followup.due_at,
                                   followup)
+
+    # -- checkpoint / crash / recovery ----------------------------------------------
+
+    def take_checkpoint(self, t: int) -> AgentCheckpoint:
+        """Snapshot the state a restart must not lose; kept as latest.
+
+        Covers the outlier windows (per-task recent samples), detector
+        streaks, and in-flight follow-ups — the state whose loss would
+        silently forget an anomalous task mid-incident.  The snapshot is
+        plain JSON-able data (see :class:`~repro.faults.checkpoint.
+        AgentCheckpoint`), i.e. what a real agent would write to disk.
+        """
+        checkpoint = AgentCheckpoint(
+            machine=self.machine.name,
+            taken_at=t,
+            last_analysis=self._last_analysis,
+            anomalies_seen=self.anomalies_seen,
+            windows={name: [sample_to_dict(s) for s in window.samples]
+                     for name, window in self._windows.items()
+                     if window.samples},
+            detector_flags=self.detector.export_flags(),
+            followups=[
+                FollowUpState(
+                    due_at=f.due_at,
+                    victim_taskname=f.victim.name,
+                    antagonist_taskname=f.antagonist_name,
+                    incident_id=f.incident.incident_id,
+                    incident_time=f.incident.time_seconds,
+                    victim_jobname=f.incident.victim_jobname,
+                    victim_cpi=f.incident.victim_cpi,
+                    cpi_threshold=f.incident.cpi_threshold,
+                    action=f.incident.decision.action.value,
+                ) for f in self._followups
+            ],
+        )
+        self._last_checkpoint = checkpoint
+        self.obs.metrics.counter("agent_checkpoints").inc()
+        return checkpoint
+
+    def crash(self, t: int) -> None:
+        """Simulate the agent process dying: volatile state is gone.
+
+        Windows, detector streaks, follow-ups, and the analysis rate-limit
+        clock are lost.  The spec cache survives (a real agent persists the
+        small spec map locally and re-reads it on start — losing it would
+        blind detection until the next daily push).  Already-raised
+        incidents survive in :attr:`incidents` as the historical record:
+        they were shipped to the forensics sink when they opened.
+        """
+        self.crash_count += 1
+        lost_followups = len(self._followups)
+        self.obs.metrics.counter("agent_crashes").inc()
+        self.obs.events.event(
+            "agent_crashed", machine=self.machine.name,
+            lost_followups=lost_followups, lost_windows=len(self._windows))
+        self._windows = {}
+        self._followups = []
+        self._last_analysis = None
+        self.detector = OutlierDetector(self.config, obs=self.obs)
+
+    def restore(self, checkpoint: AgentCheckpoint, t: int) -> None:
+        """Recover from a checkpoint after :meth:`crash`.
+
+        Windows and detector streaks are reloaded wholesale.  Follow-ups
+        are re-armed against the live machine: a follow-up whose victim or
+        antagonist no longer exists is finalised immediately through the
+        sink (counted as purged, reason ``lost_at_restore``) rather than
+        silently dropped.  Incidents referenced by id are reused when this
+        agent object still holds them; otherwise (restore into a fresh
+        process) they are rebuilt from the checkpointed fields.
+        """
+        self._windows = {
+            name: _TaskWindow(samples=deque(
+                (sample_from_dict(s) for s in samples), maxlen=64))
+            for name, samples in checkpoint.windows.items()
+        }
+        self.detector.restore_flags(checkpoint.detector_flags)
+        self._last_analysis = checkpoint.last_analysis
+        self.anomalies_seen = max(self.anomalies_seen,
+                                  checkpoint.anomalies_seen)
+        recovered = 0
+        for state in checkpoint.followups:
+            incident = next((i for i in self.incidents
+                             if i.incident_id == state.incident_id), None)
+            antagonist = (self.machine.get_task(state.antagonist_taskname)
+                          if self.machine.has_task(state.antagonist_taskname)
+                          else None)
+            if incident is None:
+                incident = Incident(
+                    incident_id=state.incident_id,
+                    machine=checkpoint.machine,
+                    time_seconds=state.incident_time,
+                    victim_taskname=state.victim_taskname,
+                    victim_jobname=state.victim_jobname,
+                    victim_cpi=state.victim_cpi,
+                    cpi_threshold=state.cpi_threshold,
+                    suspects=[],
+                    decision=PolicyDecision(
+                        action=PolicyAction(state.action),
+                        target=antagonist,
+                        reason="restored-from-checkpoint"),
+                )
+                self.incidents.append(incident)
+            if not self.machine.has_task(state.victim_taskname):
+                # Victim left while the agent was down; finalise now so
+                # the incident is not silently forgotten.
+                self.obs.metrics.counter("followups_purged").inc()
+                self.obs.events.event(
+                    "followup_purged", reason="lost_at_restore",
+                    incident_id=state.incident_id,
+                    machine=self.machine.name,
+                    victim=state.victim_taskname,
+                    antagonist=state.antagonist_taskname)
+                incident.recovered = True
+                if self.incident_sink:
+                    self.incident_sink(incident)
+                continue
+            self._followups.append(_FollowUp(
+                due_at=state.due_at,
+                incident=incident,
+                victim=self.machine.get_task(state.victim_taskname),
+                antagonist=antagonist,
+                antagonist_name=state.antagonist_taskname,
+            ))
+            recovered += 1
+        if recovered:
+            self.obs.metrics.counter("followups_recovered").inc(recovered)
+        self.obs.events.event(
+            "agent_restored", machine=self.machine.name,
+            checkpoint_age=t - checkpoint.taken_at,
+            followups_recovered=recovered,
+            windows_restored=len(self._windows))
+
+    def crash_and_restart(self, t: int) -> None:
+        """Crash, then restart from the latest checkpoint (if any)."""
+        checkpoint = self._last_checkpoint
+        self.crash(t)
+        self.obs.metrics.counter("agent_restarts").inc()
+        if checkpoint is not None:
+            self.restore(checkpoint, t)

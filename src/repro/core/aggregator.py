@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.records import CpiSample, CpiSpec, SpecKey
+from repro.faults.quarantine import sample_quarantine_reason
 from repro.obs import Observability
 
 __all__ = ["CpiAggregator"]
@@ -83,6 +84,7 @@ class CpiAggregator:
         self._specs: dict[SpecKey, CpiSpec] = {}
         self._last_refresh: Optional[int] = None
         self.total_samples_ingested = 0
+        self.total_samples_rejected = 0
         self._obs = obs
         # Cached so the per-sample ingest path is one attribute increment.
         self._c_ingested = (obs.metrics.counter("samples_ingested")
@@ -91,7 +93,24 @@ class CpiAggregator:
     # -- ingest -----------------------------------------------------------------
 
     def ingest(self, sample: CpiSample) -> None:
-        """Accumulate one sample into the current refresh period."""
+        """Accumulate one sample into the current refresh period.
+
+        Implausible samples — non-finite CPI or usage, zero CPI, CPI above
+        the quarantine bound (corrupted counter reads or wire damage) —
+        are rejected with a counted reason instead of being folded into
+        the running statistics, where one NaN would poison a whole spec.
+        """
+        reason = sample_quarantine_reason(sample,
+                                          self.config.quarantine_cpi_bound)
+        if reason is not None:
+            self.total_samples_rejected += 1
+            if self._obs is not None:
+                self._obs.metrics.counter("aggregator_samples_rejected",
+                                          reason=reason).inc()
+                self._obs.events.event(
+                    "aggregator_sample_rejected", reason=reason,
+                    job=sample.jobname, platform=sample.platforminfo)
+            return
         stats = self._current.get(sample.key())
         if stats is None:
             stats = _RunningStats()

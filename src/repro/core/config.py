@@ -66,6 +66,19 @@ class CpiConfig:
     #: At most one correlation analysis per this many seconds, per machine.
     analysis_min_interval: int = 1
 
+    # -- robustness / degraded mode (not in the paper's tables; these govern
+    # how the agent behaves when the fleet fabric misbehaves) -----------------
+    #: Specs older than this many refresh periods are too stale to detect
+    #: against; the agent suppresses anomaly detection (counted, not silent)
+    #: rather than raise incidents from a model of a long-gone world.
+    spec_ttl_periods: float = 3.0
+    #: CPI values above this are quarantined as implausible (corrupted
+    #: counter reads / wire damage) before they reach detection or specs.
+    quarantine_cpi_bound: float = 1000.0
+    #: Seconds between agent checkpoints of outlier-window/follow-up state;
+    #: a crashed agent restarts from its latest checkpoint.
+    checkpoint_interval: int = 60
+
     # -- amelioration (Section 5) --------------------------------------------------------
     #: Hard-cap quota for ordinary batch antagonists, CPU-sec/sec.
     hardcap_quota_batch: float = 0.1
@@ -81,7 +94,7 @@ class CpiConfig:
             "sampling_duration", "sampling_period", "spec_refresh_period",
             "min_tasks_for_spec", "min_samples_per_task", "anomaly_violations",
             "anomaly_window", "correlation_window", "analysis_min_interval",
-            "hardcap_duration",
+            "hardcap_duration", "checkpoint_interval",
         )
         for name in positives:
             if getattr(self, name) < 1:
@@ -93,6 +106,12 @@ class CpiConfig:
         for name in non_negatives:
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.spec_ttl_periods <= 0:
+            raise ValueError(
+                f"spec_ttl_periods must be > 0, got {self.spec_ttl_periods}")
+        if self.quarantine_cpi_bound <= 0:
+            raise ValueError("quarantine_cpi_bound must be > 0, "
+                             f"got {self.quarantine_cpi_bound}")
         if not 0.0 <= self.history_age_weight <= 1.0:
             raise ValueError(
                 f"history_age_weight must be in [0, 1], got {self.history_age_weight}")

@@ -145,6 +145,22 @@ class OutlierDetector:
         """Drop state for a departed task."""
         self._flags.pop(taskname, None)
 
+    # -- checkpoint support (agent crash/recovery) ------------------------------
+
+    def export_flags(self) -> dict[str, list[int]]:
+        """Per-task in-window outlier flag timestamps, JSON-able.
+
+        This is the detector's only state that matters across an agent
+        restart: losing a streak mid-anomaly would silently re-arm the
+        3-in-5-minutes rule and delay detection.
+        """
+        return {name: list(flags)
+                for name, flags in self._flags.items() if flags}
+
+    def restore_flags(self, flags: dict[str, list[int]]) -> None:
+        """Replace streak state from an :meth:`export_flags` snapshot."""
+        self._flags = {name: deque(times) for name, times in flags.items()}
+
     def violations_for(self, taskname: str) -> int:
         """Current in-window outlier count for a task (0 if unknown)."""
         flags = self._flags.get(taskname)

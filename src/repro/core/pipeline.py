@@ -29,6 +29,8 @@ from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.forensics import ForensicsStore
 from repro.core.records import CpiSample, CpiSpec
 from repro.core.throttle import ThrottleController
+from repro.faults.plane import FaultPlane
+from repro.faults.profile import FaultProfile, resolve_fault_profile
 from repro.obs import Observability, default_observability, render_metrics_report
 
 __all__ = ["CpiPipeline"]
@@ -46,6 +48,8 @@ class CpiPipeline:
         enable_migration: bool = False,
         log_samples: bool = False,
         obs: Optional[Observability] = None,
+        fault_profile: "FaultProfile | str | None" = None,
+        fault_seed: int = 0,
     ):
         """Args:
             simulation: the cluster to deploy onto.  The pipeline registers
@@ -67,6 +71,16 @@ class CpiPipeline:
                 throttlers), and the simulation.  The process default when
                 omitted; pass a fresh :class:`~repro.obs.Observability` for
                 an isolated registry.
+            fault_profile: a :class:`~repro.faults.profile.FaultProfile`
+                or preset name (``none``/``light``/``moderate``/``heavy``)
+                describing the machine <-> aggregator fabric's failure
+                behaviour.  The default (or any zero profile) bypasses the
+                fault plane entirely: sample uploads and spec pushes stay
+                in-process and runs are byte-identical to a build without
+                fault injection.
+            fault_seed: root seed for all injected-fault randomness,
+                independent of the simulation seed so the workload is
+                unchanged under different fault schedules.
         """
         self.simulation = simulation
         self.config = config
@@ -86,6 +100,15 @@ class CpiPipeline:
                 migrator=self._migrate if enable_migration else None,
                 obs=self.obs,
             )
+        profile = resolve_fault_profile(fault_profile)
+        self.fault_profile = profile
+        #: The injectable transport/crash fabric; ``None`` (zero profile)
+        #: keeps every path a direct in-process call.
+        self.faults: Optional[FaultPlane] = None
+        if not profile.is_zero:
+            self.faults = FaultPlane(profile, fault_seed, self.aggregator,
+                                     self.agents, config, obs=self.obs)
+        self._last_pump: Optional[int] = None
         simulation.add_sample_sink(self._on_samples)
         simulation.add_tick_hook(self._on_tick)
         if simulation.obs is None:
@@ -103,15 +126,26 @@ class CpiPipeline:
         self.total_samples += len(samples)
         if self.log_samples:
             self.sample_log.extend(samples)
-        self.aggregator.ingest_many(samples)
+        if self.faults is None:
+            self.aggregator.ingest_many(samples)
+        else:
+            self.faults.upload(t, machine_name, samples)
         refreshed = self.aggregator.maybe_recompute(t)
         if refreshed is not None:
-            for agent in self.agents.values():
-                agent.update_specs(refreshed)
+            if self.faults is None:
+                for agent in self.agents.values():
+                    agent.update_specs(refreshed, now=t)
+            else:
+                self.faults.push_specs(t, refreshed)
         self.agents[machine_name].ingest_samples(t, samples)
 
     def _on_tick(self, t: int, machine: Machine, result: TickResult) -> None:
         self.machine_seconds += 1
+        if self.faults is not None and t != self._last_pump:
+            # Once per simulated second (hooks fire per machine): deliver
+            # due messages, advance retries, inject crashes, checkpoint.
+            self._last_pump = t
+            self.faults.pump(t)
         agent = self.agents[machine.name]
         agent.tick(t)
         for task, _state in result.departures:

@@ -1,0 +1,205 @@
+"""Chaos sweep: detection quality under injected transport/crash faults.
+
+The paper's pipeline (Figure 6) assumes samples reach the aggregation
+service and specs reach the machines.  This experiment injects the failures
+a real fleet fabric produces — drops, delays, duplicates, reordering,
+corruption, agent crashes — at each named :data:`~repro.faults.profile.
+FAULT_PROFILES` intensity, and measures how antagonist identification
+degrades relative to the clean run:
+
+* **precision** — of the incidents where CPI2 named an antagonist, the
+  fraction whose target really was a task of a known antagonist job;
+* **recall vs clean** — correct identifications as a fraction of the clean
+  baseline's (same workload seed, so the interference schedule is
+  identical);
+* **fault visibility** — every fault the plane injected must show up in
+  the observability counters (``transport_faults`` / ``agent_crashes``);
+  silently lost messages would make production debugging impossible.
+
+The robustness acceptance bar lives in the benchmark harness: the
+``moderate`` profile must retain >= 0.8x the clean run's precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import CpiConfig, DEFAULT_CONFIG
+from repro.experiments.scenarios import Scenario, build_cluster
+from repro.obs import Observability
+from repro.records import CpiSpec
+from repro.workloads import (
+    AntagonistKind,
+    make_antagonist_job_spec,
+    make_batch_job_spec,
+)
+from repro.workloads.services import make_service_job_spec
+
+__all__ = ["ChaosCell", "ChaosResult", "chaos_sweep", "DEFAULT_PROFILES"]
+
+#: Profiles swept, mildest first; ``none`` doubles as the clean baseline.
+DEFAULT_PROFILES: tuple[str, ...] = ("none", "light", "moderate", "heavy")
+
+#: Jobs that truly are antagonists in the chaos scenario (ground truth).
+ANTAGONIST_JOBS = frozenset({"video-transcode"})
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One profile's outcome.
+
+    Attributes:
+        profile: fault-profile name.
+        incidents: anomaly incidents raised (identified or not).
+        identified: incidents where the policy named an antagonist.
+        true_identified: identified incidents whose target belongs to a
+            ground-truth antagonist job.
+        precision: ``true_identified / identified`` (1.0 when nothing was
+            identified — no wrong blame was assigned).
+        recall_vs_clean: ``true_identified`` relative to the clean
+            baseline's; may exceed 1 when retries shift detection timing.
+        faults_injected: ground-truth fault count from the plane's tallies.
+        faults_observed: same faults as seen by the obs counters.
+        samples_quarantined: corrupted/implausible samples refused by
+            agents and the aggregator.
+        analyses_dropped: per-task anomaly checks suppressed because an
+            agent's specs went stale (degraded mode only; the family's
+            ``rate_limited`` reason is not a fault symptom).
+        crashes: agent crash/restart cycles injected.
+    """
+
+    profile: str
+    incidents: int
+    identified: int
+    true_identified: int
+    precision: float
+    recall_vs_clean: float
+    faults_injected: int
+    faults_observed: int
+    samples_quarantined: int
+    analyses_dropped: int
+    crashes: int
+
+    @property
+    def all_faults_visible(self) -> bool:
+        """Did every injected fault surface in the obs counters?"""
+        return self.faults_injected == self.faults_observed
+
+
+@dataclass
+class ChaosResult:
+    """The full sweep, clean baseline first."""
+
+    cells: list[ChaosCell]
+
+    def cell(self, profile: str) -> ChaosCell:
+        """The cell for ``profile``.
+
+        Raises:
+            KeyError: if the profile was not part of the sweep.
+        """
+        for cell in self.cells:
+            if cell.profile == profile:
+                return cell
+        raise KeyError(f"profile {profile!r} not in sweep: "
+                       f"{[c.profile for c in self.cells]}")
+
+    def precision_retention(self, profile: str,
+                            baseline: str = "none") -> float:
+        """``profile``'s precision as a fraction of ``baseline``'s."""
+        base = self.cell(baseline).precision
+        return self.cell(profile).precision / base if base > 0 else 1.0
+
+
+def _chaos_scenario(seed: int, config: CpiConfig, num_machines: int,
+                    fault_profile: str, fault_seed: int,
+                    obs: Observability) -> Scenario:
+    """Victim services + batch fillers + one antagonist job, specs warmed.
+
+    The same ``seed`` drives the workload for every profile, so runs differ
+    only in the injected fault schedule.
+    """
+    scenario = build_cluster(num_machines, seed=seed, config=config,
+                             fault_profile=fault_profile,
+                             fault_seed=fault_seed, obs=obs)
+    rng = np.random.default_rng(seed)
+    scenario.submit(make_service_job_spec(
+        "frontend", num_tasks=2 * num_machines,
+        seed=int(rng.integers(2**31)), base_cpi=1.0, cpu_limit_per_task=2.0))
+    scenario.submit(make_batch_job_spec(
+        "logs-pipeline", num_tasks=num_machines,
+        seed=int(rng.integers(2**31)), demand_level=0.5,
+        cpu_limit_per_task=1.0))
+    scenario.submit(make_antagonist_job_spec(
+        "video-transcode", AntagonistKind.VIDEO_PROCESSING,
+        num_tasks=max(1, num_machines // 2), seed=int(rng.integers(2**31)),
+        demand_scale=1.4, cpu_limit_per_task=6.0))
+    platform = next(iter(scenario.simulation.machines.values())).platform
+    scenario.pipeline.bootstrap_specs([
+        CpiSpec(jobname="frontend", platforminfo=platform.name,
+                num_samples=10_000, cpu_usage_mean=1.0,
+                cpi_mean=1.05, cpi_stddev=0.08)])
+    return scenario
+
+
+def _observed_faults(obs: Observability) -> int:
+    """Injected faults as witnessed by the metrics registry."""
+    return int(obs.metrics.total("transport_faults")
+               + obs.metrics.total("agent_crashes"))
+
+
+def chaos_sweep(profiles: Sequence[str] = DEFAULT_PROFILES,
+                num_machines: int = 4, hours: float = 2.0,
+                seed: int = 0, fault_seed: int = 1,
+                config: CpiConfig | None = None) -> ChaosResult:
+    """Run the chaos scenario once per profile and compare to clean.
+
+    Every run shares the workload ``seed``; only ``fault_seed``-driven
+    injection differs.  ``none`` is always run (prepended if missing) —
+    recall is meaningless without the clean baseline.
+    """
+    config = config or DEFAULT_CONFIG
+    profile_list = list(profiles)
+    if "none" not in profile_list:
+        profile_list.insert(0, "none")
+    raw: list[dict] = []
+    for profile in profile_list:
+        obs = Observability()
+        scenario = _chaos_scenario(seed, config, num_machines, profile,
+                                   fault_seed, obs)
+        scenario.simulation.run_hours(hours)
+        pipeline = scenario.pipeline
+        incidents = pipeline.all_incidents()
+        identified = [i for i in incidents if i.decision.target is not None]
+        true_identified = [i for i in identified
+                           if i.decision.target.job.name in ANTAGONIST_JOBS]
+        plane = pipeline.faults
+        raw.append({
+            "profile": profile,
+            "incidents": len(incidents),
+            "identified": len(identified),
+            "true_identified": len(true_identified),
+            "faults_injected": (plane.total_faults_injected
+                                if plane is not None else 0),
+            "faults_observed": _observed_faults(obs),
+            "samples_quarantined": int(
+                obs.metrics.total("samples_quarantined")
+                + obs.metrics.total("aggregator_samples_rejected")),
+            "analyses_dropped": int(sum(
+                c.value for c in obs.metrics.counters("analyses_dropped")
+                if ("reason", "stale_spec") in c.labels)),
+            "crashes": sum(a.crash_count for a in pipeline.agents.values()),
+        })
+    clean_true = next(r["true_identified"] for r in raw
+                      if r["profile"] == "none")
+    cells = []
+    for r in raw:
+        precision = (r["true_identified"] / r["identified"]
+                     if r["identified"] else 1.0)
+        recall = (r["true_identified"] / clean_true if clean_true else 1.0)
+        cells.append(ChaosCell(precision=precision, recall_vs_clean=recall,
+                               **r))
+    return ChaosResult(cells=cells)

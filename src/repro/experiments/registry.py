@@ -184,6 +184,29 @@ def _actuators() -> ExperimentReport:
     return report
 
 
+def _chaos() -> ExperimentReport:
+    from repro.experiments.chaos import chaos_sweep
+
+    result = chaos_sweep()
+    report = ExperimentReport(
+        "chaos", "Detection quality under injected faults")
+    for cell in result.cells:
+        report.add(
+            f"{cell.profile}: precision / recall-vs-clean", "-",
+            f"{cell.precision:.2f} / {cell.recall_vs_clean:.2f}",
+            f"{cell.identified} identified, {cell.incidents} incidents")
+        if cell.profile != "none":
+            report.add(
+                f"{cell.profile}: faults injected -> observed", "no loss",
+                f"{cell.faults_injected} -> {cell.faults_observed}",
+                f"quarantined={cell.samples_quarantined} "
+                f"dropped-analyses={cell.analyses_dropped} "
+                f"crashes={cell.crashes}")
+    report.add("moderate precision retention", ">= 0.8x clean",
+               result.precision_retention("moderate"))
+    return report
+
+
 def _ablations() -> ExperimentReport:
     from repro.experiments import ablations
 
@@ -218,6 +241,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentReport]]] = {
     "sec7": ("identification rate", _sec7),
     "trials": ("Figures 14-16 trial summary", _trials),
     "ablations": ("design-choice probes", _ablations),
+    "chaos": ("detection under injected faults (robustness)", _chaos),
     "placement": ("antagonist-aware placement (Section 9)", _placement),
     "actuators": ("CFS capping vs duty-cycle modulation (Section 8)",
                   _actuators),

@@ -9,7 +9,7 @@ machines with batch work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,8 @@ from repro.cluster.platform import PLATFORM_CATALOG, get_platform
 from repro.cluster.simulation import ClusterSimulation, SimConfig
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.pipeline import CpiPipeline
+from repro.faults.profile import FaultProfile
+from repro.obs import Observability
 from repro.perf.sampler import SamplerConfig
 from repro.records import CpiSpec
 from repro.workloads import (
@@ -68,8 +70,17 @@ def build_cluster(
     platforms: Sequence[str] = ("westmere-2.6",),
     cpi_noise_sigma: float = 0.03,
     enable_migration: bool = False,
+    fault_profile: "FaultProfile | str | None" = None,
+    fault_seed: int = 0,
+    obs: Optional[Observability] = None,
 ) -> Scenario:
-    """A cluster of ``num_machines`` cycling through the given platforms."""
+    """A cluster of ``num_machines`` cycling through the given platforms.
+
+    ``fault_profile`` / ``fault_seed`` select the transport/crash fault
+    schedule (default: none — all paths in-process); ``obs`` isolates the
+    run's telemetry from the process default, which the chaos sweep needs
+    to attribute fault counters to one profile at a time.
+    """
     if num_machines < 1:
         raise ValueError(f"num_machines must be >= 1, got {num_machines}")
     machines = [
@@ -81,7 +92,9 @@ def build_cluster(
         seed=seed,
         sampler=SamplerConfig(config.sampling_duration,
                               config.sampling_period)))
-    pipeline = CpiPipeline(sim, config, enable_migration=enable_migration)
+    pipeline = CpiPipeline(sim, config, enable_migration=enable_migration,
+                           obs=obs, fault_profile=fault_profile,
+                           fault_seed=fault_seed)
     return Scenario(simulation=sim, pipeline=pipeline)
 
 

@@ -1,0 +1,231 @@
+"""Fault profiles: how unreliable is the machine <-> aggregator fabric?
+
+The paper's pipeline (Figure 6) ships CPI samples off every machine to a
+central aggregation service and pushes per-(job, platform) specs back down.
+In production those are RPCs over a congested fleet network, to a service
+that restarts, behind agents that crash — not the perfectly-reliable
+in-process calls a simulation naturally wires up.  A :class:`FaultProfile`
+describes the failure behaviour of that fabric:
+
+* per-link drop/delay/duplicate/reorder/corrupt rates
+  (:class:`LinkFaults`), one set each for the sample-upload path, the
+  upload-ack path, and the spec-push path;
+* the agent-side retry discipline (:class:`RetryPolicy`): timeout,
+  exponential backoff with jitter, a bounded resend queue with an explicit
+  overflow policy;
+* an agent crash rate (checkpoint recovery is exercised by
+  :mod:`repro.faults.checkpoint`).
+
+Profiles are plain frozen dataclasses; all injected randomness is drawn
+from generators seeded off one fault seed, so a (profile, seed) pair
+replays exactly.  The named presets in :data:`FAULT_PROFILES` are the ones
+the chaos experiment sweeps; ``moderate`` is the documented reference
+profile the acceptance bar (>= 0.8x clean identification precision) is
+measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+__all__ = [
+    "LinkFaults",
+    "RetryPolicy",
+    "FaultProfile",
+    "FAULT_PROFILES",
+    "resolve_fault_profile",
+]
+
+_RATES = ("drop_rate", "delay_rate", "duplicate_rate", "reorder_rate",
+          "corrupt_rate")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates for one direction of one RPC path.
+
+    Every rate is an independent per-message probability in [0, 1].
+    Delayed messages are held back a uniform ``delay_min..delay_max``
+    seconds on top of the fabric's base latency; reordered messages are
+    held back just long enough for later traffic to overtake them.
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: Extra latency bounds (seconds, inclusive) for delayed messages.
+    delay_min: int = 1
+    delay_max: int = 30
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATES:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_min < 1:
+            raise ValueError(f"delay_min must be >= 1, got {self.delay_min}")
+        if self.delay_max < self.delay_min:
+            raise ValueError("delay_max must be >= delay_min "
+                             f"({self.delay_max} < {self.delay_min})")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this link injects nothing."""
+        return all(getattr(self, name) == 0.0 for name in _RATES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Agent-side upload retry discipline (timeout, backoff, queue bound)."""
+
+    #: Seconds an un-acked upload waits before it counts as lost.
+    timeout: int = 10
+    #: Total send attempts per batch, including the first.
+    max_attempts: int = 5
+    #: First retry's backoff, seconds.
+    backoff_base: float = 2.0
+    #: Multiplier applied per further retry (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff, seconds.
+    backoff_cap: float = 60.0
+    #: Fraction of each backoff randomised (full jitter on +/- this much).
+    jitter: float = 0.5
+    #: Max batches simultaneously awaiting ack or resend.
+    queue_limit: int = 64
+    #: What to do when the queue is full: ``drop-oldest`` evicts the
+    #: longest-waiting batch to admit the new one; ``drop-newest`` rejects
+    #: the incoming batch.  Either way the drop is counted, never silent.
+    overflow: str = "drop-oldest"
+
+    def __post_init__(self) -> None:
+        if self.timeout < 1:
+            raise ValueError(f"timeout must be >= 1, got {self.timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.overflow not in ("drop-oldest", "drop-newest"):
+            raise ValueError("overflow must be 'drop-oldest' or "
+                             f"'drop-newest', got {self.overflow!r}")
+
+    def backoff(self, retry_number: int, rng=None) -> float:
+        """Backoff before retry ``retry_number`` (1 = first retry), seconds.
+
+        Exponential in the retry number, capped, with symmetric jitter of
+        up to ``jitter`` of the nominal value when an ``rng`` is supplied.
+        """
+        if retry_number < 1:
+            raise ValueError(
+                f"retry_number must be >= 1, got {retry_number}")
+        nominal = min(self.backoff_cap,
+                      self.backoff_base
+                      * self.backoff_factor ** (retry_number - 1))
+        if rng is None or self.jitter == 0.0:
+            return nominal
+        swing = self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(0.0, nominal * (1.0 + swing))
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A complete failure model for one deployment's control-plane fabric."""
+
+    name: str = "custom"
+    #: Machine -> aggregator sample-batch uploads.
+    upload: LinkFaults = field(default_factory=LinkFaults)
+    #: Aggregator -> machine upload acknowledgements.
+    ack: LinkFaults = field(default_factory=LinkFaults)
+    #: Aggregator -> machine spec pushes.
+    spec_push: LinkFaults = field(default_factory=LinkFaults)
+    #: Per machine-second probability the agent process crashes.
+    agent_crash_rate: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.agent_crash_rate <= 1.0:
+            raise ValueError("agent_crash_rate must be in [0, 1], "
+                             f"got {self.agent_crash_rate}")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the profile injects no faults at all.
+
+        A zero profile makes the pipeline skip the transport layer
+        entirely, so default runs stay byte-identical to a build without
+        fault injection.
+        """
+        return (self.upload.is_zero and self.ack.is_zero
+                and self.spec_push.is_zero and self.agent_crash_rate == 0.0)
+
+    def with_overrides(self, **overrides) -> "FaultProfile":
+        """A copy with the given fields replaced (sweeps use this)."""
+        return replace(self, **overrides)
+
+
+#: Named presets, mildest to harshest.  ``moderate`` is the documented
+#: reference profile (docs/robustness.md): lossy but survivable, roughly a
+#: bad day on a congested fleet network plus one agent crash every couple
+#: of machine-hours.
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "light": FaultProfile(
+        name="light",
+        upload=LinkFaults(drop_rate=0.01, delay_rate=0.05, delay_max=10,
+                          duplicate_rate=0.005),
+        ack=LinkFaults(drop_rate=0.01, delay_rate=0.02, delay_max=5),
+        spec_push=LinkFaults(drop_rate=0.02, delay_rate=0.05, delay_max=20),
+        agent_crash_rate=0.0,
+    ),
+    "moderate": FaultProfile(
+        name="moderate",
+        upload=LinkFaults(drop_rate=0.05, delay_rate=0.10, delay_max=20,
+                          duplicate_rate=0.02, reorder_rate=0.02,
+                          corrupt_rate=0.01),
+        ack=LinkFaults(drop_rate=0.02, delay_rate=0.05, delay_max=10),
+        spec_push=LinkFaults(drop_rate=0.10, delay_rate=0.10, delay_max=60,
+                             corrupt_rate=0.02),
+        agent_crash_rate=1.0 / 7200.0,
+    ),
+    "heavy": FaultProfile(
+        name="heavy",
+        upload=LinkFaults(drop_rate=0.20, delay_rate=0.30, delay_max=60,
+                          duplicate_rate=0.05, reorder_rate=0.05,
+                          corrupt_rate=0.05),
+        ack=LinkFaults(drop_rate=0.10, delay_rate=0.15, delay_max=30),
+        spec_push=LinkFaults(drop_rate=0.30, delay_rate=0.20, delay_max=120,
+                             corrupt_rate=0.05),
+        agent_crash_rate=1.0 / 1800.0,
+    ),
+}
+
+
+def resolve_fault_profile(
+        profile: Union[str, FaultProfile, None]) -> FaultProfile:
+    """Normalise a profile argument: a name, an instance, or ``None``.
+
+    ``None`` means "no fault injection" and maps to the zero profile.
+
+    Raises:
+        KeyError: for an unknown profile name, listing the valid ones.
+    """
+    if profile is None:
+        return FAULT_PROFILES["none"]
+    if isinstance(profile, FaultProfile):
+        return profile
+    try:
+        return FAULT_PROFILES[profile]
+    except KeyError:
+        raise KeyError(f"unknown fault profile {profile!r}; valid: "
+                       f"{', '.join(FAULT_PROFILES)}") from None

@@ -1,0 +1,165 @@
+"""The injectable transport layer between machines and the aggregator.
+
+A :class:`FaultyLink` models one direction of one RPC path.  ``send`` hands
+it a payload at simulated time ``t``; the link applies its configured
+faults (drop / delay / duplicate / reorder / corrupt, each drawn from a
+seeded generator so runs replay exactly) and schedules surviving copies
+for delivery.  ``tick`` delivers everything due, in (deliver-time,
+send-sequence) order, through the delivery callback the owner registered.
+
+Messages cross the fabric with a base latency of one tick — a send at
+``t`` is delivered at the ``t + 1`` pump at the earliest — which is also
+what keeps delivery deterministic: nothing is delivered re-entrantly from
+inside ``send``.
+
+Every injected fault increments both an :mod:`repro.obs` counter
+(``transport_faults{link=..., kind=...}``) and the link's own integer
+tally.  The chaos experiment cross-checks the two so "no silent fault
+loss" is an asserted property, not an aspiration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.faults.profile import LinkFaults
+from repro.obs import Observability
+
+__all__ = ["Message", "FaultyLink"]
+
+#: Extra ticks a reordered message is held back — enough for the next
+#: minute's traffic to overtake it on a once-a-minute duty cycle.
+REORDER_HOLDBACK_SECONDS = 2
+
+#: A corrupter takes (payload, rng) and returns the corrupted payload.
+Corrupter = Callable[[Any, np.random.Generator], Any]
+
+#: A delivery callback takes (deliver_time, payload).
+Deliverer = Callable[[int, Any], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One scheduled delivery (possibly one copy of a duplicated send)."""
+
+    sent_at: int
+    deliver_at: int
+    payload: Any
+    corrupted: bool = False
+
+
+class FaultyLink:
+    """One direction of one machine <-> aggregator RPC path."""
+
+    def __init__(
+        self,
+        name: str,
+        faults: LinkFaults,
+        rng: np.random.Generator,
+        deliver: Deliverer,
+        corrupter: Optional[Corrupter] = None,
+        obs: Optional[Observability] = None,
+    ):
+        """Args:
+            name: link identity for telemetry, e.g. ``upload:m3``.
+            faults: this link's fault rates.
+            rng: the link's private seeded generator; the draw order per
+                send is fixed, so (faults, seed, traffic) replays exactly.
+            deliver: called with (deliver_time, payload) for each arrival.
+            corrupter: payload transformer for corrupt faults; corrupt
+                faults are skipped (never drawn) when omitted.
+            obs: telemetry handle; faults also accumulate in
+                :attr:`fault_tallies` regardless.
+        """
+        self.name = name
+        self.faults = faults
+        self.rng = rng
+        self.deliver = deliver
+        self.corrupter = corrupter
+        self.obs = obs
+        self.sent = 0
+        self.delivered = 0
+        #: Injected faults by kind — the obs-independent ground truth.
+        self.fault_tallies: dict[str, int] = {
+            "drop": 0, "delay": 0, "duplicate": 0, "reorder": 0, "corrupt": 0,
+        }
+        self._queue: list[tuple[int, int, Message]] = []
+        self._seq = itertools.count()
+
+    # -- sending ----------------------------------------------------------------
+
+    def _count_fault(self, kind: str) -> None:
+        self.fault_tallies[kind] += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("transport_faults", link=self.name,
+                                     kind=kind).inc()
+            self.obs.events.event("transport_fault", link=self.name,
+                                  kind=kind)
+
+    def _schedule(self, t: int, payload: Any, corrupted: bool) -> None:
+        deliver_at = t + 1
+        if (self.faults.delay_rate > 0.0
+                and self.rng.random() < self.faults.delay_rate):
+            deliver_at += int(self.rng.integers(self.faults.delay_min,
+                                                self.faults.delay_max + 1))
+            self._count_fault("delay")
+        if (self.faults.reorder_rate > 0.0
+                and self.rng.random() < self.faults.reorder_rate):
+            deliver_at += REORDER_HOLDBACK_SECONDS
+            self._count_fault("reorder")
+        message = Message(sent_at=t, deliver_at=deliver_at, payload=payload,
+                          corrupted=corrupted)
+        heapq.heappush(self._queue, (deliver_at, next(self._seq), message))
+
+    def send(self, t: int, payload: Any) -> None:
+        """Submit one payload at time ``t``; faults applied here."""
+        self.sent += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("transport_sent", link=self.name).inc()
+        if (self.faults.drop_rate > 0.0
+                and self.rng.random() < self.faults.drop_rate):
+            self._count_fault("drop")
+            return
+        corrupted = False
+        if (self.corrupter is not None and self.faults.corrupt_rate > 0.0
+                and self.rng.random() < self.faults.corrupt_rate):
+            payload = self.corrupter(payload, self.rng)
+            corrupted = True
+            self._count_fault("corrupt")
+        copies = 1
+        if (self.faults.duplicate_rate > 0.0
+                and self.rng.random() < self.faults.duplicate_rate):
+            copies = 2
+            self._count_fault("duplicate")
+        for _ in range(copies):
+            self._schedule(t, payload, corrupted)
+
+    # -- delivery ---------------------------------------------------------------
+
+    def tick(self, t: int) -> int:
+        """Deliver every message due at or before ``t``; returns how many."""
+        count = 0
+        while self._queue and self._queue[0][0] <= t:
+            _, _, message = heapq.heappop(self._queue)
+            self.delivered += 1
+            count += 1
+            if self.obs is not None:
+                self.obs.metrics.counter("transport_delivered",
+                                         link=self.name).inc()
+            self.deliver(t, message.payload)
+        return count
+
+    @property
+    def in_flight(self) -> int:
+        """Messages scheduled but not yet delivered."""
+        return len(self._queue)
+
+    @property
+    def total_faults(self) -> int:
+        """Total faults this link injected, all kinds."""
+        return sum(self.fault_tallies.values())

@@ -15,6 +15,7 @@ verify the <0.1% claim against the simulated context-switch rate.
 
 from __future__ import annotations
 
+import math
 from typing import Mapping
 
 from repro.perf.events import CounterEvent
@@ -40,8 +41,13 @@ class CounterSet:
         """Accumulate ``amount`` onto ``event``.
 
         Raises:
-            ValueError: if ``amount`` is negative (counters are monotonic).
+            ValueError: if ``amount`` is negative (counters are monotonic)
+                or non-finite (one NaN would poison every later delta and
+                every CPI computed from it).
         """
+        if not math.isfinite(amount):
+            raise ValueError(
+                f"counter increments must be finite, got {amount}")
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
         self._values[event] += amount

@@ -13,14 +13,16 @@ task that executed instructions during the window.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.records import MICROSECONDS_PER_SECOND, CpiSample
 from repro.perf.events import CounterEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.machine import Machine
+    from repro.obs import Observability
 
 __all__ = ["SamplerConfig", "CpiSampler"]
 
@@ -56,11 +58,23 @@ class CpiSampler:
     later, so its deltas cover exactly seconds ``t0+1 .. t0+duration``.
     """
 
-    def __init__(self, machine: "Machine", config: SamplerConfig | None = None):
+    def __init__(self, machine: "Machine", config: SamplerConfig | None = None,
+                 obs: "Optional[Observability]" = None):
         self.machine = machine
         self.config = config or SamplerConfig()
+        #: Telemetry handle; the simulation injects its own when attached.
+        self.obs = obs
         self._window_start: int | None = None
         self._snapshots: dict[str, Mapping[CounterEvent, float]] = {}
+
+    def _discard_window(self, taskname: str, reason: str) -> None:
+        """Count a window that produced no sample — bad windows must be
+        visible at the source, not discovered downstream."""
+        if self.obs is not None:
+            self.obs.metrics.counter("sampler_windows_discarded",
+                                     reason=reason).inc()
+            self.obs.events.event("sampler_window_discarded", reason=reason,
+                                  machine=self.machine.name, task=taskname)
 
     def tick(self, t: int) -> list[CpiSample]:
         """Advance to second ``t``; returns the window's samples if one closed."""
@@ -93,9 +107,19 @@ class CpiSampler:
                 task.cgroup.name).delta_since(snapshot)
             cycles = deltas[CounterEvent.CPU_CLK_UNHALTED_REF]
             instructions = deltas[CounterEvent.INSTRUCTIONS_RETIRED]
+            if not (math.isfinite(cycles) and math.isfinite(instructions)):
+                # A corrupted counter read; CPI would be NaN/inf and poison
+                # every consumer downstream.  Guard at the source.
+                self._discard_window(task.name, "non_finite_counters")
+                continue
             if instructions <= 0.0:
-                continue  # no retired instructions -> CPI undefined; no sample
+                # No retired instructions -> CPI undefined; no sample.
+                self._discard_window(task.name, "zero_instructions")
+                continue
             usage = task.cgroup.usage_between(start + 1, end + 1)
+            if not math.isfinite(usage):
+                self._discard_window(task.name, "non_finite_usage")
+                continue
             samples.append(CpiSample(
                 jobname=task.job.name,
                 platforminfo=self.machine.platform.name,

@@ -1,0 +1,208 @@
+"""Tests for agent checkpointing, crash, and deterministic recovery."""
+
+import json
+
+import pytest
+
+from repro.cluster.task import SchedulingClass
+from repro.core.agent import MachineAgent
+from repro.core.config import CpiConfig
+from repro.core.policy import PolicyAction
+from repro.faults.checkpoint import AgentCheckpoint, FollowUpState
+from repro.obs import Observability
+from repro.perf.sampler import CpiSampler, SamplerConfig
+from repro.records import SpecKey
+from repro.testing import (
+    NOISY_NEIGHBOR_PROFILE,
+    SENSITIVE_PROFILE,
+    make_quiet_machine,
+    make_scripted_job,
+)
+from tests.conftest import make_sample, make_spec
+
+FAST = CpiConfig(sampling_duration=5, sampling_period=15,
+                 anomaly_window=120, correlation_window=300,
+                 hardcap_duration=120)
+
+
+def build_rig(config=FAST):
+    """Machine + sampler + agent with a sensitive victim and an antagonist."""
+    obs = Observability()
+    machine = make_quiet_machine()
+    sampler = CpiSampler(machine, SamplerConfig(config.sampling_duration,
+                                                config.sampling_period))
+    agent = MachineAgent(machine, config, obs=obs)
+    victim = make_scripted_job("victim", [1.0], cpu_limit=2.0,
+                               base_cpi=1.0, profile=SENSITIVE_PROFILE)
+    machine.place(victim.tasks[0])
+    antagonist = make_scripted_job("ant", [6.0], cpu_limit=8.0,
+                                   scheduling_class=SchedulingClass.BATCH,
+                                   profile=NOISY_NEIGHBOR_PROFILE)
+    machine.place(antagonist.tasks[0])
+    agent.update_specs({SpecKey("victim", machine.platform.name):
+                        make_spec(jobname="victim", cpi_mean=1.0,
+                                  cpi_stddev=0.1)})
+    return machine, sampler, agent, obs
+
+
+def run_rig(machine, sampler, agent, start, stop):
+    for t in range(start, stop):
+        machine.tick(t)
+        agent.tick(t)
+        samples = sampler.tick(t)
+        if samples:
+            agent.ingest_samples(t, samples)
+
+
+def run_until_followup(machine, sampler, agent, limit=600):
+    for t in range(limit):
+        machine.tick(t)
+        agent.tick(t)
+        samples = sampler.tick(t)
+        if samples:
+            agent.ingest_samples(t, samples)
+        if agent._followups:
+            return t
+    raise AssertionError("no follow-up in flight within the limit")
+
+
+class TestCheckpointSerialisation:
+    def test_round_trips_through_json(self):
+        checkpoint = AgentCheckpoint(
+            machine="m0", taken_at=120, last_analysis=90, anomalies_seen=3,
+            windows={"victim/0": [
+                {"jobname": "victim", "platforminfo": "p", "timestamp": 1,
+                 "cpu_usage": 1.0, "cpi": 1.5, "taskname": "victim/0"}]},
+            detector_flags={"victim/0": [60, 120]},
+            followups=[FollowUpState(
+                due_at=300, victim_taskname="victim/0",
+                antagonist_taskname="ant/0", incident_id=12,
+                incident_time=120, victim_jobname="victim",
+                victim_cpi=1.9, cpi_threshold=1.2, action="throttle")],
+        )
+        wire = json.dumps(checkpoint.to_dict())
+        restored = AgentCheckpoint.from_dict(json.loads(wire))
+        assert restored == checkpoint
+
+
+class TestCrashSemantics:
+    def test_crash_wipes_volatile_state_keeps_specs_and_incidents(self):
+        machine, sampler, agent, obs = build_rig()
+        t = run_until_followup(machine, sampler, agent)
+        incidents_before = list(agent.incidents)
+        assert agent._windows and agent._followups
+        agent.crash(t)
+        assert agent._windows == {}
+        assert agent._followups == []
+        assert agent._last_analysis is None
+        assert agent.crash_count == 1
+        # The spec cache and the incident record survive (persisted state).
+        assert agent.spec_for("victim") is not None
+        assert agent.incidents == incidents_before
+        assert obs.metrics.total("agent_crashes") == 1
+
+    def test_restart_without_checkpoint_relearns_from_scratch(self):
+        machine, sampler, agent, obs = build_rig()
+        t = run_until_followup(machine, sampler, agent)
+        agent.crash_and_restart(t)  # no checkpoint was ever taken
+        assert agent._followups == []
+        # Detection still works after the restart.
+        run_rig(machine, sampler, agent, t + 1, t + 400)
+        assert agent.anomalies_seen > 0
+
+
+class TestCheckpointRecovery:
+    def test_restore_rearms_followup_and_it_completes(self):
+        machine, sampler, agent, obs = build_rig()
+        t = run_until_followup(machine, sampler, agent)
+        incident = agent._followups[0].incident
+        agent.take_checkpoint(t)
+        agent.crash_and_restart(t)
+        assert len(agent._followups) == 1
+        assert agent._followups[0].incident is incident  # reused by id
+        assert obs.metrics.total("followups_recovered") == 1
+        run_rig(machine, sampler, agent, t + 1, t + FAST.hardcap_duration + 60)
+        assert incident.recovered is not None  # the follow-up closed
+
+    def test_restore_into_fresh_process_rebuilds_incident(self):
+        machine, sampler, agent, obs = build_rig()
+        t = run_until_followup(machine, sampler, agent)
+        checkpoint = AgentCheckpoint.from_dict(
+            json.loads(json.dumps(agent.take_checkpoint(t).to_dict())))
+        fresh = MachineAgent(machine, FAST, obs=Observability())
+        fresh.restore(checkpoint, t)
+        assert len(fresh._followups) == 1
+        rebuilt = fresh._followups[0].incident
+        assert rebuilt.incident_id == checkpoint.followups[0].incident_id
+        assert rebuilt.decision.action is PolicyAction.THROTTLE
+        assert rebuilt.decision.reason == "restored-from-checkpoint"
+        assert rebuilt in fresh.incidents
+
+    def test_restore_finalises_followup_whose_victim_departed(self):
+        machine, sampler, agent, obs = build_rig()
+        t = run_until_followup(machine, sampler, agent)
+        checkpoint = agent.take_checkpoint(t)
+        sunk = []
+        agent.incident_sink = sunk.append
+        agent.crash(t)
+        from repro.cluster.task import TaskState
+        machine.remove("victim/0", TaskState.KILLED)
+        agent.restore(checkpoint, t + 30)
+        assert agent._followups == []
+        assert obs.metrics.total("followups_purged") == 1
+        assert len(sunk) == 1 and sunk[0].recovered is True
+
+    def test_restored_windows_match_checkpoint(self):
+        machine, sampler, agent, obs = build_rig()
+        run_rig(machine, sampler, agent, 0, 120)
+        checkpoint = agent.take_checkpoint(120)
+        agent.crash(120)
+        agent.restore(checkpoint, 125)
+        for taskname, samples in checkpoint.windows.items():
+            window = agent._windows[taskname]
+            assert [s.cpi for s in window.samples] == [s["cpi"]
+                                                      for s in samples]
+
+
+class TestCrashRestartDeterminism:
+    def run_faulted_demo(self, fault_seed, crash_rate=1.0 / 300.0):
+        from repro.cluster.simulation import ClusterSimulation, SimConfig
+        from repro.cluster.machine import Machine
+        from repro.cluster.job import Job
+        from repro.cluster.platform import get_platform
+        from repro.core.pipeline import CpiPipeline
+        from repro.faults.profile import FAULT_PROFILES
+        from repro.records import CpiSpec
+        from repro.workloads import AntagonistKind, make_antagonist_job_spec
+        from repro.workloads.services import make_service_job_spec
+
+        platform = get_platform("westmere-2.6")
+        machine = Machine("demo", platform, cpi_noise_sigma=0.03)
+        sim = ClusterSimulation([machine], SimConfig(seed=42))
+        profile = FAULT_PROFILES["moderate"].with_overrides(
+            agent_crash_rate=crash_rate)
+        pipeline = CpiPipeline(sim, CpiConfig(), obs=Observability(),
+                               fault_profile=profile, fault_seed=fault_seed)
+        sim.scheduler.submit(Job(make_service_job_spec(
+            "frontend", num_tasks=1, seed=42)))
+        sim.scheduler.submit(Job(make_antagonist_job_spec(
+            "video", AntagonistKind.VIDEO_PROCESSING, num_tasks=1,
+            seed=43, demand_scale=1.3)))
+        pipeline.bootstrap_specs([CpiSpec("frontend", platform.name,
+                                          10_000, 1.0, 1.05, 0.08)])
+        sim.run_minutes(45)
+        agent = pipeline.agents["demo"]
+        incidents = [(i.machine, i.time_seconds, i.victim_taskname,
+                      i.decision.action.value) for i in pipeline.all_incidents()]
+        return incidents, agent.crash_count, pipeline.faults.fault_tallies()
+
+    def test_same_fault_seed_replays_same_incidents_and_crashes(self):
+        run_a = self.run_faulted_demo(fault_seed=11)
+        run_b = self.run_faulted_demo(fault_seed=11)
+        assert run_a == run_b
+        assert run_a[1] > 0  # the schedule did include crashes
+
+    def test_different_fault_seed_changes_fault_schedule(self):
+        _, _, tallies_a = self.run_faulted_demo(fault_seed=11)
+        _, _, tallies_b = self.run_faulted_demo(fault_seed=12)
+        assert tallies_a != tallies_b

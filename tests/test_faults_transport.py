@@ -1,0 +1,209 @@
+"""Tests for fault profiles and the injectable transport layer."""
+
+import numpy as np
+import pytest
+
+from repro.faults.profile import (
+    FAULT_PROFILES,
+    FaultProfile,
+    LinkFaults,
+    RetryPolicy,
+    resolve_fault_profile,
+)
+from repro.faults.transport import REORDER_HOLDBACK_SECONDS, FaultyLink
+from repro.obs import Observability
+
+
+class ScriptedRng:
+    """A stand-in generator whose draws are scripted by the test."""
+
+    def __init__(self, randoms=(), integers=()):
+        self._randoms = list(randoms)
+        self._integers = list(integers)
+
+    def random(self):
+        return self._randoms.pop(0)
+
+    def integers(self, low, high=None):
+        return self._integers.pop(0)
+
+
+def make_link(faults, seed=1, corrupter=None, obs=None, rng=None):
+    received = []
+    link = FaultyLink(
+        "upload:test", faults,
+        rng if rng is not None else np.random.default_rng(seed),
+        deliver=lambda t, payload: received.append((t, payload)),
+        corrupter=corrupter, obs=obs)
+    return link, received
+
+
+class TestProfiles:
+    def test_presets_exist_and_none_is_zero(self):
+        assert set(FAULT_PROFILES) == {"none", "light", "moderate", "heavy"}
+        assert FAULT_PROFILES["none"].is_zero
+        assert not FAULT_PROFILES["moderate"].is_zero
+
+    def test_resolve_accepts_name_instance_and_none(self):
+        assert resolve_fault_profile(None).is_zero
+        assert resolve_fault_profile("moderate") is FAULT_PROFILES["moderate"]
+        custom = FaultProfile(name="x", agent_crash_rate=0.5)
+        assert resolve_fault_profile(custom) is custom
+
+    def test_resolve_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError, match="moderate"):
+            resolve_fault_profile("catastrophic")
+
+    def test_link_rate_validation(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            LinkFaults(drop_rate=1.5)
+        with pytest.raises(ValueError, match="delay_max"):
+            LinkFaults(delay_min=10, delay_max=5)
+
+    def test_crash_rate_validation(self):
+        with pytest.raises(ValueError, match="agent_crash_rate"):
+            FaultProfile(agent_crash_rate=-0.1)
+
+    def test_with_overrides_keeps_frozen_original(self):
+        base = FAULT_PROFILES["moderate"]
+        harsher = base.with_overrides(agent_crash_rate=0.5)
+        assert harsher.agent_crash_rate == 0.5
+        assert base.agent_crash_rate != 0.5
+
+
+class TestRetryPolicyBackoff:
+    def test_nominal_sequence_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base=2.0, backoff_factor=2.0,
+                             backoff_cap=10.0, jitter=0.0)
+        assert [policy.backoff(n) for n in (1, 2, 3, 4)] == [2.0, 4.0, 8.0,
+                                                             10.0]
+
+    def test_jitter_stays_within_swing(self):
+        policy = RetryPolicy(backoff_base=8.0, backoff_factor=1.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        values = [policy.backoff(1, rng) for _ in range(200)]
+        assert all(4.0 <= v <= 12.0 for v in values)
+        assert max(values) > 8.0 > min(values)  # jitter actually applied
+
+    def test_retry_number_validated(self):
+        with pytest.raises(ValueError, match="retry_number"):
+            RetryPolicy().backoff(0)
+
+    def test_overflow_policy_validated(self):
+        with pytest.raises(ValueError, match="overflow"):
+            RetryPolicy(overflow="drop-random")
+
+
+class TestFaultyLinkDelivery:
+    def test_clean_link_delivers_in_order_with_one_tick_latency(self):
+        link, received = make_link(LinkFaults())
+        for t in range(3):
+            link.send(t, f"m{t}")
+            link.tick(t)
+        assert received == [(1, "m0"), (2, "m1")]  # m2 still in flight
+        link.tick(3)
+        assert received[-1] == (3, "m2")
+        assert link.total_faults == 0
+
+    def test_nothing_delivered_reentrantly_from_send(self):
+        link, received = make_link(LinkFaults())
+        link.send(5, "payload")
+        assert received == []  # base latency: earliest at the next pump
+
+    def test_drop_everything(self):
+        link, received = make_link(LinkFaults(drop_rate=1.0))
+        for t in range(5):
+            link.send(t, t)
+        for t in range(10):
+            link.tick(t)
+        assert received == []
+        assert link.fault_tallies["drop"] == 5
+        assert link.in_flight == 0
+
+    def test_duplicate_delivers_two_copies(self):
+        link, received = make_link(LinkFaults(duplicate_rate=1.0))
+        link.send(0, "once")
+        link.tick(1)
+        assert received == [(1, "once"), (1, "once")]
+        assert link.fault_tallies["duplicate"] == 1
+
+    def test_delay_adds_bounded_latency(self):
+        link, received = make_link(
+            LinkFaults(delay_rate=1.0, delay_min=5, delay_max=5))
+        link.send(0, "late")
+        for t in range(1, 6):
+            link.tick(t)
+            assert received == []
+        link.tick(6)
+        assert received == [(6, "late")]
+        assert link.fault_tallies["delay"] == 1
+
+    def test_reorder_lets_later_traffic_overtake(self):
+        # First draw reorders message A; second leaves B alone.
+        rng = ScriptedRng(randoms=[0.0, 0.99])
+        link, received = make_link(LinkFaults(reorder_rate=0.5), rng=rng)
+        link.send(0, "A")  # held back to t=1+REORDER_HOLDBACK
+        link.send(1, "B")  # due at t=2
+        for t in range(1, 2 + REORDER_HOLDBACK_SECONDS):
+            link.tick(t)
+        assert [p for _, p in received] == ["B", "A"]
+        assert link.fault_tallies["reorder"] == 1
+
+    def test_corrupt_transforms_payload_and_counts(self):
+        link, received = make_link(
+            LinkFaults(corrupt_rate=1.0),
+            corrupter=lambda payload, rng: f"garbled({payload})")
+        link.send(0, "clean")
+        link.tick(1)
+        assert received == [(1, "garbled(clean)")]
+        assert link.fault_tallies["corrupt"] == 1
+
+    def test_corrupt_skipped_without_corrupter(self):
+        link, received = make_link(LinkFaults(corrupt_rate=1.0),
+                                   corrupter=None)
+        link.send(0, "clean")
+        link.tick(1)
+        assert received == [(1, "clean")]
+        assert link.fault_tallies["corrupt"] == 0
+
+
+class TestDeterminismAndVisibility:
+    FAULTS = LinkFaults(drop_rate=0.2, delay_rate=0.3, delay_max=10,
+                        duplicate_rate=0.1, reorder_rate=0.1,
+                        corrupt_rate=0.1)
+
+    def run_trace(self, seed):
+        link, received = make_link(self.FAULTS, seed=seed,
+                                   corrupter=lambda p, rng: f"X{p}")
+        for t in range(100):
+            link.send(t, f"m{t}")
+            link.tick(t)
+        for t in range(100, 160):
+            link.tick(t)
+        return received, link
+
+    def test_same_seed_replays_exact_delivery_schedule(self):
+        trace_a, link_a = self.run_trace(seed=7)
+        trace_b, link_b = self.run_trace(seed=7)
+        assert trace_a == trace_b
+        assert link_a.fault_tallies == link_b.fault_tallies
+
+    def test_different_seed_changes_schedule(self):
+        trace_a, _ = self.run_trace(seed=7)
+        trace_b, _ = self.run_trace(seed=8)
+        assert trace_a != trace_b
+
+    def test_every_fault_visible_in_obs_counters(self):
+        obs = Observability()
+        link, _ = make_link(self.FAULTS, seed=3,
+                            corrupter=lambda p, rng: p, obs=obs)
+        for t in range(200):
+            link.send(t, t)
+            link.tick(t)
+        by_kind = {}
+        for counter in obs.metrics.counters("transport_faults"):
+            kind = dict(counter.labels)["kind"]
+            by_kind[kind] = by_kind.get(kind, 0) + int(counter.value)
+        assert by_kind == {k: v for k, v in link.fault_tallies.items() if v}
+        assert link.total_faults > 0
+        assert obs.metrics.total("transport_sent") == link.sent
