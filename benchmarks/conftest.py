@@ -11,6 +11,7 @@ benchmarks.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -21,9 +22,50 @@ from repro.experiments.trials import run_trials
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Default machine-readable perf artifact, at the repo root so CI can pick
+#: it up without knowing the benchmark layout.
+BENCH_JSON_DEFAULT = Path(__file__).parent.parent / "BENCH_throughput.json"
+
 #: The paper collected "about 400 such trials"; we match it.  Override with
 #: REPRO_TRIALS=nnn for quicker iterations.
 NUM_TRIALS = int(os.environ.get("REPRO_TRIALS", "400"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", metavar="PATH", default=str(BENCH_JSON_DEFAULT),
+        help="where the perf benchmarks write their machine-readable "
+             "results (merged per benchmark key; default: "
+             "BENCH_throughput.json at the repo root)")
+
+
+@pytest.fixture
+def bench_json_sink(request):
+    """Returns ``sink(key, payload, summary=None)``.
+
+    Merges ``payload`` under ``key`` into the ``--bench-json`` file (so the
+    throughput and scale benchmarks can share one artifact), and, when
+    ``summary`` is given, appends it as a one-line row to
+    ``benchmarks/results/meta_throughput.txt`` — the human-skimmable perf
+    trajectory that survives across runs.
+    """
+    path = Path(request.config.getoption("--bench-json"))
+
+    def sink(key: str, payload: dict, summary: str | None = None) -> None:
+        data = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except ValueError:
+                data = {}  # corrupt artifact: rebuild rather than crash
+        data[key] = payload
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        if summary is not None:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            with open(RESULTS_DIR / "meta_throughput.txt", "a") as fh:
+                fh.write(summary.rstrip("\n") + "\n")
+
+    return sink
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,77 @@
+"""Meta-benchmark: fleet-scale throughput (50 machines, 500 tasks).
+
+The pre-vectorization tick loop made this size impractical (~5x the
+reference workload's per-tick work); the cluster-fused vector engine runs
+all 500 tasks' physics as one batch per tick, so the per-machine Python
+overhead is amortized and throughput should *rise* with density, not fall.
+Results merge into ``BENCH_throughput.json`` next to the reference
+benchmark's before/after numbers.
+"""
+
+from conftest import run_once
+
+from repro.core.config import CpiConfig
+from repro.experiments.reporting import ExperimentReport
+from repro.experiments.scenarios import build_cluster
+from repro.perf.profiling import StageTimers
+from repro.workloads import make_batch_job_spec
+from repro.workloads.services import make_service_job_spec
+
+SIM_MINUTES = 10
+NUM_MACHINES = 50
+NUM_TASKS = 500
+
+
+def run_scaled_workload() -> dict:
+    """50 machines, 500 tasks, full CPI2 pipeline, 10 simulated minutes."""
+    timers = StageTimers()
+    with timers.stage("build"):
+        scenario = build_cluster(NUM_MACHINES, seed=11, config=CpiConfig())
+        for i in range(5):
+            scenario.submit(make_service_job_spec(
+                f"svc-{i}", num_tasks=50, seed=100 + i))
+            scenario.submit(make_batch_job_spec(
+                f"batch-{i}", num_tasks=50, seed=200 + i))
+    with timers.stage("simulate"):
+        scenario.simulation.run_minutes(SIM_MINUTES)
+    with timers.stage("analyze"):
+        samples = scenario.pipeline.total_samples
+    elapsed = timers.seconds("simulate")
+    sim_seconds = SIM_MINUTES * 60
+    task_ticks = sim_seconds * NUM_TASKS
+    return {
+        "wall_seconds": elapsed,
+        "sim_seconds_per_wall_second": sim_seconds / elapsed,
+        "task_ticks_per_wall_second": task_ticks / elapsed,
+        "samples": samples,
+        "stages": timers.report(),
+    }
+
+
+def test_scale_fleet_throughput(benchmark, report_sink, bench_json_sink):
+    stats = run_once(benchmark, run_scaled_workload)
+
+    report = ExperimentReport("meta_scale_fleet",
+                              "Fleet-scale simulator throughput")
+    report.add("task-ticks / wall second", "-",
+               stats["task_ticks_per_wall_second"],
+               "50 machines, 500 tasks, pipeline on")
+    report.add("simulated seconds / wall second", "-",
+               stats["sim_seconds_per_wall_second"])
+    report.add("CPI samples produced", "500 x 10", stats["samples"])
+    report_sink(report)
+    bench_json_sink(
+        "scale_fleet",
+        {
+            "workload": (f"{NUM_MACHINES} machines x {NUM_TASKS} tasks, "
+                         f"full CPI2 pipeline, {SIM_MINUTES} sim-minutes"),
+            "result": stats,
+        },
+        summary=(f"scale-fleet: "
+                 f"{stats['task_ticks_per_wall_second']:,.0f} task-ticks/s "
+                 f"({NUM_MACHINES} machines / {NUM_TASKS} tasks)"))
+
+    assert stats["samples"] == NUM_TASKS * SIM_MINUTES
+    # Must clear the same floor as the reference workload: fleet scale is
+    # the point of the fused engine.
+    assert stats["task_ticks_per_wall_second"] > 30_000

@@ -17,6 +17,9 @@ Global observability flags (accepted by every command):
 * ``--log-json PATH`` — write every structured event as one JSON line.
 * ``--trace-json PATH`` — export pipeline-stage traces as JSONL
   (``demo`` only).
+* ``--profile [PSTATS]`` — run the command under :mod:`cProfile` and print
+  the hottest functions (optionally dumping raw pstats data to PSTATS);
+  see ``docs/performance.md``.
 
 ``demo`` and ``experiment`` print a metrics report (counters, gauges,
 histogram summaries) when the run recorded any; see
@@ -40,6 +43,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser,
                        help="console log verbosity (default warning)")
     group.add_argument("--log-json", metavar="PATH", default=None,
                        help="write structured events to PATH as JSONL")
+    group.add_argument("--profile", metavar="PSTATS", nargs="?", const="",
+                       default=None,
+                       help="run under cProfile and print the hottest "
+                            "functions; give a path to also dump raw "
+                            "pstats data for 'python -m pstats'")
     if tracing:
         group.add_argument("--trace-json", metavar="PATH", default=None,
                            help="export pipeline-stage traces to PATH as JSONL")
@@ -192,12 +200,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     # Each invocation reports its own run, not whatever the process
     # accumulated before (matters when main() is called in-process).
     set_default_observability(Observability())
-    if args.command == "demo":
-        return _cmd_demo(args.minutes, args.seed, trace_json=args.trace_json,
-                         fault_profile=args.fault_profile,
-                         fault_seed=args.fault_seed)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "experiment":
-        return _cmd_experiment(args.names)
-    raise AssertionError(f"unhandled command {args.command!r}")
+
+    def run() -> int:
+        if args.command == "demo":
+            return _cmd_demo(args.minutes, args.seed,
+                             trace_json=args.trace_json,
+                             fault_profile=args.fault_profile,
+                             fault_seed=args.fault_seed)
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "experiment":
+            return _cmd_experiment(args.names)
+        raise AssertionError(f"unhandled command {args.command!r}")
+
+    if args.profile is None:
+        return run()
+    from repro.perf.profiling import profile_call
+
+    status, stats = profile_call(run, stats_path=args.profile or None)
+    print()
+    print(stats.rstrip())
+    if args.profile:
+        print(f"raw profile data written to {args.profile} "
+              f"(inspect with 'python -m pstats')")
+    return status

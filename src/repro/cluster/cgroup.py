@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Optional
 
 __all__ = ["BandwidthCap", "Cgroup"]
@@ -126,8 +127,21 @@ class Cgroup:
         """
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
-        total = sum(u for (ts, u) in self._usage_history if start <= ts < end)
-        return total / (end - start)
+        history = self._usage_history
+        span = end - start
+        # Charges arrive once per tick in strictly increasing time order, so
+        # when the last ``span`` entries bracket exactly [start, end) they
+        # ARE the window and the filtered scan of the whole deque (which a
+        # sampler pays per task per window) can be skipped.  Same entries in
+        # the same order, so the sum is bit-identical.
+        if (len(history) >= span and history[-span][0] == start
+                and history[-1][0] == end - 1):
+            total = 0.0
+            for _, u in islice(history, len(history) - span, None):
+                total += u
+            return total / span
+        total = sum(u for (ts, u) in history if start <= ts < end)
+        return total / span
 
     def last_usage(self) -> float:
         """Most recently recorded per-second usage (0.0 before any charge)."""

@@ -1,0 +1,333 @@
+"""Cluster-fused execution of the vectorized tick across many machines.
+
+The per-machine vector engine already batches per-task arithmetic into numpy
+calls, but with ~10 tasks per machine each ufunc spends more time in call
+dispatch than in its inner loop.  :class:`FusedFleet` concatenates every
+machine's task table into one cluster-wide arena so the ~30 elementwise
+operations of a tick run once over *all* resident tasks instead of once per
+machine.  On the reference benchmark (10 machines x ~10 tasks) this roughly
+halves the cost of the physics phase.
+
+Every observable stays bit-identical to stepping the machines one at a time
+(``tests/test_tick_parity.py`` proves it end to end):
+
+* demand and base-CPI closures — the only tick-phase code that consumes
+  randomness — run in the same global order: machines in the simulation's
+  name-sorted order, tasks in table order within each machine;
+* per-machine pressure sums stay sequential Python loops over that
+  machine's segment (numpy's pairwise reductions would round differently);
+* measurement noise is drawn per machine from that machine's own generator
+  into its segment of the cluster noise buffer.  Machines with sigma == 0
+  draw nothing, exactly like the per-machine path; their segment is
+  zero-filled so the shared ``exp``/multiply is a bit-exact no-op
+  (``exp(0.0) == 1.0`` and ``x * 1.0 == x`` for every float);
+* per-machine platform/model scalars (LLC size, CPI scale, coupling, sigma)
+  become per-element constant columns, so each element sees the exact
+  operand values the scalar formulas use;
+* workload ``on_tick`` observations and cgroup charging run after the
+  cluster math.  Relative to the per-machine path this moves machine j's
+  observations after machine j+1's demand calls, which is unobservable:
+  ``on_tick`` never draws randomness and only mutates state local to its
+  own task and machine (the control-plane actions that *do* cross machines
+  — caps, migrations — actuate from the sample-sink phase, which runs after
+  all ticks in both orderings).
+
+The fleet is rebuilt whenever placement changes (any machine's task table
+is invalidated) and steps down to the per-machine path whenever a machine
+is ineligible: legacy engine, patched tick methods, or a subclassed
+interference model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.interference import (InterferenceModel, MachineContention,
+                                        _SATURATE_KNEE)
+from repro.cluster.machine import Machine, TickResult
+from repro.perf.counters import CounterBank
+
+__all__ = ["FusedFleet", "fused_eligible"]
+
+
+def fused_eligible(machine: Machine) -> bool:
+    """Whether ``machine`` can participate in a fused fleet.
+
+    The fused path inlines :meth:`Machine._tick_vector`'s math, so it must
+    step aside whenever any of the pieces it bypasses could have been
+    overridden — a subclass, an instance-patched ``tick`` (tests stub it),
+    or a custom interference model.
+    """
+    cls = type(machine)
+    return (machine.tick_engine == "vector"
+            and "tick" not in machine.__dict__
+            and cls.tick is Machine.tick
+            and cls._tick_vector is Machine._tick_vector
+            and cls._tick_inputs is Machine._tick_inputs
+            and cls._tick_finish is Machine._tick_finish
+            and type(machine.interference).tick_batch
+                is InterferenceModel.tick_batch
+            and type(machine.counters).burn_matrix is CounterBank.burn_matrix)
+
+
+class FusedFleet:
+    """One cluster-wide arena for the vectorized tick of many machines."""
+
+    __slots__ = (
+        "machines", "tables", "ptables", "offsets", "segments", "total",
+        "grants", "cache_contrib", "membw_contrib", "tmp", "tmp2",
+        "inflation", "cpi", "l3_buf", "l2_buf", "kilo", "noise",
+        "cache_pressure", "membw_pressure", "events", "event_columns",
+        "llc_mib", "membw_cap", "cpi_scale", "cycles_per_sec", "sigma",
+        "coupling", "coupling4", "cache_mib", "membw_gbps", "cache_sens",
+        "membw_sens", "base_l3", "l2_base", "cold", "any_noise",
+        "matrix_targets",
+    )
+
+    @classmethod
+    def build(cls, machine_order: Sequence[tuple[str, Machine]]
+              ) -> Optional["FusedFleet"]:
+        """A fleet over ``machine_order``, or ``None`` if any machine is
+        ineligible (the caller then uses the per-machine path)."""
+        machines = tuple(m for _, m in machine_order)
+        if not machines:
+            return None
+        for m in machines:
+            if not fused_eligible(m):
+                return None
+        return cls(machines)
+
+    def __init__(self, machines: tuple[Machine, ...]):
+        self.machines = machines
+        tables = tuple(m._task_table() for m in machines)
+        self.tables = tables
+        self.ptables = tuple(tb.profile_table for tb in tables)
+        offsets = []
+        total = 0
+        for tb in tables:
+            offsets.append(total)
+            total += len(tb.tasks)
+        self.offsets = tuple(offsets)
+        self.total = total
+        self.segments = tuple(
+            (j, m, tb, offsets[j], len(tb.tasks))
+            for j, (m, tb) in enumerate(zip(machines, tables))
+            if tb.tasks)
+
+        # Scratch buffers, allocated once per fleet build.
+        (self.grants, self.cache_contrib, self.membw_contrib, self.tmp,
+         self.tmp2, self.inflation, self.cpi, self.l3_buf, self.l2_buf,
+         self.kilo, self.noise, self.cache_pressure,
+         self.membw_pressure) = np.empty((13, total), dtype=np.float64)
+        self.events = np.empty((total, 5), dtype=np.float64)
+        self.event_columns = tuple(self.events[:, i] for i in range(5))
+
+        # Per-element constants: each machine's platform/model scalars
+        # repeated across its segment, so elementwise ops see exactly the
+        # operands the scalar formulas use.
+        (llc, membw, cpi_scale, cycles, sigma, coupling,
+         coupling4) = np.empty((7, total), dtype=np.float64)
+        for j, m, tb, o, n in self.segments:
+            end = o + n
+            platform = m.platform
+            llc[o:end] = platform.llc_mib
+            membw[o:end] = platform.membw_gbps
+            cpi_scale[o:end] = platform.cpi_scale
+            cycles[o:end] = platform.cycles_per_cpu_second
+            sigma[o:end] = m.cpi_noise_sigma
+            k = m.interference.miss_rate_coupling
+            coupling[o:end] = k
+            # 0.25 * k is exact (power-of-two scale), so precomputing the
+            # L2 coupling column matches the scalar expression bit for bit.
+            coupling4[o:end] = 0.25 * k
+        self.llc_mib, self.membw_cap = llc, membw
+        self.cpi_scale, self.cycles_per_sec = cpi_scale, cycles
+        self.sigma, self.coupling, self.coupling4 = sigma, coupling, coupling4
+
+        # Profile columns, concatenated in segment order (empty tables
+        # contribute zero-length arrays, keeping offsets aligned).
+        ptables = [tb.profile_table for tb in tables]
+        self.cache_mib = np.concatenate(
+            [pt.cache_mib_per_cpu for pt in ptables])
+        self.membw_gbps = np.concatenate(
+            [pt.membw_gbps_per_cpu for pt in ptables])
+        self.cache_sens = np.concatenate(
+            [pt.cache_sensitivity for pt in ptables])
+        self.membw_sens = np.concatenate(
+            [pt.membw_sensitivity for pt in ptables])
+        self.base_l3 = np.concatenate([pt.base_l3_mpki for pt in ptables])
+        self.l2_base = np.concatenate([pt.l2_base_mpki for pt in ptables])
+
+        cold = []
+        for j, m, tb, o, n in self.segments:
+            pt = tb.profile_table
+            scale = m.interference.cold_start_scale
+            for i in pt.cold_indices:
+                cold.append((o + i, j, i,
+                             float(pt.cold_start_penalty[i]), scale))
+        self.cold = tuple(cold)
+        self.any_noise = any(m.cpi_noise_sigma > 0.0
+                             for _, m, _, _, _ in self.segments)
+        self.matrix_targets = tuple(
+            (tb.counter_matrix, self.events[o:o + n])
+            for _, _, tb, o, n in self.segments)
+
+    def matches(self, machine_order: Sequence[tuple[str, Machine]]) -> bool:
+        """Whether this fleet is still valid for ``machine_order``.
+
+        Placement changes null out a machine's cached task table and
+        dynamic profile refreshes replace its profile table, so two
+        identity checks per machine cover every invalidation.
+        """
+        machines = self.machines
+        if len(machine_order) != len(machines):
+            return False
+        tables = self.tables
+        ptables = self.ptables
+        for i, (_, m) in enumerate(machine_order):
+            if (m is not machines[i] or m._table is not tables[i]
+                    or tables[i].profile_table is not ptables[i]):
+                return False
+        return True
+
+    def step(self, t: int) -> Optional[dict[str, TickResult]]:
+        """One fused cluster tick; per-machine results keyed by name.
+
+        Returns ``None`` — before consuming any randomness — if a dynamic
+        resource profile changed, after refreshing the affected tables.
+        The caller then runs this tick per-machine and rebuilds the fleet.
+        """
+        tables = self.tables
+        stale = False
+        for tb in tables:
+            profiles = tb.profiles
+            for fn, p in zip(tb.profile_fns, profiles):
+                if fn() is not p:
+                    tb.refresh_profiles([f() for f in tb.profile_fns])
+                    stale = True
+                    break
+        if stale:
+            return None
+
+        # Phase 1 (Python, per machine): demand, clipping, allocation.
+        g = self.grants
+        cpi = self.cpi
+        segments = self.segments
+        inputs: list[Optional[tuple[list[float], list[bool]]]] = \
+            [None] * len(self.machines)
+        for j, m, tb, o, n in segments:
+            grants, capped, base = m._tick_inputs(t, tb)
+            end = o + n
+            g[o:end] = grants
+            cpi[o:end] = base
+            inputs[j] = (grants, capped)
+
+        # Phase 2 (numpy, cluster-wide): contention, inflation, CPI,
+        # miss rates, noise, counters — InterferenceModel.tick_batch's math
+        # over one concatenated arena.
+        cc, mc = self.cache_contrib, self.membw_contrib
+        tmp, tmp2, infl = self.tmp, self.tmp2, self.inflation
+        np.multiply(g, self.cache_mib, cc)
+        np.divide(cc, self.llc_mib, cc)
+        np.multiply(g, self.membw_gbps, mc)
+        np.divide(mc, self.membw_cap, mc)
+        cache_list = cc.tolist()
+        membw_list = mc.tolist()
+        pc, pm = self.cache_pressure, self.membw_pressure
+        contentions: list[Optional[MachineContention]] = \
+            [None] * len(self.machines)
+        for j, m, tb, o, n in segments:
+            end = o + n
+            cseg = cache_list[o:end]
+            mseg = membw_list[o:end]
+            cp = 0.0
+            for v in cseg:
+                cp += v
+            mp = 0.0
+            for v in mseg:
+                mp += v
+            contentions[j] = MachineContention(
+                cache_pressure=cp, membw_pressure=mp,
+                cache_contrib=dict(zip(tb.names, cseg)),
+                membw_contrib=dict(zip(tb.names, mseg)))
+            pc[o:end] = cp
+            pm[o:end] = mp
+        np.subtract(pc, cc, tmp)
+        np.maximum(tmp, 0.0, out=tmp)
+        np.multiply(tmp, _SATURATE_KNEE, tmp2)
+        np.add(tmp2, 1.0, tmp2)
+        np.divide(tmp, tmp2, tmp)
+        np.multiply(tmp, self.cache_sens, infl)
+        np.subtract(pm, mc, tmp)
+        np.maximum(tmp, 0.0, out=tmp)
+        np.multiply(tmp, _SATURATE_KNEE, tmp2)
+        np.add(tmp2, 1.0, tmp2)
+        np.divide(tmp, tmp2, tmp)
+        np.multiply(tmp, self.membw_sens, tmp)
+        np.add(infl, tmp, infl)
+        np.multiply(cpi, self.cpi_scale, cpi)
+        np.add(infl, 1.0, tmp)
+        np.multiply(cpi, tmp, cpi)
+        for gi, j, li, penalty, scale in self.cold:
+            cold = 1.0 + penalty * math.exp(-inputs[j][0][li] / scale)
+            cpi[gi] = cpi[gi] * cold
+        np.multiply(infl, self.coupling, tmp)
+        np.add(tmp, 1.0, tmp)
+        np.multiply(tmp, self.base_l3, self.l3_buf)
+        np.multiply(infl, self.coupling4, tmp)
+        np.add(tmp, 1.0, tmp)
+        np.multiply(tmp, self.l2_base, self.l2_buf)
+
+        if self.any_noise:
+            noise = self.noise
+            for j, m, tb, o, n in segments:
+                end = o + n
+                if m.cpi_noise_sigma > 0.0:
+                    m.rng.standard_normal(out=noise[o:end])
+                else:
+                    noise[o:end] = 0.0
+            np.multiply(noise, self.sigma, noise)
+            np.exp(noise, noise)
+            np.multiply(cpi, noise, cpi)
+
+        ev = self.events
+        cycles, instructions, l2, l3, mem = self.event_columns
+        np.multiply(g, self.cycles_per_sec, cycles)
+        np.divide(cycles, cpi, instructions)
+        np.divide(instructions, 1000.0, self.kilo)
+        np.multiply(self.kilo, self.l2_buf, l2)
+        np.multiply(self.kilo, self.l3_buf, l3)
+        np.multiply(l3, 1.1, mem)
+        # Same validation contract as CounterBank.burn_matrix, enforced
+        # once over the whole cluster's event matrix.
+        if ev.size:
+            lo = float(ev.min())
+            if not lo >= 0.0:
+                raise ValueError(
+                    f"counter increments must be finite and >= 0, got {lo}")
+            if float(ev.max()) == math.inf:
+                raise ValueError("counter increments must be finite")
+        for matrix, rows in self.matrix_targets:
+            matrix += rows
+
+        # Phase 3 (Python, per machine): results, charging, observations.
+        cpis_all = cpi.tolist()
+        offsets = self.offsets
+        results: dict[str, TickResult] = {}
+        for j, m in enumerate(self.machines):
+            result = TickResult(t=t, departures=[])
+            inp = inputs[j]
+            if inp is not None:
+                tb = tables[j]
+                o = offsets[j]
+                names = tb.names
+                grants, capped = inp
+                result.grants = dict(zip(names, grants))
+                result.contention = contentions[j]
+                result.cpis = dict(zip(names, cpis_all[o:o + len(names)]))
+                m._tick_finish(t, tb, result, grants, capped)
+            results[m.name] = result
+        return results

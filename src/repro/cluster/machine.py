@@ -15,22 +15,42 @@ Each simulated second the machine:
    (cycles, instructions, cache misses), and
 6. lets each workload observe the tick (so MapReduce workers can enter
    lame-duck mode or give up when capped).
+
+Two tick engines implement that contract:
+
+* ``vector`` (default) — batches all per-task arithmetic into numpy arrays
+  keyed by a stable task-index table that is rebuilt only when placement
+  changes.  Measurement noise is one bulk ``rng.standard_normal(n)`` draw
+  per machine-tick (consumed in task-name-sorted order, exactly the order
+  the scalar engine draws in), and counters burn through
+  :meth:`~repro.perf.counters.CounterBank.burn_batch`.
+* ``legacy`` — the original scalar loop, kept verbatim as the golden
+  reference.  ``tests/test_tick_parity.py`` proves both engines produce
+  byte-identical CPI sample streams and incidents for the same seed; the
+  invariants that make this possible are documented in
+  ``docs/performance.md``.
+
+Select an engine per machine via ``Machine(tick_engine=...)`` or process-wide
+with ``REPRO_TICK_ENGINE=legacy|vector``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.cluster.interference import InterferenceModel, MachineContention
+from repro.cluster.interference import (BatchWorkspace, InterferenceModel,
+                                        MachineContention, ProfileTable,
+                                        ResourceProfile)
 from repro.cluster.platform import Platform
 from repro.cluster.task import SchedulingClass, Task, TaskState
 from repro.perf.counters import CounterBank
 from repro.perf.events import CounterEvent
 
-__all__ = ["Machine", "TickResult"]
+__all__ = ["Machine", "TickResult", "TICK_ENGINES", "default_tick_engine"]
 
 #: Allocation order when cores are oversubscribed.
 _TIER_ORDER = (
@@ -42,6 +62,18 @@ _TIER_ORDER = (
 #: Cross-cgroup context switches per second charged per runnable task beyond
 #: the first on a core — a crude but sufficient model for the overhead ledger.
 _SWITCHES_PER_TASK_SECOND = 20
+
+#: Valid tick-engine names.
+TICK_ENGINES = ("vector", "legacy")
+
+
+def default_tick_engine() -> str:
+    """The process-wide engine choice: ``REPRO_TICK_ENGINE`` or ``vector``."""
+    engine = os.environ.get("REPRO_TICK_ENGINE", "vector")
+    if engine not in TICK_ENGINES:
+        raise ValueError(
+            f"REPRO_TICK_ENGINE must be one of {TICK_ENGINES}, got {engine!r}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -80,6 +112,55 @@ class TickResult:
     departures: list[tuple[Task, TaskState]] = field(default_factory=list)
 
 
+class _TaskTable:
+    """The vectorized engine's stable task-index table.
+
+    One instance per resident-task-set; rebuilt whenever placement changes
+    (:meth:`Machine.place` / :meth:`Machine.remove` invalidate it).  Rows are
+    in task-name-sorted order — the same order the legacy engine iterates
+    and draws noise in, which is what makes the bulk RNG draw bit-compatible.
+
+    Besides the identity columns it holds everything per-tick work would
+    otherwise look up per task: prebound workload methods, cgroup limits,
+    the columnized profiles, the fused-math scratch buffers, and the shared
+    counter matrix the tick burns into with a single array add.
+    """
+
+    __slots__ = ("tasks", "names", "cgroups", "cgroup_names", "workloads",
+                 "demand_fns", "on_tick_fns", "base_cpi_fns", "profile_fns",
+                 "cpu_limits", "tier_indices", "profiles", "profile_table",
+                 "workspace", "counter_matrix")
+
+    def __init__(self, tasks: Sequence[Task], counters: CounterBank):
+        self.tasks: tuple[Task, ...] = tuple(tasks)
+        self.names: tuple[str, ...] = tuple(t.name for t in tasks)
+        self.cgroups = tuple(t.cgroup for t in tasks)
+        self.cgroup_names: tuple[str, ...] = tuple(
+            cg.name for cg in self.cgroups)
+        self.workloads = tuple(t.workload for t in tasks)
+        self.demand_fns = tuple(w.cpu_demand for w in self.workloads)
+        self.on_tick_fns = tuple(w.on_tick for w in self.workloads)
+        self.base_cpi_fns = tuple(w.base_cpi for w in self.workloads)
+        self.profile_fns = tuple(w.resource_profile for w in self.workloads)
+        self.cpu_limits = tuple(cg.cpu_limit for cg in self.cgroups)
+        self.tier_indices: tuple[tuple[int, ...], ...] = tuple(
+            tuple(i for i, t in enumerate(tasks)
+                  if t.scheduling_class is tier)
+            for tier in _TIER_ORDER
+        )
+        self.workspace = BatchWorkspace(len(tasks)) if tasks else None
+        self.counter_matrix = (counters.matrix_view(self.cgroup_names)
+                               if tasks else None)
+        self.refresh_profiles([fn() for fn in self.profile_fns])
+
+    def refresh_profiles(self, profiles: Sequence[ResourceProfile]) -> None:
+        """(Re)columnize resource profiles (rare: profiles are static in
+        every shipped workload; the identity guard in the tick keeps dynamic
+        ones correct anyway)."""
+        self.profiles: tuple[ResourceProfile, ...] = tuple(profiles)
+        self.profile_table = ProfileTable.from_profiles(self.profiles)
+
+
 class Machine:
     """One machine in the cluster."""
 
@@ -90,6 +171,7 @@ class Machine:
         interference: InterferenceModel | None = None,
         rng: np.random.Generator | None = None,
         cpi_noise_sigma: float = 0.03,
+        tick_engine: str | None = None,
     ):
         """Args:
             name: cluster-unique machine name.
@@ -98,16 +180,25 @@ class Machine:
             rng: random generator for measurement noise (seeded default).
             cpi_noise_sigma: sigma of the multiplicative log-normal noise on
                 per-tick CPI, modelling run-to-run microarchitectural jitter.
+            tick_engine: ``"vector"`` (batched hot path, the default) or
+                ``"legacy"`` (the scalar reference loop).  ``None`` defers
+                to the ``REPRO_TICK_ENGINE`` environment variable.
         """
         if cpi_noise_sigma < 0:
             raise ValueError(f"cpi_noise_sigma must be >= 0, got {cpi_noise_sigma}")
+        engine = tick_engine if tick_engine is not None else default_tick_engine()
+        if engine not in TICK_ENGINES:
+            raise ValueError(
+                f"tick_engine must be one of {TICK_ENGINES}, got {engine!r}")
         self.name = name
         self.platform = platform
         self.interference = interference or InterferenceModel()
         self.rng = rng or np.random.default_rng(0)
         self.cpi_noise_sigma = cpi_noise_sigma
+        self.tick_engine = engine
         self.counters = CounterBank()
         self._tasks: dict[str, Task] = {}
+        self._table: Optional[_TaskTable] = None
         self.total_cpu_seconds = 0.0
         self._duty_cycle: Optional[DutyCycleState] = None
 
@@ -123,6 +214,7 @@ class Machine:
             raise ValueError(f"task {task.name} already on machine {self.name}")
         task.mark_running(self.name)
         self._tasks[task.name] = task
+        self._table = None
 
     def remove(self, task_name: str, state: TaskState,
                reason: Optional[str] = None) -> Task:
@@ -133,6 +225,7 @@ class Machine:
             raise KeyError(f"no task {task_name!r} on machine {self.name}") from None
         task.mark_stopped(state, reason)
         self.counters.drop(task.cgroup.name)
+        self._table = None
         return task
 
     def get_task(self, task_name: str) -> Task:
@@ -153,6 +246,14 @@ class Machine:
     def resident_cgroup_names(self) -> list[str]:
         """Cgroup names of all resident tasks."""
         return [t.cgroup.name for t in self.resident_tasks()]
+
+    def _task_table(self) -> _TaskTable:
+        """The cached task-index table, rebuilt after placement changes."""
+        table = self._table
+        if table is None:
+            table = _TaskTable(self.resident_tasks(), self.counters)
+            self._table = table
+        return table
 
     @property
     def num_tasks(self) -> int:
@@ -228,6 +329,178 @@ class Machine:
 
     def tick(self, t: int) -> TickResult:
         """Execute one simulated second; returns grants, CPIs and departures."""
+        if self.tick_engine == "vector":
+            return self._tick_vector(t)
+        return self._tick_legacy(t)
+
+    def _tick_inputs(self, t: int, table: _TaskTable
+                     ) -> tuple[list[float], list[bool], list[float]]:
+        """Tick phases 1-3: demand, cgroup clipping, tier allocation, duty
+        cycling, plus the per-task base-CPI reads.
+
+        Shared verbatim by the per-machine vector path and the cluster-fused
+        path (:mod:`repro.cluster.fused`) so the demand/base-CPI closure call
+        order — the RNG-ordering contract — cannot drift between them.
+
+        Returns:
+            ``(grants, capped, base_cpi)`` as plain Python lists in table
+            order.  ``capped`` remembers the hard-cap state for phase 6 (it
+            cannot change within the tick, so the legacy path's second
+            ``is_capped`` lookup is redundant).
+        """
+        cgroups = table.cgroups
+        cpu_limits = table.cpu_limits
+        n = len(cgroups)
+
+        # 1-2. demand, clipped by cgroup limit and any hard-cap.
+        allowed = [0.0] * n
+        capped = [False] * n
+        for i, fn in enumerate(table.demand_fns):
+            d = fn(t)
+            if not d > 0.0:     # matches max(0.0, d), including d = NaN
+                d = 0.0
+            limit = cpu_limits[i]
+            a = d if d < limit else limit
+            cap = cgroups[i].cap_at(t)
+            if cap is not None:
+                capped[i] = True
+                if cap.quota < a:
+                    a = cap.quota
+            allowed[i] = a
+
+        # 3. tier allocation (pro-rata within a saturated tier).
+        grants = [0.0] * n
+        remaining = self.cpu_capacity
+        for indices in table.tier_indices:
+            if not indices:
+                continue
+            want = 0.0
+            for i in indices:
+                want += allowed[i]
+            if want <= 0.0:
+                continue
+            if want <= remaining:
+                for i in indices:
+                    grants[i] = allowed[i]
+                remaining -= want
+            else:
+                scale = remaining / want
+                for i in indices:
+                    grants[i] = allowed[i] * scale
+                remaining = 0.0
+            if remaining <= 0.0:
+                break
+
+        duty = self.duty_cycle_at(t)
+        if duty is not None:
+            factor = max(0.0, 1.0 - duty.core_share * (1.0 - duty.level))
+            for i, name in enumerate(table.names):
+                grants[i] *= duty.level if name == duty.target_task else factor
+
+        base_cpi = [fn() for fn in table.base_cpi_fns]
+        if not min(base_cpi) > 0:
+            bad = min(base_cpi)
+            raise ValueError(f"base_cpi must be positive, got {bad}")
+        return grants, capped, base_cpi
+
+    def _tick_finish(self, t: int, table: _TaskTable, result: TickResult,
+                     grants: list[float], capped: list[bool]) -> None:
+        """Tick phases 5b-6: cgroup charging, context-switch accounting,
+        and workload tick observations (which may trigger departures).
+
+        Shared by the per-machine vector path and the cluster-fused path;
+        mutates ``result.departures`` in place.
+        """
+        cgroups = table.cgroups
+        total = self.total_cpu_seconds
+        runnable = 0
+        for i, grant in enumerate(grants):
+            cgroups[i].charge(t, grant)
+            total += grant
+            if grant > 0.0:
+                runnable += 1
+        self.total_cpu_seconds = total
+        oversubscribed = max(0, runnable - self.platform.num_cores)
+        self.counters.record_context_switches(
+            runnable * _SWITCHES_PER_TASK_SECOND + oversubscribed * 100)
+
+        tasks = table.tasks
+        for i, fn in enumerate(table.on_tick_fns):
+            outcome = fn(t, grants[i], capped[i])
+            if outcome is None:
+                continue
+            task = tasks[i]
+            if outcome == "completed":
+                state = TaskState.COMPLETED
+            elif outcome == "exited":
+                state = TaskState.EXITED
+            else:
+                raise ValueError(
+                    f"workload for {task.name} returned unknown outcome {outcome!r}")
+            self.remove(task.name, state, reason=f"workload said {outcome}")
+            result.departures.append((task, state))
+
+    def _tick_vector(self, t: int) -> TickResult:
+        """The batched hot path.
+
+        Bit-identical to :meth:`_tick_legacy` by construction: same task
+        order, same operation order inside every formula, sequential
+        reductions, one bulk noise draw consuming the RNG stream in the
+        same order the scalar loop does.
+        """
+        result = TickResult(t=t, departures=[])
+        if not self._tasks:
+            return result
+        table = self._task_table()
+        names = table.names
+
+        # Resource profiles are static in every shipped workload; the
+        # identity check keeps a hypothetical dynamic profile correct while
+        # costing only one method call + one `is` per task.
+        profiles = table.profiles
+        for i, fn in enumerate(table.profile_fns):
+            if fn() is not profiles[i]:
+                table.refresh_profiles([p() for p in table.profile_fns])
+                break
+
+        grants, capped, base_cpi = self._tick_inputs(t, table)
+        result.grants = dict(zip(names, grants))
+
+        # 4. contention, inflation, CPI and miss rates — one fused batch.
+        ws = table.workspace
+        result.contention = self.interference.tick_batch(
+            self.platform, names, base_cpi, grants, table.profile_table, ws)
+        cpi = ws.cpi
+        sigma = self.cpi_noise_sigma
+        if sigma > 0.0:
+            # One draw per task, consumed in table (name-sorted) order: the
+            # documented RNG contract.  sigma * standard_normal(n) is the
+            # same value stream as n scalar rng.normal(0, sigma) calls, and
+            # np.exp on the array equals np.exp per scalar.
+            noise = ws.noise
+            self.rng.standard_normal(out=noise)
+            np.multiply(noise, sigma, noise)
+            np.exp(noise, noise)
+            np.multiply(cpi, noise, cpi)
+        result.cpis = dict(zip(names, cpi.tolist()))
+
+        # 5. burn counters, batched (EVENT_ORDER column layout).
+        events = ws.events
+        cycles, instructions, l2, l3, mem = ws.event_columns
+        np.multiply(ws.grants, self.platform.cycles_per_cpu_second,
+                    cycles)                        # CPU_CLK_UNHALTED_REF
+        np.divide(cycles, cpi, instructions)       # INSTRUCTIONS_RETIRED
+        np.divide(instructions, 1000.0, ws.kilo)
+        np.multiply(ws.kilo, ws.l2_mpki, l2)       # L2_MISSES
+        np.multiply(ws.kilo, ws.l3_mpki, l3)       # L3_MISSES
+        np.multiply(l3, 1.1, mem)                  # MEMORY_REQUESTS
+        self.counters.burn_matrix(table.counter_matrix, events)
+
+        self._tick_finish(t, table, result, grants, capped)
+        return result
+
+    def _tick_legacy(self, t: int) -> TickResult:
+        """The original scalar tick loop, kept as the golden parity reference."""
         tasks = self.resident_tasks()
         result = TickResult(t=t, departures=[])
         if not tasks:

@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from repro.cluster.fused import FusedFleet
 from repro.cluster.machine import Machine, TickResult
 from repro.cluster.scheduler import ClusterScheduler
 from repro.obs import Observability
@@ -93,6 +94,15 @@ class ClusterSimulation:
         }
         self._sample_sinks: list[SampleSink] = []
         self._tick_hooks: list[TickHook] = []
+        #: Cached name-sorted iteration order for machines and samplers.
+        #: Machines never change identity mid-run today; the cache is
+        #: invalidated explicitly (or by a length change) if topology ever
+        #: does change.
+        self._machine_order: Optional[tuple[tuple[str, Machine], ...]] = None
+        self._sampler_order: Optional[tuple[tuple[str, CpiSampler], ...]] = None
+        #: The cluster-fused execution arena (rebuilt on placement changes;
+        #: ``None`` until built or when any machine is ineligible).
+        self._fleet: Optional[FusedFleet] = None
         #: The next second to execute.
         self.now = 0
 
@@ -120,26 +130,78 @@ class ClusterSimulation:
 
     # -- running ------------------------------------------------------------------
 
+    def invalidate_iteration_order(self) -> None:
+        """Drop the cached machine/sampler iteration order.
+
+        Call after mutating :attr:`machines` or :attr:`samplers` in place
+        (adding/removing machines mid-run).  A length change is also
+        detected automatically at the next step.
+        """
+        self._machine_order = None
+        self._sampler_order = None
+        self._fleet = None
+
+    def _iteration_order(self) -> tuple[tuple[tuple[str, Machine], ...],
+                                        tuple[tuple[str, CpiSampler], ...]]:
+        machine_order = self._machine_order
+        sampler_order = self._sampler_order
+        if (machine_order is None or sampler_order is None
+                or len(machine_order) != len(self.machines)
+                or len(sampler_order) != len(self.samplers)):
+            machine_order = tuple(
+                (name, self.machines[name]) for name in sorted(self.machines))
+            sampler_order = tuple(
+                (name, self.samplers[name]) for name in sorted(self.samplers))
+            self._machine_order = machine_order
+            self._sampler_order = sampler_order
+        return machine_order, sampler_order
+
     def step(self) -> dict[str, TickResult]:
         """Execute one simulated second across the whole cluster."""
-        t = self.now
-        results: dict[str, TickResult] = {}
         if self._c_ticks is not None:
             self._c_ticks.inc()
-        for name in sorted(self.machines):
-            machine = self.machines[name]
-            result = machine.tick(t)
-            results[name] = result
-            if self.obs is not None and result.departures:
+        return self._step()
+
+    def _step(self) -> dict[str, TickResult]:
+        """One tick, without the per-call tick-counter increment (so
+        :meth:`run` can batch it into a single add)."""
+        t = self.now
+        machine_order, sampler_order = self._iteration_order()
+        # Fused fast path: all machines' physics in one cluster-wide batch
+        # (bit-identical to per-machine stepping; see repro.cluster.fused).
+        # Rebuilt when placement changes; falls back to Machine.tick when
+        # any machine is ineligible (legacy engine, patched tick, custom
+        # interference model) or a dynamic profile changed mid-guard.
+        fleet = self._fleet
+        if fleet is None or not fleet.matches(machine_order):
+            fleet = FusedFleet.build(machine_order)
+            self._fleet = fleet
+        results: Optional[dict[str, TickResult]] = None
+        if fleet is not None:
+            results = fleet.step(t)
+            if results is None:
+                self._fleet = None
+        if results is None:
+            results = {name: machine.tick(t)
+                       for name, machine in machine_order}
+        hooks = self._tick_hooks
+        obs = self.obs
+        for name, machine in machine_order:
+            result = results[name]
+            if obs is not None and result.departures:
                 self._c_departures.inc(len(result.departures))
                 for task, state in result.departures:
-                    self.obs.events.event(
+                    obs.events.event(
                         "task_departed", machine=name, task=task.name,
                         job=task.job.name, state=state.value)
-            for hook in self._tick_hooks:
+            for hook in hooks:
                 hook(t, machine, result)
-        for name in sorted(self.samplers):
-            samples = self.samplers[name].tick(t)
+        for name, sampler in sampler_order:
+            # The duty cycle makes tick() a no-op ~50 seconds out of every
+            # 60; skip those calls outright (the sampler fast-forward).
+            if not sampler.wants_tick(t):
+                continue
+            samples = sampler.tick(t)
             if samples:
                 for sink in self._sample_sinks:
                     sink(t, name, samples)
@@ -149,11 +211,17 @@ class ClusterSimulation:
         return results
 
     def run(self, seconds: int) -> None:
-        """Advance the simulation by ``seconds`` ticks."""
+        """Advance the simulation by ``seconds`` ticks.
+
+        Equivalent to ``seconds`` calls to :meth:`step`, but the per-tick
+        observability counter is batched into one add up front.
+        """
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if seconds and self._c_ticks is not None:
+            self._c_ticks.inc(seconds)
         for _ in range(seconds):
-            self.step()
+            self._step()
 
     def run_minutes(self, minutes: float) -> None:
         """Advance by ``minutes`` simulated minutes."""

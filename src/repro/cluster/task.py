@@ -137,13 +137,17 @@ class Task:
         self.cgroup = Cgroup(name=f"{job.name}/{index}", cpu_limit=cpu_limit)
         #: Set while the task is the subject of an exit/kill this tick.
         self.exit_reason: Optional[str] = None
+        # Job names are fixed at submission, so the task name never changes;
+        # computing it once keeps it off the per-tick hot path (it is read
+        # several times per task per simulated second).
+        self._name = f"{job.name}/{index}"
 
     # -- identity -----------------------------------------------------------
 
     @property
     def name(self) -> str:
         """Cluster-unique task name, ``<jobname>/<index>``."""
-        return f"{self.job.name}/{self.index}"
+        return self._name
 
     @property
     def scheduling_class(self) -> SchedulingClass:

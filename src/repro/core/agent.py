@@ -233,6 +233,11 @@ class MachineAgent:
 
     def _refresh_degraded(self, t: int) -> None:
         """Track degraded-mode transitions (events + gauge, never silent)."""
+        if self._spec_anchor is None and not self._degraded:
+            # Bootstrap/operator specs never go stale, so no transition is
+            # possible — skip the staleness arithmetic (this runs for every
+            # machine on every simulated second).
+            return
         stale = self.specs_too_stale(t)
         if stale == self._degraded:
             return
@@ -495,6 +500,10 @@ class MachineAgent:
     def tick(self, t: int) -> None:
         """Process due recovery checks.  Call at least once a minute."""
         self._refresh_degraded(t)
+        if not self._followups:
+            # The common case by far — this runs per machine per simulated
+            # second, and follow-ups exist only while a cap is in flight.
+            return
         due = [f for f in self._followups if f.due_at <= t]
         if not due:
             return

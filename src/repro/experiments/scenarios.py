@@ -73,19 +73,22 @@ def build_cluster(
     fault_profile: "FaultProfile | str | None" = None,
     fault_seed: int = 0,
     obs: Optional[Observability] = None,
+    tick_engine: Optional[str] = None,
 ) -> Scenario:
     """A cluster of ``num_machines`` cycling through the given platforms.
 
     ``fault_profile`` / ``fault_seed`` select the transport/crash fault
     schedule (default: none — all paths in-process); ``obs`` isolates the
     run's telemetry from the process default, which the chaos sweep needs
-    to attribute fault counters to one profile at a time.
+    to attribute fault counters to one profile at a time; ``tick_engine``
+    picks the machine tick implementation (``"vector"``/``"legacy"``,
+    default per ``REPRO_TICK_ENGINE``) — the parity tests run both.
     """
     if num_machines < 1:
         raise ValueError(f"num_machines must be >= 1, got {num_machines}")
     machines = [
         Machine(f"m{i}", get_platform(platforms[i % len(platforms)]),
-                cpi_noise_sigma=cpi_noise_sigma)
+                cpi_noise_sigma=cpi_noise_sigma, tick_engine=tick_engine)
         for i in range(num_machines)
     ]
     sim = ClusterSimulation(machines, SimConfig(

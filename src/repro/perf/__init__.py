@@ -11,7 +11,9 @@ CPI samples.
 """
 
 from repro.perf.events import CounterEvent
-from repro.perf.counters import CounterSet, CounterBank, CONTEXT_SWITCH_COST_SECONDS
+from repro.perf.counters import (CounterSet, CounterBank,
+                                 CONTEXT_SWITCH_COST_SECONDS, EVENT_ORDER)
+from repro.perf.profiling import StageTimers, profile_call
 from repro.perf.sampler import CpiSampler, SamplerConfig
 
 __all__ = [
@@ -19,6 +21,9 @@ __all__ = [
     "CounterSet",
     "CounterBank",
     "CONTEXT_SWITCH_COST_SECONDS",
+    "EVENT_ORDER",
     "CpiSampler",
     "SamplerConfig",
+    "StageTimers",
+    "profile_call",
 ]

@@ -11,31 +11,49 @@ costs a couple of microseconds.  Total CPU overhead is less than 0.1%."
 :class:`CounterBank` is a machine's collection of them plus the
 context-switch save/restore overhead ledger that lets the overhead benchmark
 verify the <0.1% claim against the simulated context-switch rate.
+
+Storage is a small numpy array per cgroup (one slot per
+:class:`~repro.perf.events.CounterEvent`), so the simulator's vectorized
+tick engine can burn a whole machine-tick's worth of counter increments with
+:meth:`CounterBank.burn_batch` — one validation pass over the event matrix
+and one array add per cgroup, instead of five validated scalar adds per
+task per second.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.perf.events import CounterEvent
 
-__all__ = ["CounterSet", "CounterBank", "CONTEXT_SWITCH_COST_SECONDS"]
+__all__ = ["CounterSet", "CounterBank", "CONTEXT_SWITCH_COST_SECONDS",
+           "EVENT_ORDER"]
 
 #: Cost of one counter save/restore at a cross-cgroup context switch — the
 #: paper says "a couple of microseconds".
 CONTEXT_SWITCH_COST_SECONDS = 2e-6
+
+#: The fixed event layout of every counter array (enum definition order).
+EVENT_ORDER: tuple[CounterEvent, ...] = tuple(CounterEvent)
+
+_EVENT_INDEX: dict[CounterEvent, int] = {e: i for i, e in enumerate(EVENT_ORDER)}
 
 
 class CounterSet:
     """Monotonic counters for one cgroup.
 
     Values only increase; sampling works by differencing two snapshots, which
-    is exactly how perf_event counting mode is consumed.
+    is exactly how perf_event counting mode is consumed.  Backed by one
+    float64 array in :data:`EVENT_ORDER` layout.
     """
 
+    __slots__ = ("_values",)
+
     def __init__(self) -> None:
-        self._values: dict[CounterEvent, float] = {e: 0.0 for e in CounterEvent}
+        self._values = np.zeros(len(EVENT_ORDER), dtype=np.float64)
 
     def add(self, event: CounterEvent, amount: float) -> None:
         """Accumulate ``amount`` onto ``event``.
@@ -50,15 +68,23 @@ class CounterSet:
                 f"counter increments must be finite, got {amount}")
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self._values[event] += amount
+        self._values[_EVENT_INDEX[event]] += amount
+
+    def add_array(self, amounts: np.ndarray) -> None:
+        """Accumulate a full event vector (``EVENT_ORDER`` layout) at once.
+
+        The caller is responsible for validation — this is the pre-validated
+        inner loop of :meth:`CounterBank.burn_batch`.
+        """
+        self._values += amounts
 
     def read(self, event: CounterEvent) -> float:
         """Current cumulative value of ``event``."""
-        return self._values[event]
+        return float(self._values[_EVENT_INDEX[event]])
 
     def snapshot(self) -> Mapping[CounterEvent, float]:
         """An immutable copy of all counter values, for later differencing."""
-        return dict(self._values)
+        return dict(zip(EVENT_ORDER, self._values.tolist()))
 
     def delta_since(self, snapshot: Mapping[CounterEvent, float]
                     ) -> Mapping[CounterEvent, float]:
@@ -69,9 +95,9 @@ class CounterSet:
                 would indicate a bookkeeping bug.
         """
         deltas: dict[CounterEvent, float] = {}
-        for event in CounterEvent:
+        values = self._values.tolist()
+        for event, now in zip(EVENT_ORDER, values):
             before = snapshot.get(event, 0.0)
-            now = self._values[event]
             if now < before:
                 raise ValueError(
                     f"counter {event.value} went backwards: {before} -> {now}")
@@ -102,6 +128,78 @@ class CounterBank:
     def known_cgroups(self) -> list[str]:
         """Names of cgroups with live counter sets."""
         return sorted(self._sets)
+
+    def burn_batch(self, cgroup_names: Sequence[str],
+                   events: np.ndarray) -> None:
+        """Accumulate one machine-tick of counters for many cgroups at once.
+
+        Args:
+            cgroup_names: one cgroup per row of ``events``.
+            events: array of shape ``(len(cgroup_names), len(EVENT_ORDER))``
+                in :data:`EVENT_ORDER` column layout.
+
+        Raises:
+            ValueError: if any increment is negative or non-finite (same
+                contract as :meth:`CounterSet.add`, enforced in one pass
+                over the whole matrix), or on a shape mismatch.
+        """
+        if events.shape != (len(cgroup_names), len(EVENT_ORDER)):
+            raise ValueError(
+                f"event matrix shape {events.shape} does not match "
+                f"({len(cgroup_names)}, {len(EVENT_ORDER)})")
+        if not np.isfinite(events).all():
+            raise ValueError("counter increments must be finite")
+        if events.size and float(events.min()) < 0:
+            raise ValueError("counter increments must be >= 0")
+        sets = self._sets
+        for i, name in enumerate(cgroup_names):
+            counters = sets.get(name)
+            if counters is None:
+                counters = CounterSet()
+                sets[name] = counters
+            counters._values += events[i]
+
+    def matrix_view(self, cgroup_names: Sequence[str]) -> np.ndarray:
+        """Re-back the named counter sets with rows of one shared matrix.
+
+        Returns a ``(len(cgroup_names), len(EVENT_ORDER))`` float64 matrix
+        whose row ``i`` *is* the storage of ``cgroup_names[i]``'s
+        :class:`CounterSet` (current values preserved; sets are created on
+        first use).  A whole machine-tick of increments then burns as a
+        single ``matrix += events`` (:meth:`burn_matrix`) while every
+        existing reader — :meth:`CounterSet.read`, snapshots, deltas — keeps
+        working, since they all go through the set's backing array.
+
+        The view stays valid until the next :meth:`matrix_view` call for the
+        same names; callers re-request it whenever their task set changes.
+        """
+        matrix = np.empty((len(cgroup_names), len(EVENT_ORDER)),
+                          dtype=np.float64)
+        for i, name in enumerate(cgroup_names):
+            counters = self.counters_for(name)
+            matrix[i] = counters._values
+            counters._values = matrix[i]
+        return matrix
+
+    def burn_matrix(self, matrix: np.ndarray, events: np.ndarray) -> None:
+        """Accumulate a tick's event matrix onto a :meth:`matrix_view` matrix.
+
+        Same validation contract as :meth:`CounterSet.add`, enforced with
+        two reductions over the whole matrix (``min`` flags negatives and
+        NaN, ``max`` flags +inf).
+        """
+        if events.shape != matrix.shape:
+            raise ValueError(
+                f"event matrix shape {events.shape} does not match "
+                f"{matrix.shape}")
+        if events.size:
+            lo = float(events.min())
+            if not lo >= 0.0:
+                raise ValueError(
+                    f"counter increments must be finite and >= 0, got {lo}")
+            if float(events.max()) == math.inf:
+                raise ValueError("counter increments must be finite")
+        matrix += events
 
     # -- context-switch overhead ledger --------------------------------------
 

@@ -1,0 +1,134 @@
+"""Lightweight profiling for the simulation hot path.
+
+Two tools, both dependency-free:
+
+* :class:`StageTimers` — named accumulating wall-clock timers.  The
+  benchmark harness wraps each pipeline stage (machine execution, sampling,
+  analysis) in a timer so ``BENCH_throughput.json`` can carry a per-stage
+  breakdown, and anything else that wants a cheap "where did the time go"
+  view can do the same.
+* :func:`profile_call` — run a callable under :mod:`cProfile` and return
+  (result, stats text).  The CLI's ``--profile`` flag uses it to profile a
+  whole demo/experiment run.
+
+See ``docs/performance.md`` for how these fit the perf workflow.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["StageTimers", "profile_call"]
+
+
+class StageTimers:
+    """Accumulating wall-clock timers keyed by stage name.
+
+    Usage::
+
+        timers = StageTimers()
+        with timers.stage("machines"):
+            ...  # hot work
+        timers.report()   # {"machines": {"seconds": ..., "calls": ...}}
+
+    Overhead is two ``perf_counter`` calls per ``stage`` block, so wrapping
+    per-tick stages of a benchmark run is fine; wrapping per-task work is
+    not what this is for.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one entry into stage ``name`` (re-entrant per name is fine)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold externally measured time into stage ``name``."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if calls < 0:
+            raise ValueError(f"calls must be >= 0, got {calls}")
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall seconds in stage ``name`` (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def total_seconds(self) -> float:
+        """Sum across all stages."""
+        return sum(self._seconds.values())
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """All stages as ``{name: {"seconds": ..., "calls": ...}}``,
+        ordered by descending time — ready for JSON serialization."""
+        return {
+            name: {"seconds": self._seconds[name],
+                   "calls": self._calls[name]}
+            for name in sorted(self._seconds,
+                               key=lambda n: -self._seconds[n])
+        }
+
+    def render(self) -> str:
+        """A small human-readable table of the report."""
+        report = self.report()
+        if not report:
+            return "(no stages timed)"
+        width = max(len(name) for name in report)
+        total = self.total_seconds()
+        lines = []
+        for name, row in report.items():
+            share = row["seconds"] / total if total > 0 else 0.0
+            lines.append(f"{name:<{width}}  {row['seconds']:10.4f}s "
+                         f"{share:6.1%}  ({int(row['calls'])} calls)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every stage."""
+        self._seconds.clear()
+        self._calls.clear()
+
+
+def profile_call(fn: Callable[[], Any], sort: str = "cumulative",
+                 limit: int = 30,
+                 stats_path: Optional[str] = None) -> tuple[Any, str]:
+    """Run ``fn`` under cProfile.
+
+    Args:
+        fn: zero-argument callable to profile.
+        sort: pstats sort key for the text report.
+        limit: number of rows in the text report.
+        stats_path: optional path to dump the raw pstats data for later
+            inspection with ``python -m pstats``.
+
+    Returns:
+        ``(fn's return value, formatted stats text)``.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    if stats_path is not None:
+        profiler.dump_stats(stats_path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(limit)
+    return result, buffer.getvalue()

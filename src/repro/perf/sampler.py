@@ -76,6 +76,21 @@ class CpiSampler:
             self.obs.events.event("sampler_window_discarded", reason=reason,
                                   machine=self.machine.name, task=taskname)
 
+    def wants_tick(self, t: int) -> bool:
+        """Whether :meth:`tick` would do any work at second ``t``.
+
+        The duty cycle is 10s-on/50s-off: a window closes when it has run
+        ``duration`` seconds and a new one opens on period boundaries, so
+        for every other second ``tick`` is a no-op.  The simulation's run
+        loop uses this to skip those no-op calls entirely.  (The two
+        conditions cannot overlap in a skipped second: while a window is
+        open, ``t - start`` is in ``(0, duration)`` and therefore ``t`` is
+        never on a period boundary, since ``period >= duration``.)
+        """
+        if self._window_start is not None:
+            return t - self._window_start >= self.config.duration_seconds
+        return t % self.config.period_seconds == 0
+
     def tick(self, t: int) -> list[CpiSample]:
         """Advance to second ``t``; returns the window's samples if one closed."""
         samples: list[CpiSample] = []

@@ -132,8 +132,17 @@ def with_noise(base: DemandFn, sigma: float,
     if sigma == 0.0:
         return base
 
+    _exp = np.exp
+    draw = rng.standard_normal
+
     def fn(t: int) -> float:
-        return max(0.0, base(t) * float(np.exp(rng.normal(0.0, sigma))))
+        # sigma * standard_normal() is bit-identical to normal(0.0, sigma)
+        # (same ziggurat draw, and adding loc 0.0 is the identity), and
+        # ``d if d > 0.0 else 0.0`` matches max(0.0, d) for every float
+        # including NaN.  This runs once per task per simulated second, so
+        # it is one of the hottest expressions in the whole simulator.
+        d = base(t) * float(_exp(sigma * draw()))
+        return d if d > 0.0 else 0.0
 
     return fn
 

@@ -27,6 +27,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_profile_flag_forms(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.profile is None
+        args = build_parser().parse_args(["demo", "--profile"])
+        assert args.profile == ""
+        args = build_parser().parse_args(["demo", "--profile", "x.pstats"])
+        assert args.profile == "x.pstats"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -56,6 +64,15 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "== table2" in captured.out
         assert "fig99" in captured.err
+
+    def test_demo_under_profile(self, capsys, tmp_path):
+        stats_path = tmp_path / "demo.pstats"
+        assert main(["demo", "--minutes", "2",
+                     "--profile", str(stats_path)]) == 0
+        out = capsys.readouterr().out
+        assert "incidents" in out        # the demo itself still ran
+        assert "function calls" in out   # the cProfile report printed
+        assert stats_path.exists()
 
 
 class TestRegistry:
