@@ -29,6 +29,7 @@ histogram summaries) when the run recorded any; see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -71,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--minutes", type=int, default=30,
                       help="simulated minutes to run (default 30)")
     demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--jobs", type=int,
+                      default=int(os.environ.get("REPRO_SHARDS", "1")),
+                      help="worker processes for sharded execution "
+                           "(default: $REPRO_SHARDS or 1; output is "
+                           "byte-identical at any worker count — see "
+                           "docs/performance.md)")
     faults = demo.add_argument_group("fault injection")
     faults.add_argument("--fault-profile", default="none",
                         choices=sorted(_fault_profile_names()),
@@ -115,45 +122,49 @@ def _format_incident_line(incident) -> str:
 
 def _cmd_demo(minutes: int, seed: int,
               trace_json: Optional[str] = None,
-              fault_profile: str = "none", fault_seed: int = 0) -> int:
-    from repro import (ClusterSimulation, CpiConfig, CpiPipeline, CpiSpec,
-                       Job, Machine, Observability, SimConfig, get_platform)
-    from repro.workloads import AntagonistKind, make_antagonist_job_spec
-    from repro.workloads.services import make_service_job_spec
+              fault_profile: str = "none", fault_seed: int = 0,
+              jobs: int = 1) -> int:
+    from repro.experiments.scenarios import demo_scenario
 
-    platform = get_platform("westmere-2.6")
-    machine = Machine("demo", platform, cpi_noise_sigma=0.03)
-    sim = ClusterSimulation([machine], SimConfig(seed=seed))
-    pipeline = CpiPipeline(sim, CpiConfig(), obs=Observability(),
-                           fault_profile=fault_profile,
-                           fault_seed=fault_seed)
-    sim.scheduler.submit(Job(make_service_job_spec("frontend", num_tasks=1,
-                                                   seed=seed)))
-    sim.scheduler.submit(Job(make_antagonist_job_spec(
-        "video", AntagonistKind.VIDEO_PROCESSING, num_tasks=1,
-        seed=seed + 1, demand_scale=1.3)))
-    pipeline.bootstrap_specs([CpiSpec("frontend", platform.name, 10_000,
-                                      1.0, 1.05, 0.08)])
-    print(f"running {minutes} simulated minutes...")
-    sim.run_minutes(minutes)
-    incidents = pipeline.all_incidents()
+    kwargs = dict(seed=seed, fault_profile=fault_profile,
+                  fault_seed=fault_seed)
+    if jobs > 1:
+        from repro.cluster.shards import run_sharded
+
+        print(f"running {minutes} simulated minutes "
+              f"across {jobs} worker(s)...")
+        result = run_sharded(demo_scenario, kwargs,
+                             seconds=minutes * 60, jobs=jobs)
+        pipeline = result.pipeline
+        incidents = result.all_incidents()
+        fault_tallies = (result.fault_tallies
+                         if pipeline.faults is not None else None)
+    else:
+        scenario = demo_scenario(**kwargs)
+        pipeline = scenario.pipeline
+        print(f"running {minutes} simulated minutes...")
+        scenario.simulation.run_minutes(minutes)
+        incidents = pipeline.all_incidents()
+        fault_tallies = (pipeline.faults.fault_tallies()
+                         if pipeline.faults is not None else None)
     print(f"{len(incidents)} incidents; actions:")
     for incident in incidents:
         print(_format_incident_line(incident))
     print()
     print(pipeline.metrics_report())
-    if pipeline.faults is not None:
+    if fault_tallies is not None:
         # Only under a non-zero profile: the default demo output must stay
         # identical to a build without fault injection.
-        tallies = pipeline.faults.fault_tallies()
         injected = ", ".join(f"{kind}={count}"
-                             for kind, count in sorted(tallies.items()))
+                             for kind, count in sorted(fault_tallies.items()))
         print()
         print(f"fault profile '{pipeline.fault_profile.name}' "
               f"(seed {fault_seed}): {injected or 'no faults fired'}")
     if trace_json:
         written = pipeline.obs.tracer.export_jsonl(trace_json)
-        print(f"wrote {written} traces to {trace_json}")
+        suffix = (" (coordinator-side stages only under --jobs > 1)"
+                  if jobs > 1 else "")
+        print(f"wrote {written} traces to {trace_json}{suffix}")
     return 0
 
 
@@ -206,7 +217,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_demo(args.minutes, args.seed,
                              trace_json=args.trace_json,
                              fault_profile=args.fault_profile,
-                             fault_seed=args.fault_seed)
+                             fault_seed=args.fault_seed,
+                             jobs=args.jobs)
         if args.command == "list":
             return _cmd_list()
         if args.command == "experiment":

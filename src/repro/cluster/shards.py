@@ -1,0 +1,345 @@
+"""Sharded multi-core fleet execution: the coordinator side.
+
+The paper's scalability argument — "anomalies are detected locally, which
+enables rapid responses and increases scalability" — makes the fleet
+embarrassingly parallel per machine: all cross-machine coupling flows
+through the central aggregation service.  :func:`run_sharded` exploits
+exactly that structure: machines are partitioned across N long-lived
+worker processes (:mod:`repro.cluster.shardworker`), each rebuilding the
+full deterministic scenario and executing only its shard, while this
+coordinator keeps the control plane — the canonical
+:class:`~repro.core.aggregator.CpiAggregator`, the spec-refresh decision,
+the sample log, incident forensics, and merged telemetry.
+
+**Barriers.**  Workers free-run through machine physics and fault-plane
+pumping, and synchronize only at sampler window-close ticks (the schedule
+is fleet-global because every machine shares the duty cycle).  At a
+barrier each worker ships its closed windows as columnar
+:class:`~repro.core.samplebatch.SampleColumns` (plus, under a fault
+profile, the upload batches that *arrived* at its endpoint since the last
+barrier), then blocks for the coordinator's spec-refresh verdict.  The
+periodic reschedule point needs no barrier: sharded runs refuse scenarios
+with pending or migratable work, making the rescheduler a no-op by
+construction (:func:`~repro.cluster.shardworker.check_shardable`).
+
+**Determinism.**  Each machine owns a private generator spawned from the
+root seed *before* shard restriction, and per-machine fault components are
+seeded in sorted-name order independent of sharding — so no RNG stream
+ever depends on shard placement.  The coordinator replays cross-shard
+effects in the exact single-process order: windows in sorted-machine
+order, fabric arrivals in (tick, machine) order, the refresh decision
+interleaved between window ingests just as ``CpiPipeline._on_samples``
+does.  ``tests/test_shards.py`` pins byte-identical output for 1/2/4
+shards, clean and faulted.
+
+**Merged telemetry.**  Worker counters are summed into the coordinator
+registry (gauges and histograms stay worker-local), worker
+:class:`~repro.perf.profiling.StageTimers` fold into the coordinator's,
+and incidents/forensics rows are renumbered into global chronological
+order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Optional
+
+from repro.cluster.shardworker import (ShardSpec, ShardedRunUnsupported,
+                                       barrier_ticks, check_shardable,
+                                       run_shard_worker)
+from repro.perf.profiling import StageTimers
+from repro.records import CpiSample
+
+__all__ = ["ShardCrashed", "ShardedRunUnsupported", "ShardedRunResult",
+           "plan_shards", "run_sharded"]
+
+
+class ShardCrashed(RuntimeError):
+    """A shard worker died (or broke protocol) mid-run.
+
+    Carries the shard's index and machine names so the operator knows
+    which slice of the fleet went dark instead of staring at a hang.
+    """
+
+    def __init__(self, index: int, machines: Iterable[str], detail: str = ""):
+        self.shard_index = index
+        self.machines = tuple(machines)
+        message = (f"shard worker {index} "
+                   f"(machines: {', '.join(self.machines)}) died mid-run")
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+def plan_shards(names: Iterable[str], jobs: int) -> tuple[tuple[str, ...], ...]:
+    """Partition machine names round-robin across ``jobs`` shards.
+
+    Names are dealt from sorted order so the plan is deterministic, and
+    round-robin keeps heterogeneous fleets (mixed platforms cycle through
+    the name sequence) balanced.  ``jobs`` is clamped to the machine
+    count — no shard is ever empty.
+    """
+    ordered = sorted(names)
+    if not ordered:
+        raise ValueError("cannot shard zero machines")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, len(ordered))
+    return tuple(tuple(ordered[i::jobs]) for i in range(jobs))
+
+
+@dataclass
+class _Worker:
+    """Coordinator-side handle for one shard worker process."""
+
+    index: int
+    machines: tuple[str, ...]
+    process: Any
+    conn: Any
+
+
+def _recv(worker: _Worker, timeout: Optional[float] = None):
+    """Receive one message, surfacing worker death instead of hanging."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        try:
+            if worker.conn.poll(0.05):
+                message = worker.conn.recv()
+                if message[0] == "error":
+                    raise ShardCrashed(worker.index, worker.machines,
+                                       f"worker error\n{message[2]}")
+                return message
+        except (EOFError, OSError):
+            raise ShardCrashed(worker.index, worker.machines,
+                               "connection closed")
+        if not worker.process.is_alive() and not worker.conn.poll(0):
+            raise ShardCrashed(worker.index, worker.machines,
+                               f"exit code {worker.process.exitcode}")
+        if deadline is not None and time.monotonic() > deadline:
+            raise ShardCrashed(worker.index, worker.machines,
+                               f"no message within {timeout}s")
+
+
+def _send(worker: _Worker, message) -> None:
+    try:
+        worker.conn.send(message)
+    except (BrokenPipeError, OSError):
+        raise ShardCrashed(worker.index, worker.machines,
+                           "connection closed on send")
+
+
+@dataclass
+class ShardedRunResult:
+    """Everything a sharded run produced, merged back into one view.
+
+    ``scenario`` is the coordinator's replica: its pipeline holds the
+    canonical aggregator (published specs), the merged metrics registry,
+    and the forensics store; its simulation never ran.
+    """
+
+    scenario: Any
+    jobs: int
+    seconds: int
+    shards: tuple[tuple[str, ...], ...]
+    total_samples: int = 0
+    sample_log: list[CpiSample] = field(default_factory=list)
+    incidents: list = field(default_factory=list)
+    machine_seconds: int = 0
+    crash_counts: dict[str, int] = field(default_factory=dict)
+    fault_tallies: dict[str, int] = field(default_factory=dict)
+    timers: StageTimers = field(default_factory=StageTimers)
+
+    @property
+    def pipeline(self):
+        return self.scenario.pipeline
+
+    @property
+    def simulation(self):
+        return self.scenario.simulation
+
+    @property
+    def obs(self):
+        return self.scenario.pipeline.obs
+
+    @property
+    def total_faults_injected(self) -> int:
+        return sum(self.fault_tallies.values())
+
+    def all_incidents(self) -> list:
+        """Merged incidents in global chronological order (ids renumbered)."""
+        return list(self.incidents)
+
+
+def run_sharded(
+    builder: Callable[..., Any],
+    kwargs: Optional[dict] = None,
+    *,
+    seconds: int,
+    jobs: int,
+    log_samples: bool = False,
+    timers: Optional[StageTimers] = None,
+    barrier_timeout: Optional[float] = 120.0,
+    mp_context=None,
+) -> ShardedRunResult:
+    """Run ``builder(**kwargs)`` for ``seconds`` ticks across ``jobs`` workers.
+
+    ``builder`` must be a module-level callable (workers import it by
+    reference) returning a Scenario-like object; it is called once here
+    for the coordinator replica and once per worker.  Raises
+    :class:`ShardedRunUnsupported` for scenarios the sharded engine cannot
+    replay and :class:`ShardCrashed` if any worker dies mid-run.
+    ``barrier_timeout`` bounds how long the coordinator waits at any
+    barrier (``None`` waits forever).
+    """
+    kwargs = dict(kwargs or {})
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    timers = timers if timers is not None else StageTimers()
+    with timers.stage("coordinator_build"):
+        scenario = builder(**kwargs)
+        check_shardable(scenario)
+        sim = scenario.simulation
+        pipeline = scenario.pipeline
+        shards = plan_shards(sim.machines, jobs)
+        aggregator = pipeline.aggregator
+        faulted = pipeline.faults is not None
+    result = ShardedRunResult(scenario=scenario, jobs=len(shards),
+                              seconds=seconds, shards=shards, timers=timers)
+    ctx = mp_context or mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    workers: list[_Worker] = []
+    try:
+        with timers.stage("coordinator_spawn"):
+            for index, machines in enumerate(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                spec = ShardSpec(index=index, builder=builder, kwargs=kwargs,
+                                 machines=machines, seconds=seconds)
+                process = ctx.Process(target=run_shard_worker,
+                                      args=(child_conn, spec),
+                                      name=f"repro-shard-{index}",
+                                      daemon=True)
+                process.start()
+                child_conn.close()
+                workers.append(_Worker(index, machines, process, parent_conn))
+            for worker in workers:
+                _recv(worker, barrier_timeout)  # ("ready", index)
+        for t in barrier_ticks(sim.config.sampler, seconds):
+            windows: list = []
+            arrivals: list = []
+            with timers.stage("coordinator_wait"):
+                for worker in workers:
+                    message = _recv(worker, barrier_timeout)
+                    if message[0] != "window" or message[1] != t:
+                        raise ShardCrashed(
+                            worker.index, worker.machines,
+                            f"protocol error: expected window@{t}, "
+                            f"got {message[:2]}")
+                    windows.extend(message[2])
+                    arrivals.extend(message[3])
+            with timers.stage("coordinator_ingest"):
+                sim.now = t  # replica events/clock track the run
+                refreshed = _replay_barrier(result, aggregator, t, windows,
+                                            arrivals, faulted, log_samples)
+            for worker in workers:
+                _send(worker, ("specs", refreshed))
+        summaries = []
+        with timers.stage("coordinator_wait"):
+            for worker in workers:
+                message = _recv(worker, barrier_timeout)
+                if message[0] != "finished":
+                    raise ShardCrashed(worker.index, worker.machines,
+                                       f"protocol error: expected finished, "
+                                       f"got {message[0]!r}")
+                summaries.append(message[2])
+                _send(worker, ("release",))
+        with timers.stage("coordinator_merge"):
+            sim.now = seconds
+            _merge_summaries(result, aggregator, summaries)
+        for worker in workers:
+            worker.process.join(timeout=10)
+    finally:
+        for worker in workers:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+    return result
+
+
+def _replay_barrier(result: ShardedRunResult, aggregator, t: int,
+                    windows: list, arrivals: list, faulted: bool,
+                    log_samples: bool):
+    """Apply one barrier's shipped state in single-process order.
+
+    Fabric arrivals first (the single-process pump phase precedes the
+    sampler phase), in (arrival tick, machine) order; then each closed
+    window in sorted-machine order — ingest (clean mode only; faulted
+    windows travel via the upload fabric), then the refresh check, exactly
+    the per-machine interleave of ``CpiPipeline._on_samples``.  Returns
+    the refreshed spec map, or ``None``.
+    """
+    arrivals.sort(key=lambda entry: (entry[0], entry[1]))
+    for _arrived_at, _machine, columns in arrivals:
+        aggregator.ingest_batch(columns)
+    windows.sort(key=lambda entry: entry[0])
+    refreshed = None
+    for _machine, columns in windows:
+        result.total_samples += len(columns)
+        if log_samples:
+            result.sample_log.extend(columns.to_samples())
+        if not faulted:
+            aggregator.ingest_batch(columns)
+        published = aggregator.maybe_recompute(t)
+        if published is not None:
+            refreshed = published
+    return refreshed
+
+
+def _merge_summaries(result: ShardedRunResult, aggregator,
+                     summaries: list[dict]) -> None:
+    """Fold worker end-of-run summaries into the coordinator view."""
+    pipeline = result.pipeline
+    # Fabric arrivals delivered after the last barrier.
+    leftovers = [entry for summary in summaries
+                 for entry in summary["arrivals"]]
+    leftovers.sort(key=lambda entry: (entry[0], entry[1]))
+    for _arrived_at, _machine, columns in leftovers:
+        aggregator.ingest_batch(columns)
+    # Incidents and forensics rows, renumbered into global creation order
+    # (sorted-machine order within a tick matches the single-process
+    # sampler dispatch; at most one incident per machine-tick).
+    incident_entries = [entry for summary in summaries
+                        for entry in summary["incidents"]]
+    incident_entries.sort(key=lambda entry: entry[:3])
+    result.incidents = [
+        replace(incident, incident_id=new_id)
+        for new_id, (_t, _machine, _seq, incident)
+        in enumerate(incident_entries, start=1)]
+    forensic_entries = [entry for summary in summaries
+                        for entry in summary["forensics"]]
+    forensic_entries.sort(key=lambda entry: entry[:3])
+    for new_id, (_t, _machine, _seq, row) in enumerate(forensic_entries,
+                                                       start=1):
+        pipeline.forensics.add_record(replace(row, incident_id=new_id))
+    # Counters sum; gauges/histograms stay worker-local by design.
+    registry = pipeline.obs.metrics
+    for summary in summaries:
+        for name, labels, value in summary["counters"]:
+            if value:
+                registry.counter(name, **dict(labels)).inc(value)
+        for name, seconds_spent, calls in summary["timers"]:
+            result.timers.add(name, seconds_spent, calls)
+        result.machine_seconds += summary["machine_seconds"]
+        result.crash_counts.update(summary["crash_counts"])
+        for kind, count in summary["fault_tallies"].items():
+            result.fault_tallies[kind] = (
+                result.fault_tallies.get(kind, 0) + count)
+    # Make the replica pipeline report like the single-process one.
+    pipeline.total_samples = result.total_samples
+    pipeline.sample_log = result.sample_log
+    pipeline.machine_seconds = result.machine_seconds

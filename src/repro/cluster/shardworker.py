@@ -1,0 +1,274 @@
+"""The shard worker: one process executing a slice of the fleet.
+
+Each worker rebuilds the *full* deterministic scenario from a module-level
+builder plus kwargs (the "replicated build" — no machine state ever
+crosses a process boundary), then restricts execution to its shard of
+machines.  Per-machine RNG streams are spawned from the root seed before
+the restriction (`ClusterSimulation.__init__`), so which shard a machine
+lands on cannot change any draw — determinism by construction.
+
+The worker owns everything machine-local: physics, samplers, agents
+(detection, throttling, follow-ups), and, under a fault profile, the
+machine-side fabric (uplinks, ack links, spec links, upload clients, crash
+injectors).  The coordinator (:mod:`repro.cluster.shards`) owns the
+control plane: the canonical aggregator, spec refresh decisions, the
+sample log, and merged telemetry.
+
+Synchronization happens at the natural barrier — every sampler
+window-close tick (``t >= duration and (t - duration) % period == 0``; all
+samplers share the duty cycle, so the schedule is global).  At a barrier
+the worker ships its closed windows (columnar), plus any fabric arrivals
+captured since the previous barrier, and blocks for the coordinator's
+spec-refresh verdict before letting its agents consume the windows — the
+exact order the single-process pipeline interleaves these effects in.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.samplebatch import SampleColumns
+from repro.perf.profiling import StageTimers
+
+__all__ = ["ShardSpec", "ShardedRunUnsupported", "barrier_ticks",
+           "check_shardable", "run_shard_worker"]
+
+
+class ShardedRunUnsupported(RuntimeError):
+    """The scenario uses a feature the sharded engine cannot replay.
+
+    Sharded execution keeps the scheduler on the coordinator and never
+    consults it mid-run, so scenarios that re-place tasks (pending work at
+    build time, or ``enable_migration``) must run single-process.
+    """
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs: rebuild the world, run its slice.
+
+    Attributes:
+        index: this shard's position in the plan (0-based).
+        builder: module-level callable returning a
+            :class:`~repro.experiments.scenarios.Scenario`-like object
+            (``.simulation`` + ``.pipeline``); must be importable by the
+            worker process.
+        kwargs: keyword arguments for ``builder``.
+        machines: the machine names this worker executes.
+        seconds: simulated seconds to run.
+    """
+
+    index: int
+    builder: Callable[..., Any]
+    kwargs: dict
+    machines: tuple[str, ...]
+    seconds: int
+
+
+def barrier_ticks(sampler_config, seconds: int) -> list[int]:
+    """Every global window-close tick in ``[0, seconds)``.
+
+    Windows open on period boundaries and close ``duration`` seconds
+    later; every machine shares the duty cycle, so close ticks are fleet-
+    global and both sides of the pipe can compute the same schedule
+    independently.
+    """
+    duration = sampler_config.duration_seconds
+    period = sampler_config.period_seconds
+    return [t for t in range(duration, seconds)
+            if (t - duration) % period == 0]
+
+
+def check_shardable(scenario) -> None:
+    """Raise :class:`ShardedRunUnsupported` unless the scenario can shard."""
+    pipeline = getattr(scenario, "pipeline", None)
+    simulation = getattr(scenario, "simulation", None)
+    if pipeline is None or simulation is None:
+        raise TypeError("builder must return a Scenario-like object with "
+                        ".simulation and .pipeline attributes, got "
+                        f"{type(scenario).__name__}")
+    if pipeline.enable_migration:
+        raise ShardedRunUnsupported(
+            "enable_migration moves tasks across machines mid-run; the "
+            "sharded engine cannot replay that — run single-process")
+    pending = sorted(
+        job.name for job in simulation.scheduler.jobs.values()
+        if job.pending_tasks())
+    if pending:
+        raise ShardedRunUnsupported(
+            "scenario has unplaced tasks at build time; the periodic "
+            "rescheduler would mutate placement mid-run, which the sharded "
+            f"engine cannot replay (pending jobs: {pending})")
+
+
+def _install_arrival_capture(plane, shard: tuple[str, ...], arrivals: list):
+    """Make the worker's endpoint record, not ingest.
+
+    The worker-local :class:`~repro.faults.retry.AggregatorEndpoint` still
+    dedupes batch ids and sends acks (machine-side behaviour), but instead
+    of feeding the worker's dead replica aggregator, each non-duplicate
+    batch is recorded as ``(arrival_tick, machine, SampleColumns)`` for the
+    coordinator to replay into the canonical aggregator in global
+    (tick, machine) order — the same order the single-process pump
+    delivers in.
+    """
+    staging: list = []
+    plane.endpoint.ingest = staging.append
+    for name in shard:
+        port = plane.ports[name]
+        original = port.uplink.deliver
+
+        def deliver(t, batch, _original=original):
+            staging.clear()
+            _original(t, batch)
+            if staging:
+                arrivals.append((t, batch.machine,
+                                 SampleColumns.from_samples(staging)))
+                staging.clear()
+
+        port.uplink.deliver = deliver
+
+
+def _portable_incidents(agents, shard: tuple[str, ...]) -> list[tuple]:
+    """Final incidents, sanitised for pickling.
+
+    Live incidents reference scheduler tasks (which drag whole jobs,
+    machines, and workload closures along); targets are replaced with
+    name-only stubs carrying exactly what reporting reads (``.name`` and
+    ``.job.name``).  Each entry is ``(time, machine, seq, incident)`` —
+    the coordinator merge key reconstructing global creation order.
+    """
+    from dataclasses import replace
+
+    out = []
+    for name in shard:
+        for seq, incident in enumerate(agents[name].incidents):
+            decision = incident.decision
+            target = decision.target
+            if target is not None:
+                target = _TaskRef(name=target.name,
+                                  job=_JobRef(name=target.job.name))
+                decision = replace(decision, target=target)
+            out.append((incident.time_seconds, incident.machine, seq,
+                        replace(incident, decision=decision, trace=None)))
+    return out
+
+
+@dataclass(frozen=True)
+class _JobRef:
+    """Picklable stand-in for a job on a shipped incident."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class _TaskRef:
+    """Picklable stand-in for an incident's target task."""
+
+    name: str
+    job: _JobRef
+
+
+def run_shard_worker(conn, spec: ShardSpec) -> None:
+    """Worker process entry point: build, run, report, exit."""
+    try:
+        _run(conn, spec)
+    except BaseException:
+        try:
+            conn.send(("error", spec.index,
+                       f"shard {spec.index} "
+                       f"(machines {', '.join(spec.machines)}):\n"
+                       f"{traceback.format_exc()}"))
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+def _run(conn, spec: ShardSpec) -> None:
+    from repro.obs import Observability, set_default_observability
+
+    # Isolate from anything the parent process accumulated before forking.
+    set_default_observability(Observability())
+    timers = StageTimers()
+    with timers.stage("worker_build"):
+        scenario = spec.builder(**spec.kwargs)
+        check_shardable(scenario)
+        sim = scenario.simulation
+        pipeline = scenario.pipeline
+        pipeline.restrict_to_shard(spec.machines)
+        shard = tuple(sorted(spec.machines))
+        agents = pipeline.agents
+        plane = pipeline.faults
+        arrivals: list = []
+        if plane is not None:
+            _install_arrival_capture(plane, shard, arrivals)
+        barriers = set(barrier_ticks(sim.config.sampler, spec.seconds))
+    conn.send(("ready", spec.index))
+    if sim._c_ticks is not None and spec.seconds:
+        sim._c_ticks.inc(spec.seconds)
+    compute = 0.0
+    waiting = 0.0
+    mark = time.perf_counter()
+    for _ in range(spec.seconds):
+        t = sim.now
+        sim._tick_machines(t)
+        closed = sim._tick_samplers(t)
+        if t in barriers:
+            if plane is not None:
+                # The machine-side upward path: hand each closed window to
+                # the retrying upload client (the single-process sink does
+                # this per machine before anything else at this tick).
+                for name, samples in closed:
+                    plane.upload(t, name, samples)
+            windows = [(name, SampleColumns.from_samples(samples))
+                       for name, samples in closed]
+            now = time.perf_counter()
+            compute += now - mark
+            conn.send(("window", t, windows, arrivals[:]))
+            arrivals.clear()
+            reply = conn.recv()
+            mark = time.perf_counter()
+            waiting += mark - now
+            specs = reply[1]
+            if specs is not None:
+                # The downward path: exactly what the single-process
+                # pipeline does when a refresh fires — clean mode updates
+                # agents directly, faulted mode ships spec pushes through
+                # each machine's faulty spec link.
+                if plane is not None:
+                    plane.push_specs(t, specs, only=shard)
+                else:
+                    for name in shard:
+                        agents[name].update_specs(specs, now=t)
+            # The local path, after the refresh (as in _on_samples).
+            for name, samples in closed:
+                agents[name].ingest_samples(t, samples)
+        elif closed:  # pragma: no cover - schedule invariant
+            raise AssertionError(
+                f"windows closed off the barrier schedule at t={t}")
+        sim._finish_step(t)
+    compute += time.perf_counter() - mark
+    timers.add("worker_compute", compute, calls=spec.seconds)
+    timers.add("worker_barrier_wait", waiting, calls=len(barriers))
+    conn.send(("finished", spec.index, {
+        "arrivals": arrivals[:],
+        "incidents": _portable_incidents(agents, shard),
+        "forensics": [(row.time_seconds, row.machine, i, row)
+                      for i, row in enumerate(pipeline.forensics.records)],
+        "machine_seconds": pipeline.machine_seconds,
+        "crash_counts": {name: agents[name].crash_count for name in shard},
+        "fault_tallies": plane.fault_tallies() if plane is not None else {},
+        "counters": [(c.name, tuple(c.labels), c.value)
+                     for c in pipeline.obs.metrics.counters()
+                     if c.value],
+        "timers": [(name, entry["seconds"], int(entry["calls"]))
+                   for name, entry in timers.report().items()],
+    }))
+    # Wait for the coordinator's release so the pipe is never torn down
+    # while it still has our summary in flight.
+    conn.recv()

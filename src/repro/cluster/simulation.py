@@ -166,7 +166,14 @@ class ClusterSimulation:
         """One tick, without the per-call tick-counter increment (so
         :meth:`run` can batch it into a single add)."""
         t = self.now
-        machine_order, sampler_order = self._iteration_order()
+        results = self._tick_machines(t)
+        self._run_samplers(t)
+        self._finish_step(t)
+        return results
+
+    def _tick_machines(self, t: int) -> dict[str, TickResult]:
+        """Phase 1: every machine's physics, then the per-machine hooks."""
+        machine_order, _ = self._iteration_order()
         # Fused fast path: all machines' physics in one cluster-wide batch
         # (bit-identical to per-machine stepping; see repro.cluster.fused).
         # Rebuilt when placement changes; falls back to Machine.tick when
@@ -196,6 +203,12 @@ class ClusterSimulation:
                         job=task.job.name, state=state.value)
             for hook in hooks:
                 hook(t, machine, result)
+        return results
+
+    def _run_samplers(self, t: int) -> None:
+        """Phase 2: tick samplers, fanning each closed window straight out
+        to the sinks (machine by machine, in sorted-name order)."""
+        _, sampler_order = self._iteration_order()
         for name, sampler in sampler_order:
             # The duty cycle makes tick() a no-op ~50 seconds out of every
             # 60; skip those calls outright (the sampler fast-forward).
@@ -205,10 +218,48 @@ class ClusterSimulation:
             if samples:
                 for sink in self._sample_sinks:
                     sink(t, name, samples)
+
+    def _tick_samplers(self, t: int) -> list[tuple[str, list[CpiSample]]]:
+        """Phase 2, collect-only variant: tick samplers and return the
+        closed windows *without* dispatching to sinks.
+
+        The shard worker uses this to interpose its coordinator barrier
+        between window close and downstream processing.  Collection order
+        is the same sorted-name order :meth:`_run_samplers` dispatches in.
+        """
+        _, sampler_order = self._iteration_order()
+        closed: list[tuple[str, list[CpiSample]]] = []
+        for name, sampler in sampler_order:
+            if not sampler.wants_tick(t):
+                continue
+            samples = sampler.tick(t)
+            if samples:
+                closed.append((name, samples))
+        return closed
+
+    def _finish_step(self, t: int) -> None:
+        """Phase 3: periodic rescheduling, then advance the clock."""
         if t > 0 and t % self.config.reschedule_period == 0:
             self.scheduler.reschedule_pending()
         self.now += 1
-        return results
+
+    def restrict_to(self, names: Iterable[str]) -> None:
+        """Confine the tick loop to a subset of machines (shard execution).
+
+        Machines and samplers outside ``names`` are dropped from the
+        iteration tables; the scheduler keeps its full view (sharded runs
+        refuse workloads that would reschedule, so it is never consulted).
+        Intended for a worker process that rebuilt the full deterministic
+        scenario and executes only its shard — per-machine RNG streams are
+        assigned before restriction, so they are unchanged by it.
+        """
+        keep = set(names)
+        unknown = keep - set(self.machines)
+        if unknown:
+            raise ValueError(f"unknown machines: {sorted(unknown)}")
+        self.machines = {n: m for n, m in self.machines.items() if n in keep}
+        self.samplers = {n: s for n, s in self.samplers.items() if n in keep}
+        self.invalidate_iteration_order()
 
     def run(self, seconds: int) -> None:
         """Advance the simulation by ``seconds`` ticks.

@@ -28,6 +28,7 @@ from repro.core.agent import Incident, MachineAgent
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.forensics import ForensicsStore
 from repro.core.records import CpiSample, CpiSpec
+from repro.core.samplebatch import SampleColumns
 from repro.core.throttle import ThrottleController
 from repro.faults.plane import FaultPlane
 from repro.faults.profile import FaultProfile, resolve_fault_profile
@@ -109,6 +110,9 @@ class CpiPipeline:
             self.faults = FaultPlane(profile, fault_seed, self.aggregator,
                                      self.agents, config, obs=self.obs)
         self._last_pump: Optional[int] = None
+        #: When set (shard worker), the fault plane is pumped for these
+        #: machines only; the coordinator owns the rest of the control plane.
+        self.shard_names: Optional[frozenset[str]] = None
         simulation.add_sample_sink(self._on_samples)
         simulation.add_tick_hook(self._on_tick)
         if simulation.obs is None:
@@ -127,7 +131,9 @@ class CpiPipeline:
         if self.log_samples:
             self.sample_log.extend(samples)
         if self.faults is None:
-            self.aggregator.ingest_many(samples)
+            # Columnar even in-process: ingest_batch is bit-identical to
+            # per-sample ingest and dodges its per-sample dispatch.
+            self.aggregator.ingest_batch(SampleColumns.from_samples(samples))
         else:
             self.faults.upload(t, machine_name, samples)
         refreshed = self.aggregator.maybe_recompute(t)
@@ -145,7 +151,7 @@ class CpiPipeline:
             # Once per simulated second (hooks fire per machine): deliver
             # due messages, advance retries, inject crashes, checkpoint.
             self._last_pump = t
-            self.faults.pump(t)
+            self.faults.pump(t, only=self.shard_names)
         agent = self.agents[machine.name]
         agent.tick(t)
         for task, _state in result.departures:
@@ -162,6 +168,19 @@ class CpiPipeline:
             self.obs.metrics.counter("migrations", outcome="no_placement").inc()
             self.obs.events.event("migration_failed", task=task.name,
                                   job=task.job.name, reason="no_placement")
+
+    def restrict_to_shard(self, names) -> None:
+        """Confine this deployment to a subset of machines (shard worker).
+
+        The simulation drops non-shard machines/samplers from its
+        iteration tables and the fault plane is pumped for the shard only;
+        agents for non-shard machines remain constructed (their RNG-free
+        construction already happened) but never tick.  See
+        :mod:`repro.cluster.shards` for the coordinator side.
+        """
+        keep = frozenset(names)
+        self.simulation.restrict_to(keep)
+        self.shard_names = keep
 
     # -- operator conveniences ---------------------------------------------------------
 

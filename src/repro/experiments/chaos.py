@@ -23,7 +23,7 @@ The robustness acceptance bar lives in the benchmark harness: the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -38,7 +38,8 @@ from repro.workloads import (
 )
 from repro.workloads.services import make_service_job_spec
 
-__all__ = ["ChaosCell", "ChaosResult", "chaos_sweep", "DEFAULT_PROFILES"]
+__all__ = ["ChaosCell", "ChaosResult", "chaos_scenario", "chaos_sweep",
+           "DEFAULT_PROFILES"]
 
 #: Profiles swept, mildest first; ``none`` doubles as the clean baseline.
 DEFAULT_PROFILES: tuple[str, ...] = ("none", "light", "moderate", "heavy")
@@ -143,6 +144,20 @@ def _chaos_scenario(seed: int, config: CpiConfig, num_machines: int,
                 num_samples=10_000, cpu_usage_mean=1.0,
                 cpi_mean=1.05, cpi_stddev=0.08)])
     return scenario
+
+
+def chaos_scenario(seed: int = 0, num_machines: int = 4,
+                   fault_profile: str = "none", fault_seed: int = 1,
+                   obs: Optional[Observability] = None) -> Scenario:
+    """The chaos workload as a standalone, picklable-by-reference builder.
+
+    A fresh isolated :class:`~repro.obs.Observability` is created when
+    ``obs`` is omitted, so both the sweep's per-profile attribution and
+    the sharded engine's per-worker registries stay clean.
+    """
+    return _chaos_scenario(seed, DEFAULT_CONFIG, num_machines,
+                           fault_profile, fault_seed,
+                           obs or Observability())
 
 
 def _observed_faults(obs: Observability) -> int:

@@ -31,8 +31,8 @@ from repro.workloads import (
 from repro.workloads.services import make_service_job_spec
 from repro.workloads.websearch import SearchTier, make_websearch_job_spec
 
-__all__ = ["Scenario", "build_cluster", "populated_fleet",
-            "victim_antagonist_machine"]
+__all__ = ["Scenario", "build_cluster", "demo_scenario", "populated_fleet",
+            "scale_scenario", "victim_antagonist_machine"]
 
 
 @dataclass
@@ -163,6 +163,59 @@ def populated_fleet(num_machines: int = 12, seed: int = 0,
             "science-sim", AntagonistKind.SCIENTIFIC_SIMULATION,
             num_tasks=science_tasks, seed=int(rng.integers(2**31)),
             cpu_limit_per_task=4.0))
+    return scenario
+
+
+def scale_scenario(num_machines: int = 50, seed: int = 11,
+                   num_service_jobs: int = 5, num_batch_jobs: int = 5,
+                   tasks_per_job: int = 50,
+                   fault_profile: "FaultProfile | str | None" = None,
+                   fault_seed: int = 0,
+                   config: Optional[CpiConfig] = None) -> Scenario:
+    """The fleet-scale throughput workload (50 machines x 500 tasks).
+
+    Used by ``benchmarks/test_scale_fleet.py`` and, being a module-level
+    builder, by the sharded engine's workers
+    (:func:`repro.cluster.shards.run_sharded` rebuilds it by reference in
+    every worker process).  ``config`` overrides the paper defaults — the
+    short parity runs relax ``spec_refresh_period`` and the per-task
+    sample gate so a spec publish actually happens.
+    """
+    scenario = build_cluster(num_machines, seed=seed,
+                             config=config or CpiConfig(),
+                             fault_profile=fault_profile,
+                             fault_seed=fault_seed)
+    for i in range(num_service_jobs):
+        scenario.submit(make_service_job_spec(
+            f"svc-{i}", num_tasks=tasks_per_job, seed=100 + i))
+    for i in range(num_batch_jobs):
+        scenario.submit(make_batch_job_spec(
+            f"batch-{i}", num_tasks=tasks_per_job, seed=200 + i))
+    return scenario
+
+
+def demo_scenario(seed: int = 42, fault_profile: "FaultProfile | str | None" = None,
+                  fault_seed: int = 0,
+                  obs: Optional[Observability] = None) -> Scenario:
+    """The CLI quickstart scenario: one machine, one victim, one antagonist.
+
+    Module-level so ``python -m repro demo --jobs N`` can hand it to the
+    sharded engine's workers by reference.
+    """
+    platform = get_platform("westmere-2.6")
+    machine = Machine("demo", platform, cpi_noise_sigma=0.03)
+    sim = ClusterSimulation([machine], SimConfig(seed=seed))
+    pipeline = CpiPipeline(sim, CpiConfig(), obs=obs or Observability(),
+                           fault_profile=fault_profile,
+                           fault_seed=fault_seed)
+    scenario = Scenario(simulation=sim, pipeline=pipeline)
+    scenario.submit(make_service_job_spec("frontend", num_tasks=1,
+                                          seed=seed))
+    scenario.submit(make_antagonist_job_spec(
+        "video", AntagonistKind.VIDEO_PROCESSING, num_tasks=1,
+        seed=seed + 1, demand_scale=1.3))
+    pipeline.bootstrap_specs([CpiSpec("frontend", platform.name, 10_000,
+                                      1.0, 1.05, 0.08)])
     return scenario
 
 

@@ -17,7 +17,7 @@ fault seed, workload) triple replays the exact same fault schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
@@ -124,20 +124,28 @@ class FaultPlane:
         """Ship one closed window's samples toward the aggregator."""
         self.ports[machine_name].client.upload(t, samples)
 
-    def push_specs(self, t: int, specs: dict[SpecKey, CpiSpec]) -> None:
-        """Fan one freshly-published spec map out to every machine."""
-        for name in sorted(self.ports):
+    def push_specs(self, t: int, specs: dict[SpecKey, CpiSpec],
+                   only: Optional[Iterable[str]] = None) -> None:
+        """Fan one freshly-published spec map out to every machine.
+
+        ``only`` limits the fan-out to a subset of machines (shard workers
+        push to their own slice; the union across workers is the fleet).
+        """
+        for name in sorted(self.ports if only is None else only):
             self.ports[name].speclink.send(t, SpecPush(issued_at=t,
                                                        specs=dict(specs)))
 
-    def pump(self, t: int) -> None:
+    def pump(self, t: int, only: Optional[Iterable[str]] = None) -> None:
         """Advance fabric time by one second.
 
         Delivers due messages, times out and retries uploads, injects
         agent crashes, and takes scheduled checkpoints — per machine, in
-        sorted-name order, so runs replay deterministically.
+        sorted-name order, so runs replay deterministically.  ``only``
+        restricts the sweep to a subset of machines; every per-machine
+        component draws from its own generator, so a shard's schedule is
+        unchanged by the machines it is pumped alongside.
         """
-        for name in sorted(self.ports):
+        for name in sorted(self.ports if only is None else only):
             port = self.ports[name]
             port.uplink.tick(t)
             port.acklink.tick(t)
