@@ -30,6 +30,10 @@ BENCH_JSON_DEFAULT = Path(__file__).parent.parent / "BENCH_throughput.json"
 #: REPRO_TRIALS=nnn for quicker iterations.
 NUM_TRIALS = int(os.environ.get("REPRO_TRIALS", "400"))
 
+#: Worker processes for the shared trial corpus (results are identical at
+#: any worker count; see run_trials).  REPRO_TRIAL_JOBS=N to parallelise.
+TRIAL_JOBS = int(os.environ.get("REPRO_TRIAL_JOBS", "1"))
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -71,7 +75,7 @@ def bench_json_sink(request):
 @pytest.fixture(scope="session")
 def section7_trials():
     """The shared Section 7 manual-capping trial corpus."""
-    return run_trials(NUM_TRIALS)
+    return run_trials(NUM_TRIALS, jobs=TRIAL_JOBS)
 
 
 @pytest.fixture

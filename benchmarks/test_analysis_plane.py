@@ -1,0 +1,262 @@
+"""Meta-benchmark: the analysis plane (identification and detection).
+
+The identification hot path — Section 4.2 suspect ranking — used to be one
+Python loop per suspect with one deque scan per suspect per victim
+timestamp.  The matrix engine (``repro.core.identify``) computes the same
+ranking from the cgroups' columnar usage ledgers in a handful of array
+passes; the agent's detection path likewise batches a whole sampling
+window through :meth:`OutlierDetector.observe_batch`.  Both are
+bit-identical to their scalar references (``tests/test_analysis_plane.py``
+pins that), so these benchmarks only have to prove they are *faster* —
+they write the before/after trajectory to ``BENCH_throughput.json``
+(``analysis_plane`` and ``trials_parallel`` keys) for CI to gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.cluster.cgroup import Cgroup
+from repro.core.agent import MachineAgent
+from repro.core.config import CpiConfig
+from repro.core.correlation import rank_suspects
+from repro.core.identify import rank_suspects_matrix, suspect_usage_matrix
+from repro.experiments.reporting import ExperimentReport
+from repro.perf.sampler import CpiSampler, SamplerConfig
+from repro.records import CpiSpec
+
+NUM_SUSPECTS = 100
+NUM_POINTS = 30
+DURATION = 10
+RANK_REPEATS = 30
+
+
+def _hex_ranking(scores) -> list[tuple[str, str, str]]:
+    return [(s.taskname, s.jobname, float(s.correlation).hex())
+            for s in scores]
+
+
+def _build_suspect_cgroups(seconds: int = 720):
+    rng = np.random.default_rng(17)
+    cgroups = [Cgroup(f"suspect-{i}/0", 4.0) for i in range(NUM_SUSPECTS)]
+    for cgroup in cgroups:
+        for t in range(seconds):
+            cgroup.charge(t, float(rng.uniform(0.0, 3.0)))
+    timestamps = [seconds - 60 * (NUM_POINTS - k) for k in range(NUM_POINTS)]
+    victim_cpi = [float(rng.uniform(0.5, 3.0)) for _ in range(NUM_POINTS)]
+    return cgroups, timestamps, victim_cpi
+
+
+def _bench_rank_suspects() -> dict:
+    """Scalar vs matrix ranking at 100 suspects x 30 victim samples."""
+    cgroups, timestamps, victim_cpi = _build_suspect_cgroups()
+    threshold = 1.5
+    labels = [(cgroup.name, f"job-{i}") for i, cgroup in enumerate(cgroups)]
+
+    def scalar() -> list:
+        suspects = {
+            cgroup.name: (
+                f"job-{i}",
+                [cgroup.usage_between(t - DURATION, t) for t in timestamps],
+            )
+            for i, cgroup in enumerate(cgroups)
+        }
+        return rank_suspects(victim_cpi, threshold, suspects)
+
+    def vector() -> list:
+        usage = suspect_usage_matrix(cgroups, timestamps, DURATION)
+        return rank_suspects_matrix(victim_cpi, threshold, labels, usage)
+
+    assert _hex_ranking(scalar()) == _hex_ranking(vector())
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(RANK_REPEATS):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    scalar_seconds = best_of(scalar)
+    vector_seconds = best_of(vector)
+    return {
+        "workload": (f"{NUM_SUSPECTS} suspects x {NUM_POINTS} victim "
+                     f"samples, {DURATION}s windows"),
+        "scalar_seconds": scalar_seconds,
+        "vector_seconds": vector_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+    }
+
+
+def _build_ingest_replay():
+    """A ~100-task machine plus its closed sampling windows, pre-recorded."""
+    from repro.cluster.interference import ResourceProfile
+    from repro.cluster.job import Job, JobSpec
+    from repro.cluster.task import PriorityBand, SchedulingClass
+    from repro.testing import make_quiet_machine
+    from repro.workloads.base import SyntheticWorkload
+    from repro.workloads.demand import constant
+
+    config = CpiConfig()
+    machine = make_quiet_machine()
+    rng = np.random.default_rng(23)
+    profile = ResourceProfile(cache_mib_per_cpu=1.0, membw_gbps_per_cpu=0.5)
+    num_jobs, tasks_per_job = 10, 10
+    for j in range(num_jobs):
+        base_cpi = float(rng.uniform(0.9, 1.4))
+        job = Job(JobSpec(
+            name=f"job-{j}", num_tasks=tasks_per_job,
+            scheduling_class=SchedulingClass.BATCH,
+            priority_band=PriorityBand.NONPRODUCTION,
+            cpu_limit_per_task=1.0,
+            workload_factory=lambda index, cpi=base_cpi: SyntheticWorkload(
+                base_cpi=cpi, profile=profile,
+                demand=constant(float(rng.uniform(0.4, 0.9))))))
+        for task in job.tasks:
+            machine.place(task)
+    sampler = CpiSampler(machine, SamplerConfig(
+        config.sampling_duration, config.sampling_period))
+    batches = []
+    for t in range(900):
+        machine.tick(t)
+        samples = sampler.tick(t)
+        if samples:
+            batches.append((t, samples))
+    # Tight specs so a realistic share of samples flag as outliers and the
+    # whole anomaly -> identify path runs, not just the clean fast path.
+    specs = {}
+    for j in range(num_jobs):
+        spec = CpiSpec(jobname=f"job-{j}", platforminfo=machine.platform.name,
+                       num_samples=10_000, cpu_usage_mean=1.0,
+                       cpi_mean=1.0, cpi_stddev=0.02)
+        specs[spec.key()] = spec
+    return config, machine, batches, specs
+
+
+def _bench_ingest(config, machine, batches, specs, engine: str) -> dict:
+    agent = MachineAgent(machine=machine, config=config,
+                         analysis_engine=engine)
+    agent.update_specs(specs)
+    total = sum(len(samples) for _t, samples in batches)
+    start = time.perf_counter()
+    incidents = []
+    for t, samples in batches:
+        incidents.extend(agent.ingest_samples(t, samples))
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "samples": total,
+        "incidents": len(incidents),
+        "anomalies_seen": agent.anomalies_seen,
+        "wall_seconds": elapsed,
+        "samples_per_second": total / elapsed,
+    }
+
+
+def test_analysis_plane_throughput(benchmark, report_sink, bench_json_sink):
+    def workload():
+        ranking = _bench_rank_suspects()
+        replay = _build_ingest_replay()
+        scalar_ingest = _bench_ingest(*replay, engine="scalar")
+        vector_ingest = _bench_ingest(*replay, engine="vector")
+        return ranking, scalar_ingest, vector_ingest
+
+    ranking, scalar_ingest, vector_ingest = run_once(benchmark, workload)
+    ingest_speedup = (vector_ingest["samples_per_second"]
+                      / scalar_ingest["samples_per_second"])
+
+    report = ExperimentReport("meta_analysis_plane", "Analysis-plane throughput")
+    report.add("rank_suspects scalar (s)", "-", ranking["scalar_seconds"],
+               ranking["workload"])
+    report.add("rank_suspects matrix (s)", "-", ranking["vector_seconds"])
+    report.add("rank_suspects speedup", ">= 3", ranking["speedup"])
+    report.add("ingest scalar (samples/s)", "-",
+               scalar_ingest["samples_per_second"],
+               f"{scalar_ingest['samples']} samples, "
+               f"{scalar_ingest['anomalies_seen']} anomalies")
+    report.add("ingest vector (samples/s)", "-",
+               vector_ingest["samples_per_second"])
+    report.add("ingest speedup", ">= 1", ingest_speedup)
+    report_sink(report)
+
+    bench_json_sink(
+        "analysis_plane",
+        {
+            "rank_suspects": ranking,
+            "ingest": {
+                "workload": (f"{scalar_ingest['samples']} samples from a "
+                             f"100-task machine, anomalies firing"),
+                "scalar_samples_per_second":
+                    scalar_ingest["samples_per_second"],
+                "vector_samples_per_second":
+                    vector_ingest["samples_per_second"],
+                "speedup": ingest_speedup,
+            },
+        },
+        summary=(f"analysis plane: rank_suspects {ranking['speedup']:.1f}x, "
+                 f"ingest {scalar_ingest['samples_per_second']:,.0f} -> "
+                 f"{vector_ingest['samples_per_second']:,.0f} samples/s "
+                 f"({ingest_speedup:.2f}x)"))
+
+    # Both engines must walk the same trajectory (parity tests pin the
+    # bytes; this pins the counts on the benchmark workload too).
+    assert scalar_ingest["incidents"] == vector_ingest["incidents"]
+    assert scalar_ingest["anomalies_seen"] == vector_ingest["anomalies_seen"]
+    assert scalar_ingest["anomalies_seen"] > 0, "workload produced no anomalies"
+    # Gates mirrored in CI perf-smoke: the matrix engine must hold >= 3x on
+    # the 100-suspect ranking, and batch ingest must not regress.
+    assert ranking["speedup"] >= 3.0
+    assert ingest_speedup >= 1.0
+    assert vector_ingest["samples_per_second"] > 20_000
+
+
+def test_trials_parallel(benchmark, report_sink, bench_json_sink):
+    from repro.experiments.trials import TrialConfig, run_trials
+
+    num_trials, jobs = 6, 2
+    config = TrialConfig(calibration_seconds=300, interference_seconds=360,
+                         cap_seconds=120)
+
+    def workload():
+        start = time.perf_counter()
+        serial = run_trials(num_trials, config, seed_base=11)
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_trials(num_trials, config, seed_base=11, jobs=jobs)
+        parallel_seconds = time.perf_counter() - start
+        return serial, serial_seconds, parallel, parallel_seconds
+
+    serial, serial_seconds, parallel, parallel_seconds = run_once(
+        benchmark, workload)
+    identical = [repr(t) for t in serial] == [repr(t) for t in parallel]
+    speedup = serial_seconds / parallel_seconds
+
+    report = ExperimentReport("meta_trials_parallel",
+                              "Parallel trial execution")
+    report.add("serial wall (s)", "-", serial_seconds,
+               f"{num_trials} short trials")
+    report.add(f"--jobs {jobs} wall (s)", "-", parallel_seconds)
+    report.add("speedup", "~cores", speedup)
+    report.add("results identical", "True", identical)
+    report_sink(report)
+
+    bench_json_sink(
+        "trials_parallel",
+        {
+            "workload": f"{num_trials} short Section-7 trials",
+            "jobs": jobs,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "identical": identical,
+        },
+        summary=(f"trials: {serial_seconds:.1f}s serial -> "
+                 f"{parallel_seconds:.1f}s at --jobs {jobs} "
+                 f"({speedup:.2f}x, identical={identical})"))
+
+    # Identity is the hard gate; speedup depends on the runner's cores and
+    # is gated in CI only when >= 2 cores are present.
+    assert identical

@@ -30,8 +30,11 @@ __all__ = [
 
 
 def _as_1d_float_array(values: Iterable[float], name: str) -> np.ndarray:
-    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
-                     dtype=float)
+    # Arrays, lists and tuples go straight to asarray (zero-copy for a
+    # float64 array); only true iterators need materialising first.
+    if not isinstance(values, (np.ndarray, list, tuple)):
+        values = list(values)
+    arr = np.asarray(values, dtype=float)
     if arr.ndim != 1:
         raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
     return arr

@@ -99,8 +99,33 @@ def build_parser() -> argparse.ArgumentParser:
                             help="experiment names (see 'repro list'), "
                                  "or 'all' for every registered experiment "
                                  "(takes several minutes)")
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="worker processes to spread the named "
+                                 "experiments across (default 1; reports "
+                                 "are identical at any worker count)")
     _add_obs_flags(experiment)
     return parser
+
+
+def _effective_jobs(requested: int) -> int:
+    """Clamp a ``--jobs`` request to the cores actually present.
+
+    Oversubscribing worker processes only adds scheduler thrash; when the
+    request exceeds ``os.cpu_count()`` we warn once (counted as
+    ``shard_jobs_clamped``) and run with every available core instead.
+    """
+    available = os.cpu_count() or 1
+    if requested <= available:
+        return requested
+    from repro.obs import default_observability
+
+    obs = default_observability()
+    obs.metrics.counter("shard_jobs_clamped").inc()
+    obs.events.event("shard_jobs_clamped", requested=requested,
+                     available=available)
+    print(f"warning: --jobs {requested} exceeds the {available} available "
+          f"CPU core(s); clamping to {available}", file=sys.stderr)
+    return available
 
 
 def _format_incident_line(incident) -> str:
@@ -128,6 +153,7 @@ def _cmd_demo(minutes: int, seed: int,
 
     kwargs = dict(seed=seed, fault_profile=fault_profile,
                   fault_seed=fault_seed)
+    jobs = _effective_jobs(jobs)
     if jobs > 1:
         from repro.cluster.shards import run_sharded
 
@@ -177,21 +203,35 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_experiment(names: Sequence[str]) -> int:
-    from repro.experiments.registry import EXPERIMENTS, run_experiment
+def _cmd_experiment(names: Sequence[str], jobs: int = 1) -> int:
+    from repro.experiments.registry import (EXPERIMENTS, run_experiment,
+                                            run_experiments,
+                                            unknown_experiment_error)
     from repro.obs import default_observability, render_metrics_report
 
     if list(names) == ["all"]:
         names = list(EXPERIMENTS)
+    jobs = _effective_jobs(jobs)
     status = 0
-    for name in names:
-        try:
-            report = run_experiment(name)
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            status = 2
-            continue
-        report.show()
+    if jobs > 1:
+        valid = [name for name in names if name in EXPERIMENTS]
+        reports = dict(run_experiments(valid, jobs=jobs)) if valid else {}
+        for name in names:
+            report = reports.get(name)
+            if report is None:
+                print(unknown_experiment_error(name), file=sys.stderr)
+                status = 2
+                continue
+            report.show()
+    else:
+        for name in names:
+            try:
+                report = run_experiment(name)
+            except KeyError as error:
+                print(error, file=sys.stderr)
+                status = 2
+                continue
+            report.show()
     # Experiments build their own pipelines, which fall back to the process
     # default observability — report whatever the runs recorded.
     registry = default_observability().metrics
@@ -222,7 +262,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "experiment":
-            return _cmd_experiment(args.names)
+            return _cmd_experiment(args.names, jobs=args.jobs)
         raise AssertionError(f"unhandled command {args.command!r}")
 
     if args.profile is None:

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from itertools import islice
 from typing import Optional
 
+import numpy as np
+
 __all__ = ["BandwidthCap", "Cgroup"]
 
 #: How many seconds of per-second usage history a cgroup retains.  The
@@ -67,6 +69,18 @@ class Cgroup:
         self._usage_history: deque[tuple[int, float]] = deque(
             maxlen=USAGE_HISTORY_SECONDS)
         self.total_cpu_seconds = 0.0
+        # Columnar usage ledger: a float64 ring mirroring the deque, indexed
+        # by ``t % USAGE_HISTORY_SECONDS``.  It exists so the identification
+        # engine can read a window of per-second usage as one array slice
+        # (``usage_window_view``) instead of scanning the deque once per
+        # victim timestamp.  It is only trustworthy while charges arrive at
+        # strictly consecutive seconds — the machine's tick loop guarantees
+        # that; anything else (tests charging ad hoc) permanently degrades
+        # this cgroup to the deque path.  Allocated lazily on first charge.
+        self._ring: Optional[np.ndarray] = None
+        self._ring_last: Optional[int] = None
+        self._ring_count = 0
+        self._ring_ok = True
 
     # -- capping ------------------------------------------------------------
 
@@ -118,6 +132,24 @@ class Cgroup:
             raise ValueError(f"usage must be >= 0, got {usage}")
         self._usage_history.append((t, usage))
         self.total_cpu_seconds += usage
+        if self._ring_ok:
+            last = self._ring_last
+            if last is not None and t == last + 1:
+                self._ring[t % USAGE_HISTORY_SECONDS] = usage
+                self._ring_last = t
+                self._ring_count += 1
+            elif last is None:
+                if self._ring is None:
+                    self._ring = np.zeros(USAGE_HISTORY_SECONDS)
+                self._ring[t % USAGE_HISTORY_SECONDS] = usage
+                self._ring_last = t
+                self._ring_count = 1
+            else:
+                # A gap or replay: the ring can no longer tell recorded
+                # zeros from evicted history, so it stands down for good
+                # and every read falls back to the deque.
+                self._ring_ok = False
+                self._ring = None
 
     def usage_between(self, start: int, end: int) -> float:
         """Mean CPU-sec/sec over the half-open window ``[start, end)``.
@@ -142,6 +174,43 @@ class Cgroup:
             return total / span
         total = sum(u for (ts, u) in history if start <= ts < end)
         return total / span
+
+    def usage_window_view(self, start: int, end: int) -> Optional[np.ndarray]:
+        """Per-second usage over ``[start, end)`` as a float64 array.
+
+        Seconds with no recorded charge are zero, exactly as
+        :meth:`usage_between` treats them, so a window mean computed by
+        summing this array in time order is bit-identical to the deque
+        scan (adding an absent second contributes ``+ 0.0``, and usage is
+        never ``-0.0``, so ``x + 0.0 == x`` bitwise).
+
+        Returns ``None`` when the columnar ring cannot serve the request
+        losslessly — charges ever arrived non-consecutively — in which
+        case the caller must fall back to :meth:`usage_between`.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        if not self._ring_ok:
+            return None
+        out = np.zeros(end - start)
+        last = self._ring_last
+        if last is None:
+            return out  # never charged: the deque would read all zeros too
+        capacity = USAGE_HISTORY_SECONDS
+        valid_lo = last - min(self._ring_count, capacity) + 1
+        lo = max(start, valid_lo)
+        hi = min(end, last + 1)
+        if lo >= hi:
+            return out
+        i0 = lo % capacity
+        n = hi - lo
+        if i0 + n <= capacity:
+            out[lo - start:hi - start] = self._ring[i0:i0 + n]
+        else:
+            head = capacity - i0
+            out[lo - start:lo - start + head] = self._ring[i0:]
+            out[lo - start + head:hi - start] = self._ring[:n - head]
+        return out
 
     def last_usage(self) -> float:
         """Most recently recorded per-second usage (0.0 before any charge)."""

@@ -12,6 +12,8 @@ Public entry points:
 * :class:`~repro.core.aggregator.CpiAggregator` — spec learning.
 * :class:`~repro.core.outlier.OutlierDetector` — local anomaly detection.
 * :func:`~repro.core.correlation.antagonist_correlation` — Section 4.2's formula.
+* :func:`~repro.core.identify.rank_cotenant_suspects` — Section 4.2 for all
+  suspects at once (matrix engine; bit-identical to the scalar reference).
 * :class:`~repro.core.agent.MachineAgent` — everything wired together per machine.
 * :class:`~repro.core.pipeline.CpiPipeline` — the cluster-level loop.
 * :class:`~repro.core.forensics.ForensicsStore` — offline incident queries.
@@ -26,6 +28,13 @@ from repro.core.correlation import (
     rank_suspects,
     SuspectScore,
 )
+from repro.core.identify import (
+    rank_cotenant_suspects,
+    rank_suspects_matrix,
+    resolve_analysis_engine,
+    suspect_usage_matrix,
+)
+from repro.core.window import ColumnarWindow
 from repro.core.throttle import ThrottleController, AdaptiveCapController, CapAction
 from repro.core.policy import AmeliorationPolicy, PolicyDecision, PolicyAction
 from repro.core.agent import MachineAgent, Incident
@@ -44,6 +53,11 @@ __all__ = [
     "AnomalyEvent",
     "antagonist_correlation",
     "rank_suspects",
+    "rank_cotenant_suspects",
+    "rank_suspects_matrix",
+    "resolve_analysis_engine",
+    "suspect_usage_matrix",
+    "ColumnarWindow",
     "SuspectScore",
     "ThrottleController",
     "AdaptiveCapController",

@@ -20,25 +20,36 @@ from __future__ import annotations
 
 import itertools
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+import numpy as np
 
 from repro.cluster.machine import Machine
 from repro.cluster.task import Task
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
-from repro.core.correlation import SuspectScore, rank_suspects
+from repro.core.correlation import SuspectScore
+from repro.core.identify import (rank_cotenant_suspects,
+                                 resolve_analysis_engine)
 from repro.core.outlier import AnomalyEvent, OutlierDetector
 from repro.core.policy import AmeliorationPolicy, PolicyAction, PolicyDecision
 from repro.core.records import CpiSample, CpiSpec, SpecKey
+from repro.core.samplebatch import SampleColumns
 from repro.core.throttle import ThrottleController
+from repro.core.window import ColumnarWindow
 from repro.faults.checkpoint import (AgentCheckpoint, FollowUpState,
                                      sample_from_dict, sample_to_dict)
 from repro.faults.quarantine import sample_quarantine_reason, spec_is_plausible
 from repro.obs import Observability, default_observability
 from repro.obs.tracing import PipelineTrace, Span
 
-__all__ = ["Incident", "MachineAgent"]
+__all__ = ["Incident", "MachineAgent", "VECTOR_MIN_BATCH"]
+
+#: Below this many samples per window the vector ingest path costs more in
+#: fixed numpy dispatch than it saves, so the agent falls back to the
+#: (bit-identical) scalar loop.  Measured crossover on the analysis-plane
+#: benchmark; override per agent via ``agent.vector_min_batch``.
+VECTOR_MIN_BATCH = 16
 
 _incident_ids = itertools.count(1)
 
@@ -94,13 +105,6 @@ class _FollowUp:
     span: Optional[Span] = None
 
 
-@dataclass
-class _TaskWindow:
-    """Recent samples for one task (the correlation window's raw material)."""
-
-    samples: deque[CpiSample] = field(default_factory=lambda: deque(maxlen=64))
-
-
 class MachineAgent:
     """CPI2's agent for one machine."""
 
@@ -113,6 +117,7 @@ class MachineAgent:
         incident_sink: Optional[Callable[[Incident], None]] = None,
         migrator: Optional[Callable[[Task], None]] = None,
         obs: Optional[Observability] = None,
+        analysis_engine: Optional[str] = None,
     ):
         """Args:
             machine: the machine this agent manages.
@@ -126,9 +131,18 @@ class MachineAgent:
                 those decisions are logged but not actuated.
             obs: telemetry handle (metrics/events/traces); the process
                 default when omitted.
+            analysis_engine: ``"vector"`` (columnar ingest + matrix
+                identification) or ``"scalar"`` (the per-sample reference
+                loop); defaults to ``$REPRO_ANALYSIS_ENGINE`` or
+                ``vector``.  Both engines produce byte-identical samples,
+                incidents, rankings and counters.
         """
         self.machine = machine
         self.config = config
+        self.analysis_engine = resolve_analysis_engine(analysis_engine)
+        #: Smallest batch routed through the vector ingest path; below it
+        #: the scalar loop is cheaper (identical output either way).
+        self.vector_min_batch = VECTOR_MIN_BATCH
         self.obs = obs or default_observability()
         self.detector = OutlierDetector(config, obs=self.obs)
         self.throttler = throttler or ThrottleController(config)
@@ -138,7 +152,7 @@ class MachineAgent:
         self.incident_sink = incident_sink
         self.migrator = migrator
         self._specs: dict[SpecKey, CpiSpec] = {}
-        self._windows: dict[str, _TaskWindow] = {}
+        self._windows: dict[str, ColumnarWindow] = {}
         self._followups: list[_FollowUp] = []
         self._last_analysis: Optional[int] = None
         self.incidents: list[Incident] = []
@@ -250,7 +264,9 @@ class MachineAgent:
 
     # -- sample ingestion ---------------------------------------------------------
 
-    def ingest_samples(self, t: int, samples: list[CpiSample]) -> list[Incident]:
+    def ingest_samples(self, t: int, samples: list[CpiSample],
+                       columns: Optional[SampleColumns] = None
+                       ) -> list[Incident]:
         """Process one closed sampling window's samples; returns new incidents.
 
         Implausible samples (NaN, zero-CPI, absurd-CPI — corrupted counter
@@ -260,54 +276,162 @@ class MachineAgent:
         ``analysis_dropped`` reason: samples still feed the windows so
         follow-ups keep working, but no new incidents open against a
         long-expired model.
+
+        Under the ``vector`` engine, batches of at least
+        :attr:`vector_min_batch` samples run the columnar path —
+        vectorized quarantine, batch outlier detection
+        (:meth:`~repro.core.outlier.OutlierDetector.observe_batch`) —
+        feeding from ``columns`` when the caller already built the
+        :class:`SampleColumns` (the pipeline did, for the aggregator).
+        Output is identical either way; only event *interleaving* within a
+        batch differs (quarantine events precede detection events instead
+        of alternating per sample).
         """
         self._refresh_degraded(t)
+        if (self.analysis_engine == "vector"
+                and len(samples) >= self.vector_min_batch):
+            if columns is None or len(columns) != len(samples):
+                columns = SampleColumns.from_samples(samples)
+            return self._ingest_vector(t, samples, columns)
+        return self._ingest_scalar(t, samples)
+
+    def _ingest_scalar(self, t: int,
+                       samples: list[CpiSample]) -> list[Incident]:
+        """The per-sample reference ingest loop (engine ``scalar``)."""
         incidents: list[Incident] = []
         for sample in samples:
             quarantine = sample_quarantine_reason(
                 sample, self.config.quarantine_cpi_bound)
             if quarantine is not None:
-                self.obs.metrics.counter("samples_quarantined",
-                                         reason=quarantine).inc()
-                self.obs.events.event(
-                    "sample_quarantined", reason=quarantine,
-                    machine=self.machine.name, task=sample.taskname,
-                    job=sample.jobname)
+                self._note_quarantined(sample, quarantine)
                 continue
             window = self._windows.get(sample.taskname)
             if window is None:
-                window = _TaskWindow()
+                window = ColumnarWindow(sample.taskname)
                 self._windows[sample.taskname] = window
-            window.samples.append(sample)
+            window.append_sample(sample)
             if self._degraded:
-                self.obs.metrics.counter("analyses_dropped",
-                                         reason="stale_spec").inc()
-                self.obs.events.event(
-                    "analysis_dropped", reason="stale_spec",
-                    machine=self.machine.name, task=sample.taskname,
-                    job=sample.jobname,
-                    staleness=self.spec_staleness(t))
+                self._note_stale_drop(t, sample)
                 continue
             spec = self._specs.get(sample.key())
             _verdict, anomaly = self.detector.observe(sample, spec)
             if anomaly is None:
                 continue
-            self.anomalies_seen += 1
-            self.obs.metrics.counter("anomalies_detected").inc()
-            self.obs.metrics.histogram("victim_cpi").observe(anomaly.cpi)
-            self.obs.events.event(
-                "anomaly_detected",
-                machine=self.machine.name,
-                task=anomaly.taskname,
-                job=anomaly.jobname,
-                cpi=round(anomaly.cpi, 4),
-                threshold=round(anomaly.threshold, 4),
-                violations=anomaly.violations,
-            )
-            incident = self._handle_anomaly(t, anomaly)
+            incident = self._note_anomaly(t, anomaly)
             if incident is not None:
                 incidents.append(incident)
         return incidents
+
+    def _ingest_vector(self, t: int, samples: list[CpiSample],
+                       columns: SampleColumns) -> list[Incident]:
+        """Columnar ingest: masks over the batch, then batch detection.
+
+        Trajectory-identical to :meth:`_ingest_scalar`: at most one
+        analysis per batch can run in full (all samples in a window share
+        time ``t`` and ``analysis_min_interval >= 1`` rate-limits the
+        rest), drop paths mutate no machine state, and every sample lands
+        in its task window before any anomaly is handled — and the one
+        handled analysis only reads the *victim's* window, which holds
+        exactly the same samples at that point in both orders.
+        """
+        cpi = columns.cpi
+        usage = columns.cpu_usage
+        bound = self.config.quarantine_cpi_bound
+        ok = (np.isfinite(cpi) & np.isfinite(usage) & (cpi != 0.0)
+              & (cpi <= bound))
+        if not ok.all():
+            for row in np.flatnonzero(~ok).tolist():
+                sample = samples[row]
+                self._note_quarantined(
+                    sample, sample_quarantine_reason(sample, bound))
+        ok_rows = np.flatnonzero(ok)
+        if ok_rows.size == 0:
+            return []
+        tasks = columns.tasks
+        keys = columns.keys
+        task_code = columns.task_code
+        # int(timestamp_seconds) == int64(microseconds / 1e6): same
+        # float64 divide, same truncation toward zero.
+        ts_sec = (columns.timestamp / 1e6).astype(np.int64)
+        ts_us_list = columns.timestamp.tolist()
+        ts_sec_list = ts_sec.tolist()
+        usage_list = usage.tolist()
+        cpi_list = cpi.tolist()
+        task_code_list = task_code.tolist()
+        key_code_list = columns.key_code.tolist()
+        ok_list = ok_rows.tolist()
+        for row in ok_list:
+            taskname = tasks[task_code_list[row]]
+            window = self._windows.get(taskname)
+            if window is None:
+                window = ColumnarWindow(taskname)
+                self._windows[taskname] = window
+            key = keys[key_code_list[row]]
+            window.append(ts_us_list[row], ts_sec_list[row], usage_list[row],
+                          cpi_list[row], key.jobname, key.platforminfo)
+        if self._degraded:
+            for row in ok_list:
+                self._note_stale_drop(t, samples[row])
+            return []
+        stddevs = self.config.outlier_stddevs
+        thresholds_by_key = np.zeros(len(keys))
+        has_spec_by_key = np.zeros(len(keys), dtype=bool)
+        for code, key in enumerate(keys):
+            spec = self._specs.get(key)
+            if spec is not None:
+                has_spec_by_key[code] = True
+                thresholds_by_key[code] = spec.outlier_threshold(stddevs)
+        key_code_ok = columns.key_code[ok_rows]
+        anomalies = self.detector.observe_batch(
+            timestamps_sec=ts_sec[ok_rows],
+            cpi=cpi[ok_rows],
+            usage=usage[ok_rows],
+            thresholds=thresholds_by_key[key_code_ok],
+            has_spec=has_spec_by_key[key_code_ok],
+            task_code=task_code[ok_rows],
+            tasknames=tasks,
+            key_code=key_code_ok,
+            keys=keys,
+        )
+        incidents: list[Incident] = []
+        for _row, anomaly in anomalies:
+            incident = self._note_anomaly(t, anomaly)
+            if incident is not None:
+                incidents.append(incident)
+        return incidents
+
+    def _note_quarantined(self, sample: CpiSample, reason: str) -> None:
+        self.obs.metrics.counter("samples_quarantined", reason=reason).inc()
+        self.obs.events.event(
+            "sample_quarantined", reason=reason,
+            machine=self.machine.name, task=sample.taskname,
+            job=sample.jobname)
+
+    def _note_stale_drop(self, t: int, sample: CpiSample) -> None:
+        self.obs.metrics.counter("analyses_dropped",
+                                 reason="stale_spec").inc()
+        self.obs.events.event(
+            "analysis_dropped", reason="stale_spec",
+            machine=self.machine.name, task=sample.taskname,
+            job=sample.jobname,
+            staleness=self.spec_staleness(t))
+
+    def _note_anomaly(self, t: int, anomaly: AnomalyEvent
+                      ) -> Optional[Incident]:
+        """Count/emit one declared anomaly and hand it to analysis."""
+        self.anomalies_seen += 1
+        self.obs.metrics.counter("anomalies_detected").inc()
+        self.obs.metrics.histogram("victim_cpi").observe(anomaly.cpi)
+        self.obs.events.event(
+            "anomaly_detected",
+            machine=self.machine.name,
+            task=anomaly.taskname,
+            job=anomaly.jobname,
+            cpi=round(anomaly.cpi, 4),
+            threshold=round(anomaly.threshold, 4),
+            violations=anomaly.violations,
+        )
+        return self._handle_anomaly(t, anomaly)
 
     # -- anomaly handling ------------------------------------------------------------
 
@@ -324,14 +448,11 @@ class MachineAgent:
         if window is None:
             return [], []
         horizon = now - self.config.correlation_window
-        timestamps: list[int] = []
-        cpis: list[float] = []
-        for sample in window.samples:
-            ts = int(sample.timestamp_seconds)
-            if ts > horizon:
-                timestamps.append(ts)
-                cpis.append(sample.cpi)
-        return timestamps, cpis
+        seconds = window.timestamps_sec
+        inside = seconds > horizon
+        if not inside.any():
+            return [], []
+        return seconds[inside].tolist(), window.cpi[inside].tolist()
 
     def _suspect_usage(self, task: Task, timestamps: list[int]) -> list[float]:
         """The suspect's CPU usage aligned to the victim's sample windows."""
@@ -389,21 +510,15 @@ class MachineAgent:
             self._drop_analysis(t, anomaly, "too_few_samples")
             trace.span("identify", t, t, outcome="too_few_samples")
             return None
-        suspects_input: dict[str, tuple[str, list[float]]] = {}
-        suspect_tasks: dict[str, Task] = {}
-        for task in self.machine.resident_tasks():
-            if task.job.name == victim.job.name:
-                continue  # never suspect the victim's own job-mates
-            suspects_input[task.name] = (
-                task.job.name, self._suspect_usage(task, timestamps))
-            suspect_tasks[task.name] = task
-        if not suspects_input:
+        wall_start = time.perf_counter()
+        scores, suspect_tasks = rank_cotenant_suspects(
+            self.machine.resident_tasks(), victim.job.name, victim_cpi,
+            timestamps, anomaly.threshold, self.config.sampling_duration,
+            engine=self.analysis_engine)
+        if not suspect_tasks:
             self._drop_analysis(t, anomaly, "no_cotenants")
             trace.span("identify", t, t, outcome="no_cotenants")
             return None
-
-        wall_start = time.perf_counter()
-        scores = rank_suspects(victim_cpi, anomaly.threshold, suspects_input)
         identify_span = trace.span(
             "identify", t, t, suspects=len(scores),
             wall_us=int((time.perf_counter() - wall_start) * 1e6))
@@ -555,10 +670,12 @@ class MachineAgent:
         window = self._windows.get(taskname)
         if window is None:
             return None
-        values = [s.cpi for s in window.samples
-                  if int(s.timestamp_seconds) > since]
-        if not values:
+        after = window.timestamps_sec > since
+        if not after.any():
             return None
+        values = window.cpi[after].tolist()
+        # builtins.sum over the same python floats in the same order as the
+        # old list comprehension — bit-identical mean.
         return sum(values) / len(values)
 
     # -- bookkeeping ----------------------------------------------------------------------
@@ -616,7 +733,7 @@ class MachineAgent:
             anomalies_seen=self.anomalies_seen,
             windows={name: [sample_to_dict(s) for s in window.samples]
                      for name, window in self._windows.items()
-                     if window.samples},
+                     if len(window)},
             detector_flags=self.detector.export_flags(),
             followups=[
                 FollowUpState(
@@ -669,8 +786,8 @@ class MachineAgent:
         process) they are rebuilt from the checkpointed fields.
         """
         self._windows = {
-            name: _TaskWindow(samples=deque(
-                (sample_from_dict(s) for s in samples), maxlen=64))
+            name: ColumnarWindow.from_samples(
+                name, (sample_from_dict(s) for s in samples))
             for name, samples in checkpoint.windows.items()
         }
         self.detector.restore_flags(checkpoint.detector_flags)

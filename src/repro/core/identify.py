@@ -1,0 +1,236 @@
+"""Matrix antagonist identification: Section 4.2 for all suspects at once.
+
+:func:`~repro.core.correlation.rank_suspects` is the scalar reference — one
+Python loop per suspect, and (upstream of it) one
+:meth:`~repro.cluster.cgroup.Cgroup.usage_between` deque scan per suspect
+per victim timestamp.  At 100 co-tenants and a 30-point victim series that
+is ~3,000 deque scans of up to 900 entries each, per analysis.  This module
+computes the same ranking from columnar data:
+
+* :func:`suspect_usage_matrix` reads each suspect's per-second usage as one
+  contiguous slice of the cgroup's ring ledger
+  (:meth:`~repro.cluster.cgroup.Cgroup.usage_window_view`) and reduces all
+  ``S x T`` sampling windows together.
+* :func:`rank_suspects_matrix` evaluates the paper's asymmetric correlation
+  formula over the whole ``(S, T)`` usage matrix in one vectorized pass.
+
+Both are **bit-identical** to the scalar reference, which the golden-parity
+suite (``tests/test_analysis_plane.py``) pins via ``float.hex()``.  The
+rules that make that possible (see ``docs/performance.md``):
+
+* Window sums and correlation accumulations run **sequentially along the
+  time axis** (a Python loop of vectorized adds across the suspect axis) —
+  numpy's pairwise ``.sum()`` and prefix-sum differences round differently
+  from the scalar running sum and would break parity.
+* Seconds with no recorded usage are zero-filled; ``x + 0.0 == x`` bitwise
+  because usage is never ``-0.0``.
+* Victim samples exactly at the threshold are *skipped* (no ``+ 0.0``
+  term), via the shared :func:`~repro.core.correlation._victim_terms`.
+
+The engine is selected by ``REPRO_ANALYSIS_ENGINE`` (``vector`` default,
+``scalar`` forces the reference everywhere), mirroring
+``REPRO_TICK_ENGINE`` for the simulation plane.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.correlation import (SuspectScore, _victim_terms,
+                                    rank_suspects)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cgroup import Cgroup
+    from repro.cluster.task import Task
+
+__all__ = ["ANALYSIS_ENGINES", "ANALYSIS_ENGINE_ENV",
+           "resolve_analysis_engine", "suspect_usage_matrix",
+           "rank_suspects_matrix", "rank_cotenant_suspects"]
+
+#: Environment variable selecting the identification engine.
+ANALYSIS_ENGINE_ENV = "REPRO_ANALYSIS_ENGINE"
+
+#: Valid engine names: ``vector`` (default) and the scalar reference.
+ANALYSIS_ENGINES = ("vector", "scalar")
+
+
+def resolve_analysis_engine(explicit: Optional[str] = None) -> str:
+    """The analysis engine to use: explicit choice, else the environment.
+
+    Raises:
+        ValueError: for a name outside :data:`ANALYSIS_ENGINES`.
+    """
+    engine = explicit or os.environ.get(ANALYSIS_ENGINE_ENV) or "vector"
+    if engine not in ANALYSIS_ENGINES:
+        raise ValueError(
+            f"unknown analysis engine {engine!r}; valid: "
+            f"{', '.join(ANALYSIS_ENGINES)}")
+    return engine
+
+
+def suspect_usage_matrix(cgroups: Sequence["Cgroup"],
+                         timestamps: Sequence[int],
+                         duration: int) -> np.ndarray:
+    """Window-mean CPU usage for every suspect at every victim timestamp.
+
+    Args:
+        cgroups: one cgroup per suspect (row order preserved).
+        timestamps: the victim's sample timestamps (seconds); entry ``t``
+            covers the half-open window ``[t - duration, t)``.
+        duration: the sampling window length in seconds (>= 1).
+
+    Returns:
+        An ``(S, T)`` float64 matrix where ``[s, k]`` equals
+        ``cgroups[s].usage_between(timestamps[k] - duration,
+        timestamps[k])`` bit-for-bit.
+
+    Cgroups whose ring ledger is unavailable (non-consecutive charges;
+    see :meth:`~repro.cluster.cgroup.Cgroup.usage_window_view`) fall back
+    to the deque scan row by row, so the result is always exact.
+    """
+    if duration < 1:
+        raise ValueError(f"duration must be >= 1, got {duration}")
+    ts = np.asarray(timestamps, dtype=np.int64)
+    n_suspects = len(cgroups)
+    n_points = int(ts.size)
+    means = np.empty((n_suspects, n_points))
+    if n_points == 0 or n_suspects == 0:
+        return means
+    lo = int(ts.min()) - duration
+    hi = int(ts.max())
+    slab_rows: list[int] = []
+    slab_views: list[np.ndarray] = []
+    for s, cgroup in enumerate(cgroups):
+        view = cgroup.usage_window_view(lo, hi)
+        if view is None:
+            means[s] = [cgroup.usage_between(int(t) - duration, int(t))
+                        for t in ts.tolist()]
+        else:
+            slab_rows.append(s)
+            slab_views.append(view)
+    if slab_views:
+        slab = np.stack(slab_views)  # (K, hi - lo), seconds lo .. hi-1
+        # Gather each window's seconds: columns[k, j] is the slab column of
+        # second j of window k.
+        columns = (ts - duration - lo)[:, None] + np.arange(duration)[None, :]
+        windows = slab[:, columns]  # (K, T, duration)
+        # Sequential accumulation along the time axis — NOT .sum(), whose
+        # pairwise rounding differs from the scalar running sum.
+        acc = windows[:, :, 0].copy()
+        for j in range(1, duration):
+            acc += windows[:, :, j]
+        acc /= duration
+        means[slab_rows] = acc
+    return means
+
+
+def rank_suspects_matrix(
+    victim_cpi: Sequence[float],
+    cpi_threshold: float,
+    suspects: Sequence[tuple[str, str]],
+    usage: np.ndarray,
+) -> list[SuspectScore]:
+    """Score and rank all suspects from an ``(S, T)`` usage matrix.
+
+    Args:
+        victim_cpi: the victim's CPI series over the window (length ``T``).
+        cpi_threshold: the victim's abnormal-CPI threshold.
+        suspects: ``(taskname, jobname)`` per row of ``usage``.
+        usage: suspect-by-timestamp window-mean usage, as from
+            :func:`suspect_usage_matrix`.
+
+    Returns:
+        The same :class:`SuspectScore` list, in the same order, with the
+        same float bits, as :func:`~repro.core.correlation.rank_suspects`
+        over the equivalent per-suspect series.
+
+    Raises:
+        ValueError: on an empty window, a non-positive threshold, negative
+            CPI or usage values, or a shape mismatch.
+    """
+    terms = _victim_terms(victim_cpi, cpi_threshold)
+    n_suspects = len(suspects)
+    if n_suspects == 0:
+        return []
+    usage = np.asarray(usage, dtype=np.float64)
+    if usage.shape != (n_suspects, len(terms)):
+        raise ValueError(
+            f"usage matrix shape {usage.shape} != "
+            f"({n_suspects}, {len(terms)})")
+    negative = usage < 0.0
+    if negative.any():
+        # argwhere is row-major: first offending suspect, then first
+        # offending sample — the order the scalar loops validate in.
+        row, col = np.argwhere(negative)[0]
+        raise ValueError(
+            f"usage values must be >= 0, got {float(usage[row, col])}")
+    # Per-suspect total usage: sequential along the time axis so the
+    # normalisation denominator matches the scalar running sum bit-for-bit.
+    totals = usage[:, 0].copy()
+    for j in range(1, usage.shape[1]):
+        totals += usage[:, j]
+    # The scalar reference short-circuits to 0.0 only for totals <= 0.0;
+    # a NaN total (NaN usage) flows through the arithmetic there, so it
+    # must flow through here too — mask exactly the <= 0.0 rows.
+    zero_rows = totals <= 0.0
+    denominator = np.where(zero_rows, 1.0, totals)
+    scores = np.zeros(n_suspects)
+    for j, term in enumerate(terms):
+        if term is None:
+            continue  # exactly at threshold: skipped, not + 0.0
+        scores += (usage[:, j] / denominator) * term
+    if zero_rows.any():
+        scores[zero_rows] = 0.0
+    ranked = [
+        SuspectScore(taskname=taskname, jobname=jobname, correlation=score)
+        for (taskname, jobname), score in zip(suspects, scores.tolist())
+    ]
+    ranked.sort(key=lambda s: (-s.correlation, s.taskname))
+    return ranked
+
+
+def rank_cotenant_suspects(
+    tasks: Iterable["Task"],
+    victim_jobname: str,
+    victim_cpi: Sequence[float],
+    timestamps: Sequence[int],
+    cpi_threshold: float,
+    duration: int,
+    engine: str = "vector",
+) -> tuple[list[SuspectScore], dict[str, "Task"]]:
+    """Rank every co-tenant of a victim's machine, engine-selectable.
+
+    The shared identification front end for the agent and the trial
+    harness: filters out the victim's job-mates ("never suspect the
+    victim's own job-mates"), gathers each remaining task's usage aligned
+    to the victim's sample windows, and ranks.  ``engine="scalar"`` runs
+    the reference :func:`~repro.core.correlation.rank_suspects` loop;
+    ``"vector"`` the matrix path.  Both return identical rankings.
+
+    Returns:
+        ``(scores, suspect_tasks)`` where ``suspect_tasks`` maps taskname
+        to the live task for every co-tenant considered (empty when the
+        victim has no co-tenants from other jobs).
+    """
+    cotenants = [task for task in tasks if task.job.name != victim_jobname]
+    suspect_tasks = {task.name: task for task in cotenants}
+    if not cotenants:
+        return [], suspect_tasks
+    if engine == "scalar":
+        suspects = {
+            task.name: (
+                task.job.name,
+                [task.cgroup.usage_between(t - duration, t)
+                 for t in timestamps],
+            )
+            for task in cotenants
+        }
+        return rank_suspects(victim_cpi, cpi_threshold, suspects), suspect_tasks
+    usage = suspect_usage_matrix([task.cgroup for task in cotenants],
+                                 timestamps, duration)
+    labels = [(task.name, task.job.name) for task in cotenants]
+    return (rank_suspects_matrix(victim_cpi, cpi_threshold, labels, usage),
+            suspect_tasks)

@@ -17,13 +17,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
-from repro.core.records import CpiSample, CpiSpec
+from repro.core.records import CpiSample, CpiSpec, SpecKey
 from repro.obs import Observability
 
 __all__ = ["OutlierVerdict", "AnomalyEvent", "OutlierDetector"]
+
+#: Cached-verdict dictionaries are cleared past this size; thresholds only
+#: churn when specs are republished, so in practice the caches stay tiny.
+_VERDICT_CACHE_LIMIT = 512
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,14 @@ class OutlierDetector:
                              if metrics else None)
         self._c_flagged = (metrics.counter("detector_outliers_flagged")
                            if metrics else None)
+        # Verdict caches: the overwhelmingly common outcomes (skipped, or
+        # clean below threshold) are immutable reads for callers, so the
+        # per-sample path hands out shared instances instead of allocating
+        # a fresh frozen dataclass every observation.
+        self._verdict_no_spec = OutlierVerdict(flagged=False, skipped=True,
+                                               skip_reason="no-spec")
+        self._verdicts_low_usage: dict[float, OutlierVerdict] = {}
+        self._verdicts_clean: dict[tuple[int, float], OutlierVerdict] = {}
 
     def observe(self, sample: CpiSample, spec: Optional[CpiSpec]
                 ) -> tuple[OutlierVerdict, Optional[AnomalyEvent]]:
@@ -97,16 +111,21 @@ class OutlierDetector:
             self.samples_skipped_no_spec += 1
             if self._c_no_spec is not None:
                 self._c_no_spec.inc()
-            return OutlierVerdict(flagged=False, skipped=True,
-                                  skip_reason="no-spec"), None
+            return self._verdict_no_spec, None
         threshold = spec.outlier_threshold(self.config.outlier_stddevs)
         if sample.cpu_usage < self.config.min_cpu_usage:
             self.samples_skipped_low_usage += 1
             if self._c_low_usage is not None:
                 self._c_low_usage.inc()
-            return OutlierVerdict(flagged=False, skipped=True,
-                                  skip_reason="low-usage",
-                                  threshold=threshold), None
+            verdict = self._verdicts_low_usage.get(threshold)
+            if verdict is None:
+                if len(self._verdicts_low_usage) >= _VERDICT_CACHE_LIMIT:
+                    self._verdicts_low_usage.clear()
+                verdict = OutlierVerdict(flagged=False, skipped=True,
+                                         skip_reason="low-usage",
+                                         threshold=threshold)
+                self._verdicts_low_usage[threshold] = verdict
+            return verdict, None
         t = int(sample.timestamp_seconds)
         flags = self._flags.get(sample.taskname)
         if flags is None:
@@ -118,9 +137,16 @@ class OutlierDetector:
         while flags and flags[0] < horizon:
             flags.popleft()
         if sample.cpi <= threshold:
-            return OutlierVerdict(flagged=False, skipped=False,
-                                  violations_in_window=len(flags),
-                                  threshold=threshold), None
+            key = (len(flags), threshold)
+            verdict = self._verdicts_clean.get(key)
+            if verdict is None:
+                if len(self._verdicts_clean) >= _VERDICT_CACHE_LIMIT:
+                    self._verdicts_clean.clear()
+                verdict = OutlierVerdict(flagged=False, skipped=False,
+                                         violations_in_window=len(flags),
+                                         threshold=threshold)
+                self._verdicts_clean[key] = verdict
+            return verdict, None
         flags.append(t)
         if self._c_flagged is not None:
             self._c_flagged.inc()
@@ -140,6 +166,115 @@ class OutlierDetector:
                 first_flag_seconds=flags[0],
             )
         return verdict, anomaly
+
+    def observe_batch(
+        self,
+        timestamps_sec: np.ndarray,
+        cpi: np.ndarray,
+        usage: np.ndarray,
+        thresholds: np.ndarray,
+        has_spec: np.ndarray,
+        task_code: np.ndarray,
+        tasknames: Sequence[str],
+        key_code: np.ndarray,
+        keys: Sequence[SpecKey],
+    ) -> list[tuple[int, AnomalyEvent]]:
+        """Vectorized :meth:`observe` over one closed sampling window.
+
+        The spec lookup, usage gate, and threshold comparison run as array
+        masks over the whole batch; only rows that actually touch streak
+        state (flagged outliers, plus below-threshold samples of tasks
+        with live flags, whose expiry the scalar path would advance) fall
+        into the sequential per-row loop.  Trajectory- and counter-
+        identical to calling :meth:`observe` per sample in row order; no
+        per-sample verdicts are materialised.
+
+        Args:
+            timestamps_sec: truncated-second timestamps per row (int64).
+            cpi, usage: per-row CPI and CPU usage (float64).
+            thresholds: per-row outlier threshold (valid where
+                ``has_spec``; unread elsewhere).
+            has_spec: per-row "a spec is published for this key".
+            task_code: per-row index into ``tasknames``.
+            tasknames: the batch's taskname table.
+            key_code: per-row index into ``keys``.
+            keys: the batch's aggregation-key table (jobname/platforminfo
+                for the emitted anomalies).
+
+        Returns:
+            ``(row, anomaly)`` pairs in row order, one per declared
+            anomaly — the exact events the scalar loop would declare.
+        """
+        n = len(cpi)
+        self.samples_seen += n
+        if self._c_seen is not None and n:
+            self._c_seen.inc(n)
+        no_spec = ~has_spec
+        skipped_no_spec = int(no_spec.sum())
+        if skipped_no_spec:
+            self.samples_skipped_no_spec += skipped_no_spec
+            if self._c_no_spec is not None:
+                self._c_no_spec.inc(skipped_no_spec)
+        low_usage = has_spec & (usage < self.config.min_cpu_usage)
+        skipped_low_usage = int(low_usage.sum())
+        if skipped_low_usage:
+            self.samples_skipped_low_usage += skipped_low_usage
+            if self._c_low_usage is not None:
+                self._c_low_usage.inc(skipped_low_usage)
+        active = has_spec & ~low_usage
+        # ``~(cpi <= thr)`` rather than ``cpi > thr``: identical for real
+        # thresholds and preserves the scalar path's behaviour for a NaN
+        # threshold (nothing compares <= NaN, so the sample flags).
+        flagged = active & ~(cpi <= thresholds)
+        flagged_count = int(flagged.sum())
+        if flagged_count and self._c_flagged is not None:
+            self._c_flagged.inc(flagged_count)
+        anomalies: list[tuple[int, AnomalyEvent]] = []
+        if not active.any():
+            return anomalies
+        # Rows that must replay sequentially: every flagged sample, plus
+        # active samples of any task that is either already tracked or
+        # becomes flagged in this batch (their expiry must advance exactly
+        # as per-sample observation would advance it).
+        n_tasks = len(tasknames)
+        touched = np.zeros(n_tasks, dtype=bool)
+        for code, name in enumerate(tasknames):
+            if self._flags.get(name):
+                touched[code] = True
+        if flagged_count:
+            touched[task_code[flagged]] = True
+        work = active & (flagged | touched[task_code])
+        if not work.any():
+            return anomalies
+        anomaly_window = self.config.anomaly_window
+        anomaly_violations = self.config.anomaly_violations
+        flagged_list = flagged.tolist()
+        for row in np.flatnonzero(work).tolist():
+            taskname = tasknames[task_code[row]]
+            t = int(timestamps_sec[row])
+            flags = self._flags.get(taskname)
+            if flags is None:
+                flags = deque()
+                self._flags[taskname] = flags
+            horizon = t - anomaly_window
+            while flags and flags[0] < horizon:
+                flags.popleft()
+            if not flagged_list[row]:
+                continue
+            flags.append(t)
+            if len(flags) >= anomaly_violations:
+                key = keys[key_code[row]]
+                anomalies.append((row, AnomalyEvent(
+                    taskname=taskname,
+                    jobname=key.jobname,
+                    platforminfo=key.platforminfo,
+                    time_seconds=t,
+                    cpi=float(cpi[row]),
+                    threshold=float(thresholds[row]),
+                    violations=len(flags),
+                    first_flag_seconds=flags[0],
+                )))
+        return anomalies
 
     def forget_task(self, taskname: str) -> None:
         """Drop state for a departed task."""

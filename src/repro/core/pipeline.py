@@ -51,6 +51,7 @@ class CpiPipeline:
         obs: Optional[Observability] = None,
         fault_profile: "FaultProfile | str | None" = None,
         fault_seed: int = 0,
+        analysis_engine: Optional[str] = None,
     ):
         """Args:
             simulation: the cluster to deploy onto.  The pipeline registers
@@ -82,6 +83,10 @@ class CpiPipeline:
             fault_seed: root seed for all injected-fault randomness,
                 independent of the simulation seed so the workload is
                 unchanged under different fault schedules.
+            analysis_engine: analysis-plane engine for every agent
+                (``vector``/``scalar``; default ``$REPRO_ANALYSIS_ENGINE``
+                or ``vector``) — byte-identical output either way, see
+                ``docs/performance.md``.
         """
         self.simulation = simulation
         self.config = config
@@ -100,6 +105,7 @@ class CpiPipeline:
                 incident_sink=self.forensics.record,
                 migrator=self._migrate if enable_migration else None,
                 obs=self.obs,
+                analysis_engine=analysis_engine,
             )
         profile = resolve_fault_profile(fault_profile)
         self.fault_profile = profile
@@ -130,10 +136,12 @@ class CpiPipeline:
         self.total_samples += len(samples)
         if self.log_samples:
             self.sample_log.extend(samples)
+        columns: Optional[SampleColumns] = None
         if self.faults is None:
             # Columnar even in-process: ingest_batch is bit-identical to
             # per-sample ingest and dodges its per-sample dispatch.
-            self.aggregator.ingest_batch(SampleColumns.from_samples(samples))
+            columns = SampleColumns.from_samples(samples)
+            self.aggregator.ingest_batch(columns)
         else:
             self.faults.upload(t, machine_name, samples)
         refreshed = self.aggregator.maybe_recompute(t)
@@ -143,7 +151,10 @@ class CpiPipeline:
                     agent.update_specs(refreshed, now=t)
             else:
                 self.faults.push_specs(t, refreshed)
-        self.agents[machine_name].ingest_samples(t, samples)
+        # The agent reuses the batch's columns (vector engine) instead of
+        # re-encoding; under faults the local path stays object-based and
+        # the agent encodes only if its batch clears the vector cutoff.
+        self.agents[machine_name].ingest_samples(t, samples, columns=columns)
 
     def _on_tick(self, t: int, machine: Machine, result: TickResult) -> None:
         self.machine_seconds += 1

@@ -8,11 +8,13 @@ report, so they are safe to run ad hoc from the command line.
 
 from __future__ import annotations
 
-from typing import Callable
+import multiprocessing as mp
+from typing import Callable, Sequence
 
 from repro.experiments.reporting import ExperimentReport
 
-__all__ = ["EXPERIMENTS", "run_experiment", "experiment_names"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_experiments",
+           "experiment_names", "unknown_experiment_error"]
 
 
 def _fig01() -> ExperimentReport:
@@ -253,6 +255,16 @@ def experiment_names() -> list[str]:
     return list(EXPERIMENTS)
 
 
+def unknown_experiment_error(name: str) -> KeyError:
+    """The error :func:`run_experiment` raises for an unknown name.
+
+    Exposed so callers that pre-validate (the parallel CLI path) report
+    the exact same message as the serial path.
+    """
+    return KeyError(f"unknown experiment {name!r}; valid: "
+                    f"{', '.join(EXPERIMENTS)}")
+
+
 def run_experiment(name: str) -> ExperimentReport:
     """Run one registered experiment by name.
 
@@ -262,6 +274,41 @@ def run_experiment(name: str) -> ExperimentReport:
     try:
         _description, runner = EXPERIMENTS[name]
     except KeyError:
-        raise KeyError(f"unknown experiment {name!r}; valid: "
-                       f"{', '.join(EXPERIMENTS)}") from None
+        raise unknown_experiment_error(name) from None
     return runner()
+
+
+def run_experiments(names: Sequence[str], jobs: int = 1
+                    ) -> list[tuple[str, ExperimentReport]]:
+    """Run several experiments, optionally across a process pool.
+
+    Every runner builds its own machines, pipelines, and RNGs from fixed
+    seeds and shares nothing with its neighbours, so the reports are
+    independent of worker count; ``pool.map`` returns them in input order.
+
+    Args:
+        names: experiment names; all are validated before any run starts.
+        jobs: worker processes (1 = run in this process).
+
+    Returns:
+        ``(name, report)`` pairs in input order.
+
+    Raises:
+        KeyError: for the first unknown name, before anything runs.
+    """
+    names = list(names)
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise unknown_experiment_error(name)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, len(names))
+    if jobs <= 1:
+        return [(name, run_experiment(name)) for name in names]
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    # chunksize 1: experiment runtimes vary by an order of magnitude, so
+    # let the pool balance them one at a time.
+    with ctx.Pool(processes=jobs) as pool:
+        reports = pool.map(run_experiment, names, chunksize=1)
+    return list(zip(names, reports))

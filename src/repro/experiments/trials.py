@@ -31,6 +31,7 @@ predictive and their trials noisier.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -42,7 +43,7 @@ from repro.cluster.interference import ResourceProfile
 from repro.cluster.job import Job, JobSpec
 from repro.cluster.task import PriorityBand, SchedulingClass
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
-from repro.core.correlation import rank_suspects
+from repro.core.identify import rank_cotenant_suspects, resolve_analysis_engine
 from repro.core.outlier import OutlierDetector
 from repro.perf.events import CounterEvent
 from repro.perf.sampler import CpiSampler, SamplerConfig
@@ -385,16 +386,10 @@ def run_trial(seed: int, config: TrialConfig | None = None) -> TrialResult:
     timestamps = [int(s.timestamp_seconds) for s in window]
     victim_cpi_series = [s.cpi for s in window]
     threshold = spec.outlier_threshold(cpi_config.outlier_stddevs)
-    suspects = {}
-    suspect_tasks = {}
-    for task in machine.resident_tasks():
-        if task.job.name == "victim":
-            continue
-        usage = [task.cgroup.usage_between(ts - cpi_config.sampling_duration, ts)
-                 for ts in timestamps]
-        suspects[task.name] = (task.job.name, usage)
-        suspect_tasks[task.name] = task
-    ranked = rank_suspects(victim_cpi_series, threshold, suspects)
+    ranked, suspect_tasks = rank_cotenant_suspects(
+        machine.resident_tasks(), "victim", victim_cpi_series, timestamps,
+        threshold, cpi_config.sampling_duration,
+        engine=resolve_analysis_engine())
     top = ranked[0] if ranked else None
 
     pre_window = [s.cpi for s in victim_samples
@@ -453,9 +448,35 @@ def run_trial(seed: int, config: TrialConfig | None = None) -> TrialResult:
     )
 
 
+def _run_trial_star(seed_and_config: tuple[int, TrialConfig | None]
+                    ) -> TrialResult:
+    """Pool entry point: unpack ``(seed, config)`` for :func:`run_trial`."""
+    seed, config = seed_and_config
+    return run_trial(seed, config)
+
+
 def run_trials(num_trials: int, config: TrialConfig | None = None,
-               seed_base: int = 0) -> list[TrialResult]:
-    """Run ``num_trials`` independent trials (the paper collected ~400)."""
+               seed_base: int = 0, jobs: int = 1) -> list[TrialResult]:
+    """Run ``num_trials`` independent trials (the paper collected ~400).
+
+    Every trial is seeded from its own ``SeedSequence((0xC0FFEE, seed))`` /
+    ``((0xFACE, seed))`` pair and shares no state with its neighbours, so
+    with ``jobs > 1`` the trials fan out across a process pool and
+    ``pool.map`` reassembles the results in seed order — the returned list
+    is identical to a serial run, trial for trial and bit for bit.
+    """
     if num_trials < 1:
         raise ValueError(f"num_trials must be >= 1, got {num_trials}")
-    return [run_trial(seed_base + i, config) for i in range(num_trials)]
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, num_trials)
+    if jobs == 1:
+        return [run_trial(seed_base + i, config) for i in range(num_trials)]
+    # Fork where available (Linux): workers inherit the warm interpreter
+    # instead of re-importing it, same choice as repro.cluster.shards.
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    work = [(seed_base + i, config) for i in range(num_trials)]
+    chunksize = max(1, num_trials // (jobs * 4))
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(_run_trial_star, work, chunksize=chunksize)
