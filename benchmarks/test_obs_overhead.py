@@ -1,0 +1,88 @@
+"""Meta-benchmark: telemetry-plane overhead (regression guard).
+
+The fleet telemetry plane (``--telemetry``: per-window TSDB scrapes plus
+alert evaluation) must stay in the noise — the acceptance bar is < 3%
+wall-clock overhead over the same run with the plane off.  Each arm is
+run several times and the best (minimum) wall time is compared, so a
+single scheduler hiccup cannot fail the gate; the CI perf smoke enforces
+the bar from the ``obs_overhead`` entry in ``BENCH_throughput.json``.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.config import CpiConfig
+from repro.experiments.reporting import ExperimentReport
+from repro.experiments.scenarios import build_cluster
+from repro.workloads import make_batch_job_spec
+from repro.workloads.services import make_service_job_spec
+
+SIM_MINUTES = 20
+NUM_MACHINES = 10
+NUM_TASKS = 100
+ROUNDS = 3
+
+#: The acceptance bar, shared with CI (which re-checks the JSON artifact).
+MAX_OVERHEAD_FRACTION = 0.03
+
+
+def _run_arm(telemetry: bool) -> dict:
+    """One timed run of the reference workload; returns timing + checksums."""
+    scenario = build_cluster(NUM_MACHINES, seed=3, config=CpiConfig(),
+                             telemetry=telemetry)
+    scenario.submit(make_service_job_spec("svc", num_tasks=50, seed=1))
+    scenario.submit(make_batch_job_spec("batch", num_tasks=50, seed=2))
+    start = time.perf_counter()
+    scenario.simulation.run_minutes(SIM_MINUTES)
+    elapsed = time.perf_counter() - start
+    pipeline = scenario.pipeline
+    return {
+        "wall_seconds": elapsed,
+        "samples": pipeline.total_samples,
+        "incidents": len(pipeline.all_incidents()),
+        "scrapes": (pipeline.obs.timeseries.scrapes
+                    if pipeline.obs.timeseries else 0),
+    }
+
+
+def _best_of(telemetry: bool, rounds: int = ROUNDS) -> dict:
+    arms = [_run_arm(telemetry) for _ in range(rounds)]
+    best = min(arms, key=lambda a: a["wall_seconds"])
+    return best
+
+
+def test_obs_overhead(benchmark, report_sink, bench_json_sink):
+    off, on = run_once(
+        benchmark, lambda: (_best_of(False), _best_of(True)))
+    overhead = on["wall_seconds"] / off["wall_seconds"] - 1.0
+
+    report = ExperimentReport("meta_obs_overhead", "Telemetry-plane overhead")
+    report.add("wall seconds (telemetry off)", "-", off["wall_seconds"],
+               f"{NUM_MACHINES} machines x {NUM_TASKS} tasks, "
+               f"{SIM_MINUTES} sim-minutes, best of {ROUNDS}")
+    report.add("wall seconds (telemetry on)", "-", on["wall_seconds"])
+    report.add("overhead fraction", f"< {MAX_OVERHEAD_FRACTION}", overhead)
+    report.add("scrapes recorded", f"{SIM_MINUTES}", on["scrapes"])
+    report_sink(report)
+    bench_json_sink(
+        "obs_overhead",
+        {
+            "workload": (f"{NUM_MACHINES} machines x {NUM_TASKS} tasks, "
+                         f"full CPI2 pipeline, {SIM_MINUTES} sim-minutes, "
+                         f"best of {ROUNDS}"),
+            "telemetry_off": off,
+            "telemetry_on": on,
+            "overhead_fraction": overhead,
+            "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+        },
+        summary=(f"obs overhead: off {off['wall_seconds']:.3f}s -> on "
+                 f"{on['wall_seconds']:.3f}s ({overhead:+.2%})"))
+
+    # The plane must observe, never perturb: identical simulation outputs.
+    assert on["samples"] == off["samples"] == NUM_TASKS * SIM_MINUTES
+    assert on["incidents"] == off["incidents"]
+    # One scrape per sampling-window close.
+    assert on["scrapes"] == SIM_MINUTES
+    assert off["scrapes"] == 0
+    assert overhead < MAX_OVERHEAD_FRACTION

@@ -21,6 +21,13 @@ Global observability flags (accepted by every command):
   the hottest functions (optionally dumping raw pstats data to PSTATS);
   see ``docs/performance.md``.
 
+Telemetry-plane flags (``demo``): ``--telemetry`` scrapes the registry
+into the simulated-time TSDB at every sampling-window close and evaluates
+the SLO alert rules; ``--metrics-out`` writes Prometheus text format
+(also on ``experiment``); ``--timeseries-out`` dumps the scraped series
+as JSONL; ``--console`` / ``--console-json`` render the per-machine fleet
+health scoreboard.  All are byte-identical at any ``--jobs`` count.
+
 ``demo`` and ``experiment`` print a metrics report (counters, gauges,
 histogram summaries) when the run recorded any; see
 ``docs/observability.md`` for the catalogue.
@@ -87,6 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the injected-fault schedule, "
                              "independent of --seed (default 0)")
+    telemetry = demo.add_argument_group("telemetry plane")
+    telemetry.add_argument("--telemetry", action="store_true",
+                           help="attach the fleet telemetry plane: scrape "
+                                "the metrics registry into a simulated-time "
+                                "TSDB at every sampling-window close and "
+                                "evaluate the SLO alert rules (implied by "
+                                "--timeseries-out/--console/--console-json)")
+    telemetry.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write the final metrics registry to PATH "
+                                "in Prometheus text format")
+    telemetry.add_argument("--timeseries-out", metavar="PATH", default=None,
+                           help="dump the scraped time series to PATH as "
+                                "JSONL (implies --telemetry)")
+    telemetry.add_argument("--console", action="store_true",
+                           help="render the per-machine fleet health "
+                                "console after the run (implies --telemetry)")
+    telemetry.add_argument("--console-json", metavar="PATH", default=None,
+                           help="also dump the fleet console to PATH as "
+                                "JSON (implies --telemetry)")
     _add_obs_flags(demo, tracing=True)
 
     list_parser = subparsers.add_parser(
@@ -103,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes to spread the named "
                                  "experiments across (default 1; reports "
                                  "are identical at any worker count)")
+    experiment.add_argument("--metrics-out", metavar="PATH", default=None,
+                            help="write the accumulated metrics registry "
+                                 "to PATH in Prometheus text format")
     _add_obs_flags(experiment)
     return parser
 
@@ -148,11 +177,16 @@ def _format_incident_line(incident) -> str:
 def _cmd_demo(minutes: int, seed: int,
               trace_json: Optional[str] = None,
               fault_profile: str = "none", fault_seed: int = 0,
-              jobs: int = 1) -> int:
+              jobs: int = 1, telemetry: bool = False,
+              metrics_out: Optional[str] = None,
+              timeseries_out: Optional[str] = None,
+              console: bool = False,
+              console_json: Optional[str] = None) -> int:
     from repro.experiments.scenarios import demo_scenario
 
+    telemetry = bool(telemetry or timeseries_out or console or console_json)
     kwargs = dict(seed=seed, fault_profile=fault_profile,
-                  fault_seed=fault_seed)
+                  fault_seed=fault_seed, telemetry=telemetry)
     jobs = _effective_jobs(jobs)
     if jobs > 1:
         from repro.cluster.shards import run_sharded
@@ -165,6 +199,7 @@ def _cmd_demo(minutes: int, seed: int,
         incidents = result.all_incidents()
         fault_tallies = (result.fault_tallies
                          if pipeline.faults is not None else None)
+        fleet_console = result.fleet_console if telemetry else None
     else:
         scenario = demo_scenario(**kwargs)
         pipeline = scenario.pipeline
@@ -173,6 +208,7 @@ def _cmd_demo(minutes: int, seed: int,
         incidents = pipeline.all_incidents()
         fault_tallies = (pipeline.faults.fault_tallies()
                          if pipeline.faults is not None else None)
+        fleet_console = pipeline.fleet_console if telemetry else None
     print(f"{len(incidents)} incidents; actions:")
     for incident in incidents:
         print(_format_incident_line(incident))
@@ -186,6 +222,26 @@ def _cmd_demo(minutes: int, seed: int,
         print()
         print(f"fault profile '{pipeline.fault_profile.name}' "
               f"(seed {fault_seed}): {injected or 'no faults fired'}")
+    if fleet_console is not None and (console or console_json):
+        board = fleet_console()
+        if console:
+            print()
+            print(board.render())
+        if console_json:
+            with open(console_json, "w", encoding="utf-8") as fh:
+                fh.write(board.to_json() + "\n")
+            print(f"wrote fleet console to {console_json}")
+    if metrics_out:
+        from repro.obs import write_prometheus
+
+        written = write_prometheus(pipeline.obs.metrics, metrics_out)
+        print(f"wrote {written} exposition lines to {metrics_out}")
+    if timeseries_out:
+        from repro.obs import write_timeseries_jsonl
+
+        written = write_timeseries_jsonl(pipeline.obs.timeseries,
+                                         timeseries_out)
+        print(f"wrote {written} time series to {timeseries_out}")
     if trace_json:
         written = pipeline.obs.tracer.export_jsonl(trace_json)
         suffix = (" (coordinator-side stages only under --jobs > 1)"
@@ -203,7 +259,8 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_experiment(names: Sequence[str], jobs: int = 1) -> int:
+def _cmd_experiment(names: Sequence[str], jobs: int = 1,
+                    metrics_out: Optional[str] = None) -> int:
     from repro.experiments.registry import (EXPERIMENTS, run_experiment,
                                             run_experiments,
                                             unknown_experiment_error)
@@ -238,6 +295,11 @@ def _cmd_experiment(names: Sequence[str], jobs: int = 1) -> int:
     if registry.counters() or registry.gauges() or registry.histograms():
         print()
         print(render_metrics_report(registry))
+    if metrics_out:
+        from repro.obs import write_prometheus
+
+        written = write_prometheus(registry, metrics_out)
+        print(f"wrote {written} exposition lines to {metrics_out}")
     return status
 
 
@@ -258,11 +320,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                              trace_json=args.trace_json,
                              fault_profile=args.fault_profile,
                              fault_seed=args.fault_seed,
-                             jobs=args.jobs)
+                             jobs=args.jobs,
+                             telemetry=args.telemetry,
+                             metrics_out=args.metrics_out,
+                             timeseries_out=args.timeseries_out,
+                             console=args.console,
+                             console_json=args.console_json)
         if args.command == "list":
             return _cmd_list()
         if args.command == "experiment":
-            return _cmd_experiment(args.names, jobs=args.jobs)
+            return _cmd_experiment(args.names, jobs=args.jobs,
+                                   metrics_out=args.metrics_out)
         raise AssertionError(f"unhandled command {args.command!r}")
 
     if args.profile is None:

@@ -32,11 +32,16 @@ interleaved between window ingests just as ``CpiPipeline._on_samples``
 does.  ``tests/test_shards.py`` pins byte-identical output for 1/2/4
 shards, clean and faulted.
 
-**Merged telemetry.**  Worker counters are summed into the coordinator
-registry (gauges and histograms stay worker-local), worker
+**Merged telemetry.**  Worker registries fold into the coordinator's at
+the end of the run — counters, histogram buckets, and gauge contributions
+all sum exactly (every instrument has one writing process), worker
 :class:`~repro.perf.profiling.StageTimers` fold into the coordinator's,
 and incidents/forensics rows are renumbered into global chronological
-order.
+order.  When the telemetry plane is on (``pipeline.obs.timeseries``),
+workers additionally ship a registry snapshot at every barrier; the
+coordinator merges those into its TSDB scrape and evaluates the alert
+rules, making the scraped series, alert history, and fleet console
+byte-identical at any ``--jobs`` count.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ from typing import Any, Callable, Iterable, Optional
 from repro.cluster.shardworker import (ShardSpec, ShardedRunUnsupported,
                                        barrier_ticks, check_shardable,
                                        run_shard_worker)
+from repro.obs.metrics import merge_state
 from repro.perf.profiling import StageTimers
 from repro.records import CpiSample
 
@@ -149,6 +155,9 @@ class ShardedRunResult:
     machine_seconds: int = 0
     crash_counts: dict[str, int] = field(default_factory=dict)
     fault_tallies: dict[str, int] = field(default_factory=dict)
+    machine_faults: dict[str, dict[str, int]] = field(default_factory=dict)
+    machine_anomalies: dict[str, int] = field(default_factory=dict)
+    machine_degraded: dict[str, bool] = field(default_factory=dict)
     timers: StageTimers = field(default_factory=StageTimers)
 
     @property
@@ -170,6 +179,36 @@ class ShardedRunResult:
     def all_incidents(self) -> list:
         """Merged incidents in global chronological order (ids renumbered)."""
         return list(self.incidents)
+
+    def fleet_console(self):
+        """The per-machine health scoreboard, from worker-shipped facts.
+
+        Byte-identical to ``CpiPipeline.fleet_console()`` on a
+        single-process run of the same scenario: every input (anomaly
+        counts, caps gauges, degraded flags, crash counts, fault tallies,
+        alert history, scrape count) merges deterministically.
+        """
+        from repro.obs.console import build_console
+
+        pipeline = self.pipeline
+        rows = {
+            name: {
+                "anomalies": self.machine_anomalies.get(name, 0),
+                "caps_active": int(pipeline.obs.metrics.value(
+                    "caps_active", machine=name) or 0),
+                "degraded": self.machine_degraded.get(name, False),
+                "crashes": self.crash_counts.get(name, 0),
+                "faults": self.machine_faults.get(name, {}),
+            }
+            for name in pipeline.agents
+        }
+        engine = pipeline.obs.alerts
+        tsdb = pipeline.obs.timeseries
+        return build_console(
+            rows, seconds=self.seconds,
+            alerts_fired=engine.fired_counts() if engine is not None else {},
+            alerts_active=engine.active() if engine is not None else [],
+            scrapes=tsdb.scrapes if tsdb is not None else 0)
 
 
 def run_sharded(
@@ -205,6 +244,12 @@ def run_sharded(
         shards = plan_shards(sim.machines, jobs)
         aggregator = pipeline.aggregator
         faulted = pipeline.faults is not None
+        telemetry = pipeline.obs.timeseries is not None
+        # Account for the clock exactly once, coordinator-side, the same
+        # way ClusterSimulation.run batches it; workers exclude sim_ticks
+        # from every state they ship.
+        if seconds and sim._c_ticks is not None:
+            sim._c_ticks.inc(seconds)
     result = ShardedRunResult(scenario=scenario, jobs=len(shards),
                               seconds=seconds, shards=shards, timers=timers)
     ctx = mp_context or mp.get_context(
@@ -244,6 +289,18 @@ def run_sharded(
                                             arrivals, faulted, log_samples)
             for worker in workers:
                 _send(worker, ("specs", refreshed))
+            if telemetry:
+                states = []
+                with timers.stage("coordinator_scrape"):
+                    for worker in workers:
+                        message = _recv(worker, barrier_timeout)
+                        if message[0] != "scrape" or message[1] != t:
+                            raise ShardCrashed(
+                                worker.index, worker.machines,
+                                f"protocol error: expected scrape@{t}, "
+                                f"got {message[:2]}")
+                        states.append(message[2])
+                    pipeline.scrape_shards(t, states)
         summaries = []
         with timers.stage("coordinator_wait"):
             for worker in workers:
@@ -326,16 +383,20 @@ def _merge_summaries(result: ShardedRunResult, aggregator,
     for new_id, (_t, _machine, _seq, row) in enumerate(forensic_entries,
                                                        start=1):
         pipeline.forensics.add_record(replace(row, incident_id=new_id))
-    # Counters sum; gauges/histograms stay worker-local by design.
+    # Worker registries fold in whole: counters and histogram buckets sum
+    # exactly; gauges sum because each one has a single writing process
+    # (per-machine gauges belong to the owning worker, inc/dec gauges are
+    # additive by construction).
     registry = pipeline.obs.metrics
     for summary in summaries:
-        for name, labels, value in summary["counters"]:
-            if value:
-                registry.counter(name, **dict(labels)).inc(value)
+        merge_state(registry, summary["metrics"])
         for name, seconds_spent, calls in summary["timers"]:
             result.timers.add(name, seconds_spent, calls)
         result.machine_seconds += summary["machine_seconds"]
         result.crash_counts.update(summary["crash_counts"])
+        result.machine_anomalies.update(summary["anomalies"])
+        result.machine_degraded.update(summary["degraded"])
+        result.machine_faults.update(summary["machine_faults"])
         for kind, count in summary["fault_tallies"].items():
             result.fault_tallies[kind] = (
                 result.fault_tallies.get(kind, 0) + count)

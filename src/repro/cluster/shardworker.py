@@ -191,6 +191,7 @@ def run_shard_worker(conn, spec: ShardSpec) -> None:
 
 def _run(conn, spec: ShardSpec) -> None:
     from repro.obs import Observability, set_default_observability
+    from repro.obs.metrics import export_state
 
     # Isolate from anything the parent process accumulated before forking.
     set_default_observability(Observability())
@@ -204,6 +205,12 @@ def _run(conn, spec: ShardSpec) -> None:
         shard = tuple(sorted(spec.machines))
         agents = pipeline.agents
         plane = pipeline.faults
+        # Telemetry plane: the coordinator owns the fleet TSDB, so the
+        # worker ships a registry snapshot at every barrier instead of
+        # scraping locally.  sim_ticks is excluded everywhere a worker
+        # exports state — the coordinator accounts for it exactly once.
+        telemetry = pipeline.obs.timeseries is not None
+        registry = pipeline.obs.metrics
         arrivals: list = []
         if plane is not None:
             _install_arrival_capture(plane, shard, arrivals)
@@ -248,6 +255,13 @@ def _run(conn, spec: ShardSpec) -> None:
             # The local path, after the refresh (as in _on_samples).
             for name, samples in closed:
                 agents[name].ingest_samples(t, samples)
+            if telemetry:
+                # After the ingest loop, so the scrape sees every effect
+                # of tick t — the same point in the tick the
+                # single-process step hook scrapes at.
+                conn.send(("scrape", t,
+                           export_state(registry,
+                                        exclude_counters=("sim_ticks",))))
         elif closed:  # pragma: no cover - schedule invariant
             raise AssertionError(
                 f"windows closed off the barrier schedule at t={t}")
@@ -263,9 +277,11 @@ def _run(conn, spec: ShardSpec) -> None:
         "machine_seconds": pipeline.machine_seconds,
         "crash_counts": {name: agents[name].crash_count for name in shard},
         "fault_tallies": plane.fault_tallies() if plane is not None else {},
-        "counters": [(c.name, tuple(c.labels), c.value)
-                     for c in pipeline.obs.metrics.counters()
-                     if c.value],
+        "machine_faults": (plane.machine_fault_tallies()
+                           if plane is not None else {}),
+        "anomalies": {name: agents[name].anomalies_seen for name in shard},
+        "degraded": {name: agents[name].degraded for name in shard},
+        "metrics": export_state(registry, exclude_counters=("sim_ticks",)),
         "timers": [(name, entry["seconds"], int(entry["calls"]))
                    for name, entry in timers.report().items()],
     }))

@@ -35,6 +35,11 @@ SampleSink = Callable[[int, str, list[CpiSample]], None]
 #: Hook signature: (time, machine, tick_result) after a machine executed.
 TickHook = Callable[[int, Machine, TickResult], None]
 
+#: Hook signature: (time,) at the very end of a tick, after samplers and
+#: sinks ran but before the clock advances.  The telemetry plane scrapes
+#: from here so a scrape at t sees every effect of tick t.
+StepHook = Callable[[int], None]
+
 SECONDS_PER_MINUTE = 60
 SECONDS_PER_HOUR = 3600
 SECONDS_PER_DAY = 86400
@@ -94,6 +99,7 @@ class ClusterSimulation:
         }
         self._sample_sinks: list[SampleSink] = []
         self._tick_hooks: list[TickHook] = []
+        self._step_hooks: list[StepHook] = []
         #: Cached name-sorted iteration order for machines and samplers.
         #: Machines never change identity mid-run today; the cache is
         #: invalidated explicitly (or by a length change) if topology ever
@@ -115,6 +121,15 @@ class ClusterSimulation:
     def add_tick_hook(self, hook: TickHook) -> None:
         """Register a per-(tick, machine) observer, called after execution."""
         self._tick_hooks.append(hook)
+
+    def add_step_hook(self, hook: StepHook) -> None:
+        """Register an end-of-tick observer (runs before the clock advances).
+
+        Unlike tick hooks these fire once per tick, not once per machine,
+        and only after every sampler window closed and every sink ran —
+        the point in the tick where the telemetry plane takes its scrape.
+        """
+        self._step_hooks.append(hook)
 
     def set_observability(self, obs: Observability) -> None:
         """Attach telemetry: tick/departure counters and departure events.
@@ -238,7 +253,10 @@ class ClusterSimulation:
         return closed
 
     def _finish_step(self, t: int) -> None:
-        """Phase 3: periodic rescheduling, then advance the clock."""
+        """Phase 3: end-of-tick hooks, periodic rescheduling, clock advance."""
+        if self._step_hooks:
+            for hook in self._step_hooks:
+                hook(t)
         if t > 0 and t % self.config.reschedule_period == 0:
             self.scheduler.reschedule_pending()
         self.now += 1

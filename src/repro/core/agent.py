@@ -164,6 +164,11 @@ class MachineAgent:
         self._last_checkpoint: Optional[AgentCheckpoint] = None
         self.crash_count = 0
 
+    @property
+    def degraded(self) -> bool:
+        """True while the agent is analysing against stale specs."""
+        return self._degraded
+
     # -- spec distribution (pipeline -> agent) ----------------------------------
 
     def update_specs(self, specs: dict[SpecKey, CpiSpec],

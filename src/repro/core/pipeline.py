@@ -121,6 +121,16 @@ class CpiPipeline:
         self.shard_names: Optional[frozenset[str]] = None
         simulation.add_sample_sink(self._on_samples)
         simulation.add_tick_hook(self._on_tick)
+        #: Telemetry plane: when the facade carries a TSDB, scrape it at
+        #: every sampling-window close.  A shard worker disables the local
+        #: scrape (restrict_to_shard) and ships its registry state to the
+        #: coordinator instead, whose TSDB then holds the fleet view.
+        self._scrape_locally = True
+        if self.obs.timeseries is not None:
+            sampler = simulation.config.sampler
+            self._scrape_offset = sampler.duration_seconds
+            self._scrape_period = sampler.period_seconds
+            simulation.add_step_hook(self._on_step_end)
         if simulation.obs is None:
             simulation.set_observability(self.obs)
         self.total_samples = 0
@@ -168,6 +178,69 @@ class CpiPipeline:
         for task, _state in result.departures:
             agent.forget_task(task.name, now=t)
 
+    # -- telemetry plane ---------------------------------------------------------
+
+    def _on_step_end(self, t: int) -> None:
+        """Scrape at sampling-window closes (only registered with a TSDB)."""
+        if not self._scrape_locally:
+            return
+        if t < self._scrape_offset or (t - self._scrape_offset) % self._scrape_period:
+            return
+        self.scrape_now(t)
+
+    def scrape_now(self, t: int) -> None:
+        """Take one telemetry scrape of this deployment's registry."""
+        tsdb = self.obs.timeseries
+        if tsdb is None:
+            return
+        tsdb.scrape_registry(t, self.obs.metrics,
+                             extra_gauges={"fleet_machines": len(self.agents)})
+        if self.obs.alerts is not None:
+            self.obs.alerts.evaluate(tsdb, t)
+
+    def scrape_shards(self, t: int, states: list[dict]) -> None:
+        """Coordinator-side scrape: own registry state plus worker states.
+
+        ``states`` are :func:`repro.obs.metrics.export_state` dumps shipped
+        by the shard workers at barrier ``t``; summed with the
+        coordinator's own registry they reconstruct exactly what a
+        single-process scrape at ``t`` would have read.
+        """
+        tsdb = self.obs.timeseries
+        if tsdb is None:
+            return
+        from repro.obs.metrics import export_state
+
+        tsdb.scrape_states(t, [export_state(self.obs.metrics)] + list(states),
+                           extra_gauges={"fleet_machines": len(self.agents)})
+        if self.obs.alerts is not None:
+            self.obs.alerts.evaluate(tsdb, t)
+
+    def fleet_console(self):
+        """The per-machine health scoreboard for this deployment."""
+        from repro.obs.console import build_console
+
+        machine_faults = (self.faults.machine_fault_tallies()
+                          if self.faults is not None else {})
+        rows = {
+            name: {
+                "anomalies": agent.anomalies_seen,
+                "caps_active": int(self.obs.metrics.value(
+                    "caps_active", machine=name) or 0),
+                "degraded": agent.degraded,
+                "crashes": agent.crash_count,
+                "faults": machine_faults.get(name, {}),
+            }
+            for name, agent in self.agents.items()
+        }
+        engine = self.obs.alerts
+        tsdb = self.obs.timeseries
+        return build_console(
+            rows, seconds=self.simulation.now,
+            alerts_fired=engine.fired_counts() if engine is not None else {},
+            alerts_active=engine.active() if engine is not None else [],
+            scrapes=tsdb.scrapes if tsdb is not None else 0)
+
     def _migrate(self, task: Task) -> None:
         try:
             self.simulation.scheduler.migrate_task(task)
@@ -192,6 +265,8 @@ class CpiPipeline:
         keep = frozenset(names)
         self.simulation.restrict_to(keep)
         self.shard_names = keep
+        # The coordinator owns the fleet TSDB; workers only ship state.
+        self._scrape_locally = False
 
     # -- operator conveniences ---------------------------------------------------------
 

@@ -148,16 +148,20 @@ def _chaos_scenario(seed: int, config: CpiConfig, num_machines: int,
 
 def chaos_scenario(seed: int = 0, num_machines: int = 4,
                    fault_profile: str = "none", fault_seed: int = 1,
-                   obs: Optional[Observability] = None) -> Scenario:
+                   obs: Optional[Observability] = None,
+                   telemetry: bool = False) -> Scenario:
     """The chaos workload as a standalone, picklable-by-reference builder.
 
     A fresh isolated :class:`~repro.obs.Observability` is created when
     ``obs`` is omitted, so both the sweep's per-profile attribution and
-    the sharded engine's per-worker registries stay clean.
+    the sharded engine's per-worker registries stay clean.  ``telemetry``
+    attaches the fleet telemetry plane (TSDB + alert rules).
     """
+    obs = obs or Observability()
+    if telemetry:
+        obs.enable_telemetry()
     return _chaos_scenario(seed, DEFAULT_CONFIG, num_machines,
-                           fault_profile, fault_seed,
-                           obs or Observability())
+                           fault_profile, fault_seed, obs)
 
 
 def _observed_faults(obs: Observability) -> int:

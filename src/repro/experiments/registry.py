@@ -278,6 +278,25 @@ def run_experiment(name: str) -> ExperimentReport:
     return runner()
 
 
+def _run_experiment_with_metrics(name: str):
+    """Pool entry point: run one experiment under a fresh default facade.
+
+    The fresh facade isolates the worker from whatever the parent process
+    accumulated before forking (otherwise the shipped state would
+    double-count it), and the returned
+    :func:`~repro.obs.metrics.export_state` dump lets the parent fold the
+    worker's observability back into its own registry — without it,
+    ``experiment --jobs N`` silently under-counts its metrics report.
+    """
+    from repro.obs import Observability, set_default_observability
+    from repro.obs.metrics import export_state
+
+    obs = Observability()
+    set_default_observability(obs)
+    report = run_experiment(name)
+    return report, export_state(obs.metrics)
+
+
 def run_experiments(names: Sequence[str], jobs: int = 1
                     ) -> list[tuple[str, ExperimentReport]]:
     """Run several experiments, optionally across a process pool.
@@ -285,6 +304,10 @@ def run_experiments(names: Sequence[str], jobs: int = 1
     Every runner builds its own machines, pipelines, and RNGs from fixed
     seeds and shares nothing with its neighbours, so the reports are
     independent of worker count; ``pool.map`` returns them in input order.
+    Worker observability is not discarded: each worker ships its default
+    registry's state back with the report, and the states fold into this
+    process's default registry in input order — so the post-run metrics
+    report matches a serial run.
 
     Args:
         names: experiment names; all are validated before any run starts.
@@ -296,6 +319,9 @@ def run_experiments(names: Sequence[str], jobs: int = 1
     Raises:
         KeyError: for the first unknown name, before anything runs.
     """
+    from repro.obs import default_observability
+    from repro.obs.metrics import merge_state
+
     names = list(names)
     for name in names:
         if name not in EXPERIMENTS:
@@ -310,5 +336,9 @@ def run_experiments(names: Sequence[str], jobs: int = 1
     # chunksize 1: experiment runtimes vary by an order of magnitude, so
     # let the pool balance them one at a time.
     with ctx.Pool(processes=jobs) as pool:
-        reports = pool.map(run_experiment, names, chunksize=1)
-    return list(zip(names, reports))
+        outcomes = pool.map(_run_experiment_with_metrics, names, chunksize=1)
+    registry = default_observability().metrics
+    for _report, state in outcomes:
+        merge_state(registry, state, gauges="set")
+    return [(name, report) for name, (report, _state)
+            in zip(names, outcomes)]

@@ -74,6 +74,7 @@ def build_cluster(
     fault_seed: int = 0,
     obs: Optional[Observability] = None,
     tick_engine: Optional[str] = None,
+    telemetry: bool = False,
 ) -> Scenario:
     """A cluster of ``num_machines`` cycling through the given platforms.
 
@@ -83,9 +84,13 @@ def build_cluster(
     to attribute fault counters to one profile at a time; ``tick_engine``
     picks the machine tick implementation (``"vector"``/``"legacy"``,
     default per ``REPRO_TICK_ENGINE``) — the parity tests run both.
+    ``telemetry`` attaches the fleet telemetry plane (TSDB + alert rules)
+    to the run's facade, creating an isolated one if ``obs`` was omitted.
     """
     if num_machines < 1:
         raise ValueError(f"num_machines must be >= 1, got {num_machines}")
+    if telemetry:
+        obs = (obs or Observability()).enable_telemetry()
     machines = [
         Machine(f"m{i}", get_platform(platforms[i % len(platforms)]),
                 cpi_noise_sigma=cpi_noise_sigma, tick_engine=tick_engine)
@@ -171,7 +176,8 @@ def scale_scenario(num_machines: int = 50, seed: int = 11,
                    tasks_per_job: int = 50,
                    fault_profile: "FaultProfile | str | None" = None,
                    fault_seed: int = 0,
-                   config: Optional[CpiConfig] = None) -> Scenario:
+                   config: Optional[CpiConfig] = None,
+                   telemetry: bool = False) -> Scenario:
     """The fleet-scale throughput workload (50 machines x 500 tasks).
 
     Used by ``benchmarks/test_scale_fleet.py`` and, being a module-level
@@ -184,7 +190,7 @@ def scale_scenario(num_machines: int = 50, seed: int = 11,
     scenario = build_cluster(num_machines, seed=seed,
                              config=config or CpiConfig(),
                              fault_profile=fault_profile,
-                             fault_seed=fault_seed)
+                             fault_seed=fault_seed, telemetry=telemetry)
     for i in range(num_service_jobs):
         scenario.submit(make_service_job_spec(
             f"svc-{i}", num_tasks=tasks_per_job, seed=100 + i))
@@ -196,16 +202,21 @@ def scale_scenario(num_machines: int = 50, seed: int = 11,
 
 def demo_scenario(seed: int = 42, fault_profile: "FaultProfile | str | None" = None,
                   fault_seed: int = 0,
-                  obs: Optional[Observability] = None) -> Scenario:
+                  obs: Optional[Observability] = None,
+                  telemetry: bool = False) -> Scenario:
     """The CLI quickstart scenario: one machine, one victim, one antagonist.
 
     Module-level so ``python -m repro demo --jobs N`` can hand it to the
-    sharded engine's workers by reference.
+    sharded engine's workers by reference.  ``telemetry`` attaches the
+    fleet telemetry plane (TSDB + alert rules) to the run's facade.
     """
     platform = get_platform("westmere-2.6")
     machine = Machine("demo", platform, cpi_noise_sigma=0.03)
     sim = ClusterSimulation([machine], SimConfig(seed=seed))
-    pipeline = CpiPipeline(sim, CpiConfig(), obs=obs or Observability(),
+    obs = obs or Observability()
+    if telemetry:
+        obs.enable_telemetry()
+    pipeline = CpiPipeline(sim, CpiConfig(), obs=obs,
                            fault_profile=fault_profile,
                            fault_seed=fault_seed)
     scenario = Scenario(simulation=sim, pipeline=pipeline)

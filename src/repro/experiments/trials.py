@@ -449,10 +449,21 @@ def run_trial(seed: int, config: TrialConfig | None = None) -> TrialResult:
 
 
 def _run_trial_star(seed_and_config: tuple[int, TrialConfig | None]
-                    ) -> TrialResult:
-    """Pool entry point: unpack ``(seed, config)`` for :func:`run_trial`."""
+                    ) -> tuple[TrialResult, dict]:
+    """Pool entry point: unpack ``(seed, config)`` for :func:`run_trial`.
+
+    Runs under a fresh default observability facade (isolating the worker
+    from any state inherited across ``fork``) and ships the trial's
+    registry state back alongside the result, so the parent's metrics
+    report doesn't silently lose the detector counters trials record.
+    """
+    from repro.obs import Observability, set_default_observability
+    from repro.obs.metrics import export_state
+
     seed, config = seed_and_config
-    return run_trial(seed, config)
+    obs = Observability()
+    set_default_observability(obs)
+    return run_trial(seed, config), export_state(obs.metrics)
 
 
 def run_trials(num_trials: int, config: TrialConfig | None = None,
@@ -463,7 +474,10 @@ def run_trials(num_trials: int, config: TrialConfig | None = None,
     ``((0xFACE, seed))`` pair and shares no state with its neighbours, so
     with ``jobs > 1`` the trials fan out across a process pool and
     ``pool.map`` reassembles the results in seed order — the returned list
-    is identical to a serial run, trial for trial and bit for bit.
+    is identical to a serial run, trial for trial and bit for bit.  Worker
+    observability ships back with each result and folds into this
+    process's default registry in seed order, so the metrics report no
+    longer under-counts under ``jobs > 1``.
     """
     if num_trials < 1:
         raise ValueError(f"num_trials must be >= 1, got {num_trials}")
@@ -472,6 +486,9 @@ def run_trials(num_trials: int, config: TrialConfig | None = None,
     jobs = min(jobs, num_trials)
     if jobs == 1:
         return [run_trial(seed_base + i, config) for i in range(num_trials)]
+    from repro.obs import default_observability
+    from repro.obs.metrics import merge_state
+
     # Fork where available (Linux): workers inherit the warm interpreter
     # instead of re-importing it, same choice as repro.cluster.shards.
     methods = mp.get_all_start_methods()
@@ -479,4 +496,8 @@ def run_trials(num_trials: int, config: TrialConfig | None = None,
     work = [(seed_base + i, config) for i in range(num_trials)]
     chunksize = max(1, num_trials // (jobs * 4))
     with ctx.Pool(processes=jobs) as pool:
-        return pool.map(_run_trial_star, work, chunksize=chunksize)
+        outcomes = pool.map(_run_trial_star, work, chunksize=chunksize)
+    registry = default_observability().metrics
+    for _result, state in outcomes:
+        merge_state(registry, state, gauges="set")
+    return [result for result, _state in outcomes]

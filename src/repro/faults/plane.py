@@ -171,6 +171,27 @@ class FaultPlane:
             tallies["crash"] = crashes
         return tallies
 
+    def machine_fault_tallies(self) -> dict[str, dict[str, int]]:
+        """Injected faults by machine, by kind (fault-free machines omitted).
+
+        The per-machine breakdown behind the fleet console's faults column;
+        a shard worker's dict covers only the machines it pumped, so the
+        union across workers partitions the fleet exactly.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for name in sorted(self.ports):
+            port = self.ports[name]
+            tallies: dict[str, int] = {}
+            for link in (port.uplink, port.acklink, port.speclink):
+                for kind, count in link.fault_tallies.items():
+                    if count:
+                        tallies[kind] = tallies.get(kind, 0) + count
+            if port.crasher.crashes:
+                tallies["crash"] = port.crasher.crashes
+            if tallies:
+                out[name] = tallies
+        return out
+
     @property
     def total_faults_injected(self) -> int:
         """Every fault of every kind the plane has injected so far."""

@@ -13,10 +13,24 @@ equivalent telemetry substrate, deliberately zero-dependency:
 * :mod:`repro.obs.report` — terminal rendering of a registry.
 * :mod:`repro.obs.observability` — the :class:`Observability` facade that
   instrumented components accept.
+* :mod:`repro.obs.timeseries` — a deterministic, simulated-time ring-buffer
+  TSDB scraping the registry at every sampling-window close.
+* :mod:`repro.obs.exposition` — Prometheus text-format rendering plus the
+  JSONL time-series dump.
+* :mod:`repro.obs.alerts` — declarative threshold + for-duration SLO rules
+  evaluated against the TSDB.
+* :mod:`repro.obs.console` — the per-machine fleet health scoreboard.
 
-See ``docs/observability.md`` for the event schema and metric catalogue.
+See ``docs/observability.md`` for the event schema, metric catalogue, and
+the alert-rule catalogue.
 """
 
+from repro.obs.alerts import (
+    DEFAULT_ALERT_RULES,
+    AlertEngine,
+    AlertRule,
+)
+from repro.obs.console import FleetConsole, MachineHealth, build_console
 from repro.obs.events import (
     EVENT_LOGGER_NAME,
     JsonlFormatter,
@@ -24,19 +38,28 @@ from repro.obs.events import (
     configure_logging,
     reset_logging,
 )
+from repro.obs.exposition import (
+    render_prometheus,
+    write_prometheus,
+    write_timeseries_jsonl,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    export_state,
+    merge_state,
 )
 from repro.obs.observability import (
     Observability,
     default_observability,
     set_default_observability,
+    telemetry_observability,
 )
 from repro.obs.report import metrics_lines, render_metrics_report
+from repro.obs.timeseries import RingSeries, TimeSeriesDB
 from repro.obs.tracing import PipelineTrace, Span, Tracer
 
 __all__ = [
@@ -50,12 +73,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "export_state",
+    "merge_state",
     "Observability",
     "default_observability",
     "set_default_observability",
+    "telemetry_observability",
     "metrics_lines",
     "render_metrics_report",
     "PipelineTrace",
     "Span",
     "Tracer",
+    "RingSeries",
+    "TimeSeriesDB",
+    "render_prometheus",
+    "write_prometheus",
+    "write_timeseries_jsonl",
+    "DEFAULT_ALERT_RULES",
+    "AlertEngine",
+    "AlertRule",
+    "FleetConsole",
+    "MachineHealth",
+    "build_console",
 ]

@@ -1,0 +1,305 @@
+"""Declarative SLO alert rules evaluated against the simulated-time TSDB.
+
+CPI2's operators did not tail logs — they were paged off threshold rules
+over the monitoring time series.  This module reproduces that layer: an
+:class:`AlertRule` is a small expression over the
+:class:`~repro.obs.timeseries.TimeSeriesDB` (counter increases over a
+trailing window, last-written gauge values, ratios of either), a comparison
+against a threshold, and a *for-duration* — the condition must hold
+continuously for that many simulated seconds before the rule fires.
+
+Firing and resolving emit structured ``alert_fired`` / ``alert_resolved``
+events through the existing :class:`~repro.obs.events.StructuredLogger` and
+append to an in-memory history list, which is the shard-parity acceptance
+surface: evaluated on the coordinator's TSDB, the history is byte-identical
+at any ``--jobs`` count.  The engine deliberately never writes back into the
+metrics registry, so enabling alerts cannot perturb the scraped series.
+
+Every expression declares the instrument names it reads
+(:meth:`Expr.instruments`); a CI lint asserts each one is documented in the
+catalogue in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional, Sequence
+
+from repro.obs.events import StructuredLogger
+from repro.obs.timeseries import SCRAPE_INTERVAL_GAUGE, TimeSeriesDB
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "CounterIncrease",
+    "GaugeValue",
+    "Ratio",
+    "DEFAULT_ALERT_RULES",
+]
+
+
+class Expr:
+    """Base class for alert expressions; evaluates to a float or None.
+
+    None means "no data" — the rule treats it as not breaching, so rules
+    guarded by a denominator floor stay silent until enough signal exists.
+    """
+
+    def evaluate(self, tsdb: TimeSeriesDB, t: int) -> Optional[float]:
+        raise NotImplementedError
+
+    def instruments(self) -> frozenset[str]:
+        """Metric family names this expression reads (for the docs lint)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class CounterIncrease(Expr):
+    """Total increase of a counter family over the trailing window."""
+
+    def __init__(self, name: str, window: int,
+                 labels: Optional[Mapping[str, object]] = None):
+        self.name = name
+        self.window = window
+        self.labels = dict(labels) if labels else None
+
+    def evaluate(self, tsdb: TimeSeriesDB, t: int) -> Optional[float]:
+        return tsdb.counter_increase(self.name, t, self.window, self.labels)
+
+    def instruments(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def describe(self) -> str:
+        sel = self.name
+        if self.labels:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+            sel += "{" + inner + "}"
+        return f"increase({sel}[{self.window}s])"
+
+
+class GaugeValue(Expr):
+    """Latest value of a gauge family (summed across matching label sets)."""
+
+    def __init__(self, name: str,
+                 labels: Optional[Mapping[str, object]] = None):
+        self.name = name
+        self.labels = dict(labels) if labels else None
+
+    def evaluate(self, tsdb: TimeSeriesDB, t: int) -> Optional[float]:
+        return tsdb.gauge_last(self.name, self.labels)
+
+    def instruments(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def describe(self) -> str:
+        return self.name
+
+
+class Ratio(Expr):
+    """numerator / denominator, or None below the denominator floor.
+
+    ``min_denominator`` keeps ratio rules quiet while the run is warming up
+    (a 2/3 ratio over five samples is noise, not an SLO breach).
+    """
+
+    def __init__(self, numerator: Expr, denominator: Expr,
+                 min_denominator: float = 1.0):
+        self.numerator = numerator
+        self.denominator = denominator
+        self.min_denominator = min_denominator
+
+    def evaluate(self, tsdb: TimeSeriesDB, t: int) -> Optional[float]:
+        denom = self.denominator.evaluate(tsdb, t)
+        if denom is None or denom < self.min_denominator:
+            return None
+        num = self.numerator.evaluate(tsdb, t)
+        if num is None:
+            return None
+        return num / denom
+
+    def instruments(self) -> frozenset[str]:
+        return self.numerator.instruments() | self.denominator.instruments()
+
+    def describe(self) -> str:
+        return f"{self.numerator.describe()} / {self.denominator.describe()}"
+
+
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+class AlertRule:
+    """One declarative rule: expression OP threshold, held for a duration."""
+
+    def __init__(self, name: str, expr: Expr, op: str, threshold: float,
+                 for_seconds: int = 0, severity: str = "warning",
+                 description: str = ""):
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.name = name
+        self.expr = expr
+        self.op = op
+        self.threshold = threshold
+        self.for_seconds = for_seconds
+        self.severity = severity
+        self.description = description
+
+    def condition(self) -> str:
+        return f"{self.expr.describe()} {self.op} {self.threshold}"
+
+    def breaches(self, value: Optional[float]) -> bool:
+        return value is not None and _OPS[self.op](value, self.threshold)
+
+
+#: The shipped rule catalogue.  Thresholds are tuned so a clean demo run
+#: stays green and the chaos profiles trip the matching rules; each rule is
+#: documented operationally in docs/observability.md.
+DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
+    AlertRule(
+        "stale_spec_ratio",
+        Ratio(CounterIncrease("analyses_dropped", 600,
+                              labels={"reason": "stale_spec"}),
+              CounterIncrease("anomalies_detected", 600),
+              min_denominator=5.0),
+        ">", 0.5, for_seconds=120, severity="warning",
+        description=("most anomaly analyses are being discarded because the "
+                     "agent's CPI spec is stale — the spec distribution "
+                     "pipeline is lagging or partitioned")),
+    AlertRule(
+        "quarantine_spike",
+        CounterIncrease("samples_quarantined", 300),
+        ">", 50, for_seconds=60, severity="critical",
+        description=("a burst of samples refused at the agent trust "
+                     "boundary — corrupted counters, wire damage, or a "
+                     "misbehaving sampler")),
+    AlertRule(
+        "resend_overflow",
+        CounterIncrease("resend_queue_overflow", 300),
+        ">", 0, for_seconds=0, severity="critical",
+        description=("an agent's bounded resend queue dropped sample "
+                     "batches — upload loss is no longer being absorbed by "
+                     "retries")),
+    AlertRule(
+        "shard_barrier_stall",
+        GaugeValue(SCRAPE_INTERVAL_GAUGE),
+        ">", 90, for_seconds=0, severity="critical",
+        description=("the gap between telemetry scrapes exceeded 1.5x the "
+                     "sampling period — a shard barrier (or the scrape "
+                     "loop itself) is stalled")),
+    AlertRule(
+        "identification_floor",
+        Ratio(CounterIncrease("incidents_by_action", 900),
+              CounterIncrease("anomalies_detected", 900),
+              min_denominator=10.0),
+        "<", 0.05, for_seconds=300, severity="warning",
+        description=("anomalies are being detected but almost none survive "
+                     "correlation into an identified incident — "
+                     "identification quality has fallen through the floor")),
+    AlertRule(
+        "agent_crash_storm",
+        CounterIncrease("agent_crashes", 600),
+        ">=", 3, for_seconds=0, severity="critical",
+        description=("three or more agent crashes inside ten minutes — "
+                     "checkpoint/restore is masking a crash loop")),
+)
+
+
+class _RuleState:
+    __slots__ = ("pending_since", "active_since")
+
+    def __init__(self) -> None:
+        self.pending_since: Optional[int] = None
+        self.active_since: Optional[int] = None
+
+
+class AlertEngine:
+    """Evaluates a rule set against a TSDB at every scrape.
+
+    State (pending-since, active-since) lives per rule; transitions append
+    to :attr:`history` and emit events.  Evaluation order is the rule list
+    order, so the history is deterministic.
+    """
+
+    def __init__(self, rules: Sequence[AlertRule] = DEFAULT_ALERT_RULES,
+                 events: Optional[StructuredLogger] = None):
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert rule names in {names}")
+        self.rules = tuple(rules)
+        self.events = events
+        self._states = {rule.name: _RuleState() for rule in self.rules}
+        self.history: list[dict] = []
+
+    def evaluate(self, tsdb: TimeSeriesDB, t: int) -> list[dict]:
+        """Evaluate every rule at simulated time ``t``; returns transitions."""
+        transitions: list[dict] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            value = rule.expr.evaluate(tsdb, t)
+            if rule.breaches(value):
+                if state.pending_since is None:
+                    state.pending_since = t
+                held = t - state.pending_since
+                if state.active_since is None and held >= rule.for_seconds:
+                    state.active_since = t
+                    transitions.append(self._transition(
+                        "alert_fired", rule, t, value))
+            else:
+                state.pending_since = None
+                if state.active_since is not None:
+                    active_for = t - state.active_since
+                    state.active_since = None
+                    transitions.append(self._transition(
+                        "alert_resolved", rule, t, value,
+                        active_for=active_for))
+        return transitions
+
+    def _transition(self, event: str, rule: AlertRule, t: int,
+                    value: Optional[float], **extra: object) -> dict:
+        record = {
+            "event": event,
+            "t": t,
+            "rule": rule.name,
+            "severity": rule.severity,
+            "condition": rule.condition(),
+            "value": value,
+            **extra,
+        }
+        self.history.append(record)
+        if self.events is not None:
+            self.events.warning(event, rule=rule.name,
+                                severity=rule.severity,
+                                condition=rule.condition(), value=value,
+                                **extra)
+        return record
+
+    def active(self) -> list[str]:
+        """Names of currently-firing rules (sorted)."""
+        return sorted(name for name, state in self._states.items()
+                      if state.active_since is not None)
+
+    def fired_counts(self) -> dict[str, int]:
+        """How many times each rule fired (only rules that fired)."""
+        counts: dict[str, int] = {}
+        for record in self.history:
+            if record["event"] == "alert_fired":
+                counts[record["rule"]] = counts.get(record["rule"], 0) + 1
+        return counts
+
+    def dump_lines(self) -> list[str]:
+        """History as JSON lines — the parity/golden surface for tests."""
+        return [json.dumps(record, sort_keys=True, separators=(",", ":"))
+                for record in self.history]
+
+    def instruments(self) -> frozenset[str]:
+        """Every metric family referenced by any rule (for the docs lint)."""
+        names: frozenset[str] = frozenset()
+        for rule in self.rules:
+            names |= rule.expr.instruments()
+        return names

@@ -1,0 +1,163 @@
+"""The fleet health console: a per-machine scoreboard for the end of a run.
+
+The paper's operators had a fleet dashboard; this is the terminal
+equivalent, rendered after ``demo``/``experiment`` when ``--console`` is
+passed (and dumpable as JSON with ``--console-json``).  One row per
+machine — anomaly rate, caps in force, degraded-mode flag, crash count,
+injected-fault tally — plus a fleet footer with alert firings and scrape
+stats.
+
+The console is built from plain data (:class:`MachineHealth` rows), not
+live objects, so the shard coordinator can assemble the identical
+scoreboard from worker-shipped summaries: rendering is pure and sorted,
+making the output a byte-parity surface across ``--jobs`` counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = [
+    "MachineHealth",
+    "FleetConsole",
+    "build_console",
+]
+
+
+@dataclass
+class MachineHealth:
+    """One machine's end-of-run health row."""
+
+    machine: str
+    seconds: int
+    anomalies: int
+    caps_active: int
+    degraded: bool
+    crashes: int
+    faults: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def anomaly_rate_per_hour(self) -> float:
+        """CPI outlier detections per simulated hour on this machine."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.anomalies * 3600.0 / self.seconds
+
+    @property
+    def fault_total(self) -> int:
+        return sum(self.faults.values())
+
+    def flags(self) -> str:
+        parts = []
+        if self.degraded:
+            parts.append("DEGRADED")
+        if self.crashes:
+            parts.append(f"crashed x{self.crashes}")
+        return " ".join(parts) if parts else "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "seconds": self.seconds,
+            "anomalies": self.anomalies,
+            "anomaly_rate_per_hour": round(self.anomaly_rate_per_hour, 3),
+            "caps_active": self.caps_active,
+            "degraded": self.degraded,
+            "crashes": self.crashes,
+            "faults": dict(sorted(self.faults.items())),
+        }
+
+
+@dataclass
+class FleetConsole:
+    """The whole scoreboard: sorted machine rows plus fleet-level footer."""
+
+    machines: list[MachineHealth]
+    alerts_fired: dict[str, int] = field(default_factory=dict)
+    alerts_active: list[str] = field(default_factory=list)
+    scrapes: int = 0
+
+    def render(self) -> str:
+        header = ("machine", "anomalies", "rate/h", "caps", "crashes",
+                  "faults", "status")
+        rows = [header]
+        for row in self.machines:
+            rows.append((
+                row.machine,
+                str(row.anomalies),
+                f"{row.anomaly_rate_per_hour:.2f}",
+                str(row.caps_active),
+                str(row.crashes),
+                str(row.fault_total),
+                row.flags(),
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = ["== fleet console =="]
+        for i, row in enumerate(rows):
+            lines.append("  " + "  ".join(
+                cell.ljust(widths[j]) for j, cell in enumerate(row)).rstrip())
+            if i == 0:
+                lines.append("  " + "  ".join("-" * w for w in widths))
+        degraded = sum(1 for m in self.machines if m.degraded)
+        lines.append(f"  fleet: {len(self.machines)} machines, "
+                     f"{degraded} degraded, "
+                     f"{sum(m.anomalies for m in self.machines)} anomalies, "
+                     f"{sum(m.fault_total for m in self.machines)} faults "
+                     f"injected")
+        if self.alerts_fired:
+            fired = ", ".join(f"{name} x{count}" for name, count
+                              in sorted(self.alerts_fired.items()))
+            lines.append(f"  alerts fired: {fired}")
+        else:
+            lines.append("  alerts fired: none")
+        if self.alerts_active:
+            lines.append("  alerts still active: "
+                         + ", ".join(sorted(self.alerts_active)))
+        lines.append(f"  telemetry: {self.scrapes} scrapes")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "machines": [m.to_dict() for m in self.machines],
+            "alerts_fired": dict(sorted(self.alerts_fired.items())),
+            "alerts_active": sorted(self.alerts_active),
+            "scrapes": self.scrapes,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def build_console(
+    machine_rows: Mapping[str, Mapping[str, object]],
+    seconds: int,
+    alerts_fired: Optional[Mapping[str, int]] = None,
+    alerts_active: Optional[list[str]] = None,
+    scrapes: int = 0,
+) -> FleetConsole:
+    """Assemble a console from per-machine fact dicts.
+
+    ``machine_rows`` maps machine name to a dict with ``anomalies``,
+    ``caps_active``, ``degraded``, ``crashes``, and ``faults`` keys (all
+    optional; missing means zero).  Both the single-process pipeline and
+    the shard coordinator call this with the same shapes.
+    """
+    machines = [
+        MachineHealth(
+            machine=name,
+            seconds=seconds,
+            anomalies=int(row.get("anomalies", 0)),
+            caps_active=int(row.get("caps_active", 0)),
+            degraded=bool(row.get("degraded", False)),
+            crashes=int(row.get("crashes", 0)),
+            faults={k: int(v)
+                    for k, v in dict(row.get("faults") or {}).items()},
+        )
+        for name, row in sorted(machine_rows.items())
+    ]
+    return FleetConsole(
+        machines=machines,
+        alerts_fired=dict(alerts_fired or {}),
+        alerts_active=list(alerts_active or []),
+        scrapes=scrapes,
+    )

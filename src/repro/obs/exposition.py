@@ -1,0 +1,110 @@
+"""Prometheus text-format rendering of a :class:`MetricsRegistry`.
+
+The ROADMAP's service-mode item will expose ``/metrics`` from an asyncio
+server; this module is that endpoint's body, usable today from the CLI
+(``demo --metrics-out metrics.prom``).  The output follows the Prometheus
+exposition format 0.0.4:
+
+- counters are rendered with a ``_total`` suffix,
+- histograms expand to cumulative ``_bucket{le=...}`` series plus
+  ``_sum`` and ``_count``,
+- every family gets a ``# TYPE`` line, families and label sets are sorted,
+  and label values are escaped — all deterministic, which is what the
+  golden-file test pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import LabelKey, MetricsRegistry
+from repro.obs.timeseries import TimeSeriesDB, format_le
+
+__all__ = [
+    "render_prometheus",
+    "write_prometheus",
+    "write_timeseries_jsonl",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace("\n", "\\n")
+                 .replace('"', '\\"'))
+
+
+def _render_labels(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text format (trailing newline included)."""
+    lines: list[str] = []
+
+    counter_families = sorted({c.name for c in registry.counters()})
+    for family in counter_families:
+        lines.append(f"# TYPE {family}_total counter")
+        for counter in registry.counters(family):
+            lines.append(f"{family}_total{_render_labels(counter.labels)} "
+                         f"{_fmt_value(counter.value)}")
+
+    gauge_families = sorted({g.name for g in registry.gauges()})
+    for family in gauge_families:
+        lines.append(f"# TYPE {family} gauge")
+        for gauge in registry.gauges(family):
+            lines.append(f"{family}{_render_labels(gauge.labels)} "
+                         f"{_fmt_value(gauge.value)}")
+
+    histogram_families = sorted({h.name for h in registry.histograms()})
+    for family in histogram_families:
+        lines.append(f"# TYPE {family} histogram")
+        for hist in registry.histograms(family):
+            cumulative = 0
+            for i, bound in enumerate(hist.bounds + (float("inf"),)):
+                cumulative += hist.bucket_counts[i]
+                le_labels = tuple(sorted(
+                    hist.labels + (("le", format_le(bound)),)))
+                lines.append(f"{family}_bucket{_render_labels(le_labels)} "
+                             f"{cumulative}")
+            lines.append(f"{family}_sum{_render_labels(hist.labels)} "
+                         f"{_fmt_value(hist.sum)}")
+            lines.append(f"{family}_count{_render_labels(hist.labels)} "
+                         f"{hist.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> int:
+    """Write :func:`render_prometheus` to ``path``; returns the line count."""
+    text = render_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def write_timeseries_jsonl(tsdb: Optional[TimeSeriesDB], path: str) -> int:
+    """Dump a TSDB as JSONL (one series per line); returns the series count.
+
+    Accepts None (telemetry plane off) and writes an empty file, so CLI
+    call sites don't need to special-case the flag combination.
+    """
+    if tsdb is None:
+        with open(path, "w", encoding="utf-8"):
+            pass
+        return 0
+    return tsdb.export_jsonl(path)

@@ -32,6 +32,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "export_state",
+    "merge_state",
 ]
 
 #: Generic latency/ratio buckets: fine resolution near the CPI range the
@@ -292,3 +294,77 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
             self._kinds.clear()
+
+
+def export_state(registry: MetricsRegistry,
+                 exclude_counters: Iterable[str] = ()) -> dict[str, list]:
+    """A picklable dump of every instrument, for shipping across processes.
+
+    Counters with value zero are skipped: instruments created at pipeline
+    construction exist symmetrically in every process, so omitting the
+    zeros loses nothing and keeps barrier messages small.  Gauges and
+    histograms are shipped even at zero — their mere existence shows up in
+    reports and expositions, so all sides must agree on the set.
+    """
+    excluded = frozenset(exclude_counters)
+    return {
+        "counters": [(c.name, c.labels, c.value) for c in registry.counters()
+                     if c.value and c.name not in excluded],
+        "gauges": [(g.name, g.labels, g.value) for g in registry.gauges()],
+        "histograms": [
+            (h.name, h.labels, h.bounds, tuple(h.bucket_counts),
+             h.count, h.sum, h.min, h.max)
+            for h in registry.histograms()
+        ],
+    }
+
+
+def merge_state(registry: MetricsRegistry, state: dict[str, list],
+                gauges: str = "add") -> None:
+    """Fold an :func:`export_state` dump into ``registry``.
+
+    Counters and histograms add exactly (bucket tallies and counts are
+    integers).  ``gauges`` picks the gauge semantics:
+
+    * ``"add"`` (default) — sum contributions.  Correct for shard workers,
+      where every gauge writer is either per-machine (each machine's gauge
+      has exactly one writing process) or inc/dec-shaped
+      (``degraded_agents``), so the sum reconstructs the single-process
+      value.
+    * ``"set"`` — last write wins.  Correct for fork-pool workers
+      (:func:`repro.experiments.registry.run_experiments`,
+      :func:`repro.experiments.trials.run_trials`), where each child runs a
+      *complete* simulation and the serial baseline would simply overwrite
+      the gauge; states must be folded in input order.
+
+    Histogram float sums are added child-total-at-a-time, so they can differ
+    from the serial sample-at-a-time accumulation by rounding ulps; every
+    byte-parity surface (the TSDB, alerts, the console) therefore sticks to
+    the integer bucket counts.
+    """
+    if gauges not in ("add", "set"):
+        raise ValueError(f"gauges must be 'add' or 'set', got {gauges!r}")
+    for name, labels, value in state["counters"]:
+        if value:
+            registry.counter(name, **dict(labels)).inc(value)
+    for name, labels, value in state["gauges"]:
+        gauge = registry.gauge(name, **dict(labels))
+        if gauges == "set":
+            gauge.set(value)
+        elif value:
+            gauge.inc(value)
+    for (name, labels, bounds, bucket_counts,
+         count, total, low, high) in state["histograms"]:
+        hist = registry.histogram(name, buckets=bounds, **dict(labels))
+        if hist.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} bucket bounds differ across processes: "
+                f"{hist.bounds} vs {tuple(bounds)}")
+        for i, n in enumerate(bucket_counts):
+            hist.bucket_counts[i] += n
+        hist.count += count
+        hist.sum += total
+        if low is not None:
+            hist.min = low if hist.min is None else min(hist.min, low)
+        if high is not None:
+            hist.max = high if hist.max is None else max(hist.max, high)

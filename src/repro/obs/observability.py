@@ -8,21 +8,33 @@ for free while tests and experiments can pass an isolated instance.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.obs.events import StructuredLogger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 
+if TYPE_CHECKING:
+    from repro.obs.alerts import AlertEngine
+    from repro.obs.timeseries import TimeSeriesDB
+
 __all__ = [
     "Observability",
     "default_observability",
     "set_default_observability",
+    "telemetry_observability",
 ]
 
 
 class Observability:
-    """Metrics registry + structured event logger + pipeline tracer."""
+    """Metrics registry + structured event logger + pipeline tracer.
+
+    The optional telemetry plane (``timeseries`` TSDB + ``alerts`` engine)
+    is off by default — attach it with :func:`telemetry_observability` or
+    by setting the attributes directly.  When both are None, the scrape
+    hook never runs and the instrumented run is bit-identical to a
+    pre-telemetry one.
+    """
 
     def __init__(
         self,
@@ -34,12 +46,35 @@ class Observability:
         self.metrics = metrics or MetricsRegistry()
         self.events = events or StructuredLogger(clock=clock)
         self.tracer = tracer or Tracer()
+        self.timeseries: Optional["TimeSeriesDB"] = None
+        self.alerts: Optional["AlertEngine"] = None
         if clock is not None:
             self.events.clock = clock
 
     def bind_clock(self, clock: Callable[[], int]) -> None:
         """Stamp future events with this simulated-time source."""
         self.events.clock = clock
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return self.timeseries is not None
+
+    def enable_telemetry(self, max_points: int = 4096) -> "Observability":
+        """Attach a TSDB and the default alert rules; returns self."""
+        from repro.obs.alerts import AlertEngine
+        from repro.obs.timeseries import TimeSeriesDB
+
+        if self.timeseries is None:
+            self.timeseries = TimeSeriesDB(max_points=max_points)
+        if self.alerts is None:
+            self.alerts = AlertEngine(events=self.events)
+        return self
+
+
+def telemetry_observability(clock: Optional[Callable[[], int]] = None
+                            ) -> Observability:
+    """A fresh facade with the telemetry plane already attached."""
+    return Observability(clock=clock).enable_telemetry()
 
 
 _default: Optional[Observability] = None

@@ -1,0 +1,256 @@
+"""A deterministic, simulated-time ring-buffer TSDB over the metrics plane.
+
+CPI2's operators watched spec drift and throttling as live time series;
+this module is that history layer for the reproduction.  A
+:class:`TimeSeriesDB` *scrapes* a :class:`~repro.obs.metrics.MetricsRegistry`
+(or a set of portable per-shard states) at every sampling-window close:
+
+- **counters** are recorded as per-scrape *deltas* (``increase()`` in
+  PromQL terms), so window-rate alert expressions are a sum over points;
+- **gauges** are recorded as the value at scrape time (last-write wins);
+- **histograms** are recorded Prometheus-style as *cumulative* bucket
+  counts — one ``histogram_bucket`` series per ``le`` bound (counting
+  observations ``<= le`` since the start of the run) plus one
+  ``histogram_count`` series.  Only integer tallies are stored, never the
+  float ``sum``, so shard merges are exact and the scraped series is
+  byte-identical at any ``--jobs`` count.
+
+Everything is keyed by simulated time and bounded: each series is a ring
+buffer of at most ``max_points`` points, so a long-running service-mode
+process holds a sliding window, not an unbounded log.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.obs.metrics import LabelKey, MetricsRegistry, export_state
+
+__all__ = [
+    "KIND_COUNTER",
+    "KIND_GAUGE",
+    "KIND_HISTOGRAM_BUCKET",
+    "KIND_HISTOGRAM_COUNT",
+    "RingSeries",
+    "TimeSeriesDB",
+    "format_le",
+]
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM_BUCKET = "histogram_bucket"
+KIND_HISTOGRAM_COUNT = "histogram_count"
+
+#: Synthesized at scrape time (never written to the registry, so a
+#: telemetry-off run's metrics report is untouched by this module).
+SCRAPE_INTERVAL_GAUGE = "scrape_interval_seconds"
+
+
+def format_le(bound: float) -> str:
+    """The ``le`` label value for one bucket bound (``+Inf`` for overflow)."""
+    if bound == float("inf"):
+        return "+Inf"
+    if bound == int(bound) and abs(bound) < 1e15:
+        return str(int(bound))
+    return repr(bound)
+
+
+class RingSeries:
+    """One bounded time series: (simulated second, value) pairs."""
+
+    __slots__ = ("kind", "name", "labels", "points")
+
+    def __init__(self, kind: str, name: str, labels: LabelKey,
+                 max_points: int):
+        self.kind = kind
+        self.name = name
+        self.labels = labels
+        self.points: deque[tuple[int, float]] = deque(maxlen=max_points)
+
+    def append(self, t: int, value: float) -> None:
+        self.points.append((t, value))
+
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def window_sum(self, now: int, window: int) -> float:
+        """Sum of point values with ``t > now - window`` (delta series)."""
+        cutoff = now - window
+        return sum(v for t, v in self.points if t > cutoff)
+
+    def __repr__(self) -> str:
+        return (f"RingSeries({self.kind} {self.name}{dict(self.labels)} "
+                f"n={len(self.points)})")
+
+
+def _merge_states(states: Sequence[dict]) -> tuple[dict, dict, dict]:
+    """Sum portable registry states into (counters, gauges, histograms) maps."""
+    counters: dict[tuple[str, LabelKey], float] = {}
+    gauges: dict[tuple[str, LabelKey], float] = {}
+    hists: dict[tuple[str, LabelKey], tuple[tuple[float, ...], list[int]]] = {}
+    for state in states:
+        for name, labels, value in state["counters"]:
+            key = (name, labels)
+            counters[key] = counters.get(key, 0.0) + value
+        for name, labels, value in state["gauges"]:
+            key = (name, labels)
+            gauges[key] = gauges.get(key, 0.0) + value
+        for name, labels, bounds, bucket_counts, count, _sum, _lo, _hi \
+                in state["histograms"]:
+            key = (name, labels)
+            found = hists.get(key)
+            if found is None:
+                hists[key] = (tuple(bounds), list(bucket_counts))
+            else:
+                prior_bounds, tallies = found
+                if prior_bounds != tuple(bounds):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ across "
+                        f"shards: {prior_bounds} vs {tuple(bounds)}")
+                for i, n in enumerate(bucket_counts):
+                    tallies[i] += n
+    return counters, gauges, hists
+
+
+class TimeSeriesDB:
+    """Scrapes registries into bounded, simulated-time series.
+
+    One instance lives on the telemetry-enabled pipeline (and on the shard
+    coordinator).  ``scrape_registry`` is the single-process path;
+    ``scrape_states`` is the sharded path — both funnel through the same
+    recording code so the stored series are identical either way.
+    """
+
+    def __init__(self, max_points: int = 4096):
+        if max_points < 2:
+            raise ValueError("max_points must be at least 2")
+        self.max_points = max_points
+        self._series: dict[tuple[str, str, LabelKey], RingSeries] = {}
+        self._counter_totals: dict[tuple[str, LabelKey], float] = {}
+        self.scrapes = 0
+        self.last_scrape_t: Optional[int] = None
+
+    # -- scraping ------------------------------------------------------------
+
+    def scrape_registry(self, t: int, registry: MetricsRegistry,
+                        extra_gauges: Optional[Mapping[str, float]] = None,
+                        exclude_counters: Iterable[str] = ()) -> None:
+        """Record one scrape of a live registry at simulated time ``t``."""
+        self.scrape_states(t, [export_state(registry, exclude_counters)],
+                           extra_gauges)
+
+    def scrape_states(self, t: int, states: Sequence[dict],
+                      extra_gauges: Optional[Mapping[str, float]] = None
+                      ) -> None:
+        """Record one scrape built from portable per-process registry states.
+
+        ``states`` are summed instrument-by-instrument before recording, so
+        a coordinator scraping N shard states stores exactly what a single
+        process scraping one fused registry would.
+        """
+        counters, gauges, hists = _merge_states(states)
+        for (name, labels) in sorted(counters):
+            total = counters[(name, labels)]
+            key = (name, labels)
+            delta = total - self._counter_totals.get(key, 0.0)
+            self._counter_totals[key] = total
+            self._record(KIND_COUNTER, name, labels, t, delta)
+        for (name, labels) in sorted(gauges):
+            self._record(KIND_GAUGE, name, labels, t, gauges[(name, labels)])
+        if extra_gauges:
+            for name in sorted(extra_gauges):
+                self._record(KIND_GAUGE, name, (), t, extra_gauges[name])
+        if self.last_scrape_t is not None:
+            self._record(KIND_GAUGE, SCRAPE_INTERVAL_GAUGE, (), t,
+                         t - self.last_scrape_t)
+        for (name, labels) in sorted(hists):
+            bounds, tallies = hists[(name, labels)]
+            cumulative = 0
+            for i, bound in enumerate(tuple(bounds) + (float("inf"),)):
+                cumulative += tallies[i]
+                le_labels = tuple(sorted(labels + (("le", format_le(bound)),)))
+                self._record(KIND_HISTOGRAM_BUCKET, name, le_labels, t,
+                             cumulative)
+            self._record(KIND_HISTOGRAM_COUNT, name, labels, t, cumulative)
+        self.scrapes += 1
+        self.last_scrape_t = t
+
+    def _record(self, kind: str, name: str, labels: LabelKey,
+                t: int, value: float) -> None:
+        key = (kind, name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = RingSeries(kind, name, labels,
+                                                    self.max_points)
+        series.append(t, value)
+
+    # -- queries (the alert engine's read API) -------------------------------
+
+    def series(self, kind: Optional[str] = None, name: Optional[str] = None,
+               labels: Optional[Mapping[str, object]] = None
+               ) -> list[RingSeries]:
+        """All series matching kind/name and *containing* the given labels."""
+        wanted = None if labels is None else {
+            (k, str(v)) for k, v in labels.items()}
+        found = [
+            s for (k, n, _), s in self._series.items()
+            if (kind is None or k == kind) and (name is None or n == name)
+            and (wanted is None or wanted <= set(s.labels))
+        ]
+        return sorted(found, key=lambda s: (s.kind, s.name, s.labels))
+
+    def counter_increase(self, name: str, now: int, window: int,
+                         labels: Optional[Mapping[str, object]] = None
+                         ) -> float:
+        """Total increase of a counter family over the trailing window."""
+        return sum(s.window_sum(now, window)
+                   for s in self.series(KIND_COUNTER, name, labels))
+
+    def gauge_last(self, name: str,
+                   labels: Optional[Mapping[str, object]] = None
+                   ) -> Optional[float]:
+        """Sum of the latest values across matching gauge series.
+
+        Per-machine gauge families (``caps_active{machine=...}``) sum to the
+        fleet value; singleton gauges return their last write.  None when no
+        matching series has any points yet.
+        """
+        values = [s.last() for s in self.series(KIND_GAUGE, name, labels)]
+        values = [v for v in values if v is not None]
+        return sum(values) if values else None
+
+    def instrument_names(self) -> list[str]:
+        """Every metric family name the TSDB has recorded (sorted)."""
+        return sorted({name for (_, name, _) in self._series})
+
+    # -- export --------------------------------------------------------------
+
+    def dump_lines(self) -> list[str]:
+        """The whole database as sorted JSONL lines (the ``--timeseries-out``
+        format and the shard-parity acceptance surface)."""
+        lines = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            lines.append(json.dumps({
+                "kind": series.kind,
+                "name": series.name,
+                "labels": dict(series.labels),
+                "points": [[t, _jsonable(v)] for t, v in series.points],
+            }, sort_keys=True, separators=(",", ":")))
+        return lines
+
+    def export_jsonl(self, path: str) -> int:
+        """Write :meth:`dump_lines` to ``path``; returns the series count."""
+        lines = self.dump_lines()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+
+def _jsonable(value: float) -> object:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return int(value)
+    return value

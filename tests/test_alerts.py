@@ -1,0 +1,210 @@
+"""Tests for the declarative SLO alert engine.
+
+Covers the expression language (counter increases, gauge reads, guarded
+ratios), the fire/resolve lifecycle with for-durations, event emission
+through the structured logger, and the docs lint: every instrument a
+shipped rule reads must be documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.alerts import (DEFAULT_ALERT_RULES, AlertEngine, AlertRule,
+                              CounterIncrease, GaugeValue, Ratio)
+from repro.obs.events import StructuredLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesDB
+
+DOCS = Path(__file__).parent.parent / "docs" / "observability.md"
+
+
+def _scrape(tsdb, registry, t):
+    tsdb.scrape_registry(t, registry)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+def test_counter_increase_expression():
+    registry = MetricsRegistry()
+    counter = registry.counter("samples_quarantined")
+    tsdb = TimeSeriesDB()
+    expr = CounterIncrease("samples_quarantined", window=120)
+    _scrape(tsdb, registry, 10)
+    assert expr.evaluate(tsdb, 10) == 0.0
+    counter.inc(8)
+    _scrape(tsdb, registry, 70)
+    counter.inc(2)
+    _scrape(tsdb, registry, 130)
+    assert expr.evaluate(tsdb, 130) == 10.0   # both deltas inside window
+    assert expr.evaluate(tsdb, 190) == 2.0    # the older one aged out
+    assert expr.describe() == "increase(samples_quarantined[120s])"
+    assert expr.instruments() == frozenset({"samples_quarantined"})
+
+
+def test_gauge_value_expression():
+    registry = MetricsRegistry()
+    registry.gauge("degraded_agents").set(3)
+    tsdb = TimeSeriesDB()
+    expr = GaugeValue("degraded_agents")
+    assert expr.evaluate(tsdb, 0) is None     # nothing scraped yet
+    _scrape(tsdb, registry, 10)
+    assert expr.evaluate(tsdb, 10) == 3.0
+    assert expr.describe() == "degraded_agents"
+
+
+def test_ratio_denominator_floor():
+    registry = MetricsRegistry()
+    dropped = registry.counter("analyses_dropped", reason="stale_spec")
+    detected = registry.counter("anomalies_detected")
+    tsdb = TimeSeriesDB()
+    expr = Ratio(
+        CounterIncrease("analyses_dropped", 600,
+                        labels={"reason": "stale_spec"}),
+        CounterIncrease("anomalies_detected", 600),
+        min_denominator=5.0)
+    dropped.inc(3)
+    detected.inc(4)
+    _scrape(tsdb, registry, 10)
+    assert expr.evaluate(tsdb, 10) is None    # below the floor: no signal
+    detected.inc(2)
+    _scrape(tsdb, registry, 70)
+    assert expr.evaluate(tsdb, 70) == 0.5     # 3 dropped / 6 detected
+    assert "increase(analyses_dropped{reason=stale_spec}[600s])" \
+        in expr.describe()
+    assert expr.instruments() == frozenset(
+        {"analyses_dropped", "anomalies_detected"})
+
+
+# -- rule lifecycle -----------------------------------------------------------
+
+
+def _burst_setup():
+    registry = MetricsRegistry()
+    counter = registry.counter("samples_quarantined")
+    tsdb = TimeSeriesDB()
+    rule = AlertRule("quarantine_spike",
+                     CounterIncrease("samples_quarantined", 300),
+                     ">", 50, for_seconds=60, severity="critical")
+    return registry, counter, tsdb, AlertEngine([rule])
+
+
+def test_rule_fires_after_for_duration_and_resolves():
+    registry, counter, tsdb, engine = _burst_setup()
+    _scrape(tsdb, registry, 10)
+    engine.evaluate(tsdb, 10)
+    counter.inc(80)                            # breach begins at t=70
+    _scrape(tsdb, registry, 70)
+    assert engine.evaluate(tsdb, 70) == []     # held 0s < for 60s: pending
+    _scrape(tsdb, registry, 130)
+    fired = engine.evaluate(tsdb, 130)         # held 60s: fires
+    assert [r["event"] for r in fired] == ["alert_fired"]
+    assert fired[0]["rule"] == "quarantine_spike"
+    assert fired[0]["value"] == 80.0
+    assert engine.active() == ["quarantine_spike"]
+    # The 300s window drains; the next scrapes see the burst age out.
+    _scrape(tsdb, registry, 190)
+    _scrape(tsdb, registry, 250)
+    _scrape(tsdb, registry, 310)
+    _scrape(tsdb, registry, 370)
+    resolved = [r for t in (190, 250, 310, 370)
+                for r in engine.evaluate(tsdb, t)]
+    assert [r["event"] for r in resolved] == ["alert_resolved"]
+    assert resolved[0]["t"] == 370
+    assert resolved[0]["active_for"] == 240
+    assert engine.active() == []
+    assert engine.fired_counts() == {"quarantine_spike": 1}
+
+
+def test_breach_shorter_than_for_duration_never_fires():
+    registry, counter, tsdb, engine = _burst_setup()
+    counter.inc(80)
+    _scrape(tsdb, registry, 10)
+    engine.evaluate(tsdb, 10)                  # pending
+    _scrape(tsdb, registry, 370)               # burst aged out of the window
+    assert engine.evaluate(tsdb, 370) == []
+    assert engine.history == []
+
+
+def test_transitions_emit_structured_events():
+    captured: list[dict] = []
+    logger = StructuredLogger(clock=lambda: 0)
+    logger.add_sink(captured.append)
+    registry = MetricsRegistry()
+    registry.counter("resend_queue_overflow").inc()
+    tsdb = TimeSeriesDB()
+    engine = AlertEngine(
+        [AlertRule("resend_overflow",
+                   CounterIncrease("resend_queue_overflow", 300),
+                   ">", 0, severity="critical")],
+        events=logger)
+    _scrape(tsdb, registry, 10)
+    engine.evaluate(tsdb, 10)
+    assert [e["event"] for e in captured] == ["alert_fired"]
+    assert captured[0]["rule"] == "resend_overflow"
+    assert captured[0]["severity"] == "critical"
+
+
+def test_dump_lines_round_trip():
+    registry, counter, tsdb, engine = _burst_setup()
+    counter.inc(80)
+    _scrape(tsdb, registry, 10)
+    _scrape(tsdb, registry, 70)
+    engine.evaluate(tsdb, 10)
+    engine.evaluate(tsdb, 70)
+    lines = engine.dump_lines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["event"] == "alert_fired"
+
+
+def test_engine_rejects_duplicate_rule_names():
+    rule = AlertRule("dup", GaugeValue("g"), ">", 1)
+    with pytest.raises(ValueError, match="duplicate"):
+        AlertEngine([rule, rule])
+
+
+def test_rule_rejects_unknown_operator():
+    with pytest.raises(ValueError, match="comparison"):
+        AlertRule("bad", GaugeValue("g"), "!=", 1)
+
+
+def test_no_data_never_breaches():
+    engine = AlertEngine()
+    assert engine.evaluate(TimeSeriesDB(), 10) == []
+    assert engine.history == []
+
+
+# -- the shipped catalogue ----------------------------------------------------
+
+
+def test_default_rule_names_are_unique_and_described():
+    names = [rule.name for rule in DEFAULT_ALERT_RULES]
+    assert len(set(names)) == len(names)
+    for rule in DEFAULT_ALERT_RULES:
+        assert rule.description, rule.name
+        assert rule.condition()
+
+
+def test_every_alert_instrument_is_documented():
+    """Docs lint: the observability guide must cover each referenced metric.
+
+    CI runs this test standalone; keep the failure message actionable.
+    """
+    text = DOCS.read_text(encoding="utf-8")
+    missing = sorted(name for name in AlertEngine().instruments()
+                     if name not in text)
+    assert not missing, (
+        f"alert rules reference instruments missing from {DOCS}: {missing} "
+        f"— add them to the metrics/alert catalogue")
+
+
+def test_every_alert_rule_is_documented():
+    text = DOCS.read_text(encoding="utf-8")
+    missing = sorted(rule.name for rule in DEFAULT_ALERT_RULES
+                     if rule.name not in text)
+    assert not missing, (
+        f"alert rules missing from the catalogue in {DOCS}: {missing}")

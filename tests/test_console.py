@@ -1,0 +1,88 @@
+"""Tests for the fleet health console.
+
+The console renders from plain data, sorted, with no live-object access —
+that purity is what lets the shard coordinator rebuild the byte-identical
+scoreboard from worker summaries, so these tests pin the exact rendering.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.console import FleetConsole, MachineHealth, build_console
+
+
+def _row(**overrides):
+    base = dict(machine="m0", seconds=3600, anomalies=0, caps_active=0,
+                degraded=False, crashes=0, faults={})
+    base.update(overrides)
+    return MachineHealth(**base)
+
+
+def test_machine_health_derived_fields():
+    row = _row(anomalies=30, seconds=1800, faults={"drop": 3, "delay": 4},
+               crashes=2, degraded=True)
+    assert row.anomaly_rate_per_hour == 60.0
+    assert row.fault_total == 7
+    assert row.flags() == "DEGRADED crashed x2"
+    assert _row().flags() == "ok"
+    assert _row(seconds=0, anomalies=5).anomaly_rate_per_hour == 0.0
+    payload = row.to_dict()
+    assert payload["anomaly_rate_per_hour"] == 60.0
+    assert payload["faults"] == {"delay": 4, "drop": 3}
+
+
+def test_render_golden():
+    console = FleetConsole(
+        machines=[
+            _row(machine="m0", anomalies=75),
+            _row(machine="m1", crashes=2, faults={"drop": 4},
+                 degraded=True),
+        ],
+        alerts_fired={"agent_crash_storm": 2},
+        alerts_active=["agent_crash_storm"],
+        scrapes=60,
+    )
+    assert console.render() == """\
+== fleet console ==
+  machine  anomalies  rate/h  caps  crashes  faults  status
+  -------  ---------  ------  ----  -------  ------  -------------------
+  m0       75         75.00   0     0        0       ok
+  m1       0          0.00    0     2        4       DEGRADED crashed x2
+  fleet: 2 machines, 1 degraded, 75 anomalies, 4 faults injected
+  alerts fired: agent_crash_storm x2
+  alerts still active: agent_crash_storm
+  telemetry: 60 scrapes"""
+
+
+def test_render_quiet_fleet():
+    text = FleetConsole(machines=[_row()]).render()
+    assert "alerts fired: none" in text
+    assert "alerts still active" not in text
+    assert "telemetry: 0 scrapes" in text
+
+
+def test_to_json_is_sorted_and_parseable():
+    console = FleetConsole(
+        machines=[_row(machine="m1"), _row(machine="m0")],
+        alerts_fired={"b": 1, "a": 2}, alerts_active=["z", "a"], scrapes=3)
+    payload = json.loads(console.to_json())
+    assert list(payload["alerts_fired"]) == ["a", "b"]
+    assert payload["alerts_active"] == ["a", "z"]
+    assert payload["scrapes"] == 3
+    # machines keep list order from the caller; build_console sorts them.
+    assert [m["machine"] for m in payload["machines"]] == ["m1", "m0"]
+
+
+def test_build_console_sorts_and_defaults():
+    console = build_console(
+        {"m1": {"anomalies": 3, "faults": {"drop": 1}},
+         "m0": {"degraded": True, "crashes": 1, "caps_active": 2}},
+        seconds=7200, alerts_fired={"x": 1}, scrapes=120)
+    assert [m.machine for m in console.machines] == ["m0", "m1"]
+    m0, m1 = console.machines
+    assert (m0.degraded, m0.crashes, m0.caps_active) == (True, 1, 2)
+    assert (m1.anomalies, m1.faults) == (3, {"drop": 1})
+    assert m0.seconds == m1.seconds == 7200
+    assert console.alerts_fired == {"x": 1}
+    assert console.scrapes == 120

@@ -1,0 +1,96 @@
+"""Golden tests for the Prometheus text-format exposition.
+
+The rendered text is deterministic by construction (sorted families,
+sorted label sets, fixed float formatting), so the main test pins an
+exact golden document — any formatting drift is a visible diff, which is
+what downstream scrapers care about.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.exposition import (render_prometheus, write_prometheus,
+                                  write_timeseries_jsonl)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesDB
+
+GOLDEN = """\
+# TYPE analyses_dropped_total counter
+analyses_dropped_total{reason="rate_limited"} 2
+analyses_dropped_total{reason="stale_spec"} 7
+# TYPE samples_ingested_total counter
+samples_ingested_total 41
+# TYPE caps_active gauge
+caps_active{machine="m0"} 2
+caps_active{machine="m1"} 0
+# TYPE degraded_agents gauge
+degraded_agents 1
+# TYPE victim_cpi histogram
+victim_cpi_bucket{le="1"} 1
+victim_cpi_bucket{le="2"} 3
+victim_cpi_bucket{le="+Inf"} 4
+victim_cpi_sum 9.45
+victim_cpi_count 4
+"""
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("samples_ingested").inc(41)
+    registry.counter("analyses_dropped", reason="stale_spec").inc(7)
+    registry.counter("analyses_dropped", reason="rate_limited").inc(2)
+    registry.gauge("caps_active", machine="m0").set(2)
+    registry.gauge("caps_active", machine="m1").set(0)
+    registry.gauge("degraded_agents").set(1)
+    hist = registry.histogram("victim_cpi", buckets=(1.0, 2.0))
+    for value in (0.5, 1.5, 1.95, 5.5):
+        hist.observe(value)
+    return registry
+
+
+def test_render_prometheus_golden():
+    assert render_prometheus(_golden_registry()) == GOLDEN
+
+
+def test_render_prometheus_empty_registry():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_label_value_escaping():
+    registry = MetricsRegistry()
+    registry.counter("c", path='a"b\\c\nd').inc()
+    text = render_prometheus(registry)
+    assert 'c_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+
+def test_float_formatting():
+    registry = MetricsRegistry()
+    registry.gauge("g_int").set(3.0)
+    registry.gauge("g_frac").set(0.125)
+    registry.gauge("g_nan").set(math.nan)
+    registry.gauge("g_inf").set(math.inf)
+    text = render_prometheus(registry)
+    assert "g_int 3\n" in text          # integral floats render as ints
+    assert "g_frac 0.125\n" in text     # repr round-trips exactly
+    assert "g_nan NaN\n" in text
+    assert "g_inf +Inf\n" in text
+
+
+def test_write_prometheus(tmp_path):
+    path = tmp_path / "metrics.prom"
+    count = write_prometheus(_golden_registry(), str(path))
+    assert path.read_text() == GOLDEN
+    assert count == GOLDEN.count("\n")
+
+
+def test_write_timeseries_jsonl(tmp_path):
+    path = tmp_path / "series.jsonl"
+    assert write_timeseries_jsonl(None, str(path)) == 0   # telemetry off
+    assert path.read_text() == ""
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    tsdb = TimeSeriesDB()
+    tsdb.scrape_registry(10, registry)
+    assert write_timeseries_jsonl(tsdb, str(path)) == 1
+    assert path.read_text() == tsdb.dump_lines()[0] + "\n"

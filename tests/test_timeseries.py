@@ -1,0 +1,206 @@
+"""Unit tests for the simulated-time ring-buffer TSDB.
+
+The TSDB is the telemetry plane's storage layer; these tests pin the
+recording semantics the alert rules and the shard-parity contract rely on:
+counters stored as per-scrape deltas, gauges as last-write values,
+histograms as cumulative integer bucket counts (no float sum), bounded
+ring-buffer memory, and the equivalence between scraping one live registry
+and scraping the same state split across portable per-shard dumps.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, export_state
+from repro.obs.timeseries import (KIND_COUNTER, KIND_GAUGE,
+                                  KIND_HISTOGRAM_BUCKET,
+                                  KIND_HISTOGRAM_COUNT,
+                                  SCRAPE_INTERVAL_GAUGE, RingSeries,
+                                  TimeSeriesDB, format_le)
+
+
+def _points(tsdb, kind, name, labels=None):
+    found = tsdb.series(kind, name, labels)
+    assert len(found) == 1, found
+    return list(found[0].points)
+
+
+# -- RingSeries ---------------------------------------------------------------
+
+
+def test_ring_series_bounded_and_window_sum():
+    series = RingSeries(KIND_COUNTER, "c", (), max_points=3)
+    for t in (10, 70, 130, 190):
+        series.append(t, 1.0)
+    assert list(series.points) == [(70, 1.0), (130, 1.0), (190, 1.0)]
+    assert series.last() == 1.0
+    # window (190-120, 190]: points at 130 and 190 qualify, 70 does not.
+    assert series.window_sum(190, 120) == 2.0
+    assert series.window_sum(190, 10_000) == 3.0
+    assert RingSeries(KIND_GAUGE, "g", (), max_points=2).last() is None
+
+
+def test_format_le():
+    assert format_le(float("inf")) == "+Inf"
+    assert format_le(1.0) == "1"
+    assert format_le(0.25) == "0.25"
+
+
+# -- scrape semantics ---------------------------------------------------------
+
+
+def test_counters_recorded_as_deltas():
+    registry = MetricsRegistry()
+    counter = registry.counter("samples_ingested")
+    tsdb = TimeSeriesDB()
+    counter.inc(5)
+    tsdb.scrape_registry(10, registry)
+    counter.inc(7)
+    tsdb.scrape_registry(70, registry)
+    tsdb.scrape_registry(130, registry)  # no change -> zero delta
+    assert _points(tsdb, KIND_COUNTER, "samples_ingested") == [
+        (10, 5.0), (70, 7.0), (130, 0.0)]
+    assert tsdb.counter_increase("samples_ingested", 130, 120) == 7.0
+    assert tsdb.counter_increase("samples_ingested", 130, 10_000) == 12.0
+
+
+def test_gauges_recorded_last_write_and_summed_across_labels():
+    registry = MetricsRegistry()
+    registry.gauge("caps_active", machine="m0").set(2)
+    registry.gauge("caps_active", machine="m1").set(1)
+    tsdb = TimeSeriesDB()
+    tsdb.scrape_registry(10, registry)
+    registry.gauge("caps_active", machine="m0").set(0)
+    tsdb.scrape_registry(70, registry)
+    assert _points(tsdb, KIND_GAUGE, "caps_active", {"machine": "m0"}) == [
+        (10, 2.0), (70, 0.0)]
+    assert tsdb.gauge_last("caps_active") == 1.0          # fleet sum
+    assert tsdb.gauge_last("caps_active", {"machine": "m1"}) == 1.0
+    assert tsdb.gauge_last("nonexistent") is None
+
+
+def test_histograms_recorded_as_cumulative_integer_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("victim_cpi", buckets=(1.0, 2.0))
+    for value in (0.5, 1.5, 1.7, 5.0):
+        hist.observe(value)
+    tsdb = TimeSeriesDB()
+    tsdb.scrape_registry(10, registry)
+    assert _points(tsdb, KIND_HISTOGRAM_BUCKET, "victim_cpi",
+                   {"le": "1"}) == [(10, 1)]
+    assert _points(tsdb, KIND_HISTOGRAM_BUCKET, "victim_cpi",
+                   {"le": "2"}) == [(10, 3)]
+    assert _points(tsdb, KIND_HISTOGRAM_BUCKET, "victim_cpi",
+                   {"le": "+Inf"}) == [(10, 4)]
+    assert _points(tsdb, KIND_HISTOGRAM_COUNT, "victim_cpi") == [(10, 4)]
+    # Only integer tallies are stored — the float sum never enters the TSDB.
+    for line in tsdb.dump_lines():
+        record = json.loads(line)
+        for _t, value in record["points"]:
+            assert isinstance(value, int), record
+
+
+def test_scrape_interval_gauge_from_second_scrape_on():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    tsdb = TimeSeriesDB()
+    tsdb.scrape_registry(10, registry)
+    assert tsdb.series(KIND_GAUGE, SCRAPE_INTERVAL_GAUGE) == []
+    tsdb.scrape_registry(70, registry)
+    tsdb.scrape_registry(190, registry)  # a skipped scrape shows up as 120
+    assert _points(tsdb, KIND_GAUGE, SCRAPE_INTERVAL_GAUGE) == [
+        (70, 60.0), (190, 120.0)]
+    assert tsdb.scrapes == 3
+    assert tsdb.last_scrape_t == 190
+
+
+def test_extra_gauges_are_recorded_but_not_in_registry():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    tsdb = TimeSeriesDB()
+    tsdb.scrape_registry(10, registry, extra_gauges={"fleet_machines": 4})
+    assert _points(tsdb, KIND_GAUGE, "fleet_machines") == [(10, 4.0)]
+    assert list(registry.gauges()) == []  # synthesized, never written back
+
+
+# -- sharded-state equivalence ------------------------------------------------
+
+
+def test_scrape_states_equals_scrape_registry():
+    """N partial states summed == one fused registry, byte for byte."""
+    fused = MetricsRegistry()
+    part_a, part_b = MetricsRegistry(), MetricsRegistry()
+    for registry, n in ((fused, 3), (part_a, 3)):
+        registry.counter("samples_ingested").inc(n)
+    for registry, n in ((fused, 4), (part_b, 4)):
+        registry.counter("samples_ingested").inc(n)
+        registry.gauge("caps_active", machine="m1").set(2)
+    for registry in (fused, part_a):
+        registry.histogram("cpi", buckets=(1.0,)).observe(0.5)
+    for registry in (fused, part_b):
+        registry.histogram("cpi", buckets=(1.0,)).observe(2.5)
+
+    single, sharded = TimeSeriesDB(), TimeSeriesDB()
+    single.scrape_registry(10, fused, extra_gauges={"fleet_machines": 2})
+    sharded.scrape_states(10, [export_state(part_a), export_state(part_b)],
+                          extra_gauges={"fleet_machines": 2})
+    assert sharded.dump_lines() == single.dump_lines()
+
+
+def test_scrape_states_rejects_mismatched_bucket_bounds():
+    part_a, part_b = MetricsRegistry(), MetricsRegistry()
+    part_a.histogram("cpi", buckets=(1.0,)).observe(0.5)
+    part_b.histogram("cpi", buckets=(2.0,)).observe(0.5)
+    with pytest.raises(ValueError, match="bucket bounds differ"):
+        TimeSeriesDB().scrape_states(
+            10, [export_state(part_a), export_state(part_b)])
+
+
+def test_exclude_counters_skips_per_worker_instruments():
+    registry = MetricsRegistry()
+    registry.counter("sim_ticks").inc(600)
+    registry.counter("samples_ingested").inc(3)
+    tsdb = TimeSeriesDB()
+    tsdb.scrape_registry(10, registry, exclude_counters=("sim_ticks",))
+    assert tsdb.instrument_names() == ["samples_ingested"]
+
+
+# -- memory bound and export --------------------------------------------------
+
+
+def test_max_points_bounds_every_series():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    tsdb = TimeSeriesDB(max_points=4)
+    for i in range(10):
+        counter.inc()
+        tsdb.scrape_registry(10 + 60 * i, registry)
+    points = _points(tsdb, KIND_COUNTER, "c")
+    assert len(points) == 4
+    assert points[-1] == (550, 1.0)
+    with pytest.raises(ValueError):
+        TimeSeriesDB(max_points=1)
+
+
+def test_dump_and_export_jsonl(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a", reason="x").inc(2)
+    registry.gauge("g").set(1.5)
+    tsdb = TimeSeriesDB()
+    tsdb.scrape_registry(10, registry)
+    lines = tsdb.dump_lines()
+    records = [json.loads(line) for line in lines]
+    # Sorted by (kind, name, labels); every line is self-describing JSON.
+    assert [(r["kind"], r["name"]) for r in records] == [
+        ("counter", "a"), ("counter", "b"), ("gauge", "g")]
+    assert records[0]["labels"] == {"reason": "x"}
+    assert records[0]["points"] == [[10, 2]]
+    assert records[2]["points"] == [[10, 1.5]]
+
+    out = tmp_path / "series.jsonl"
+    assert tsdb.export_jsonl(str(out)) == 3
+    assert out.read_text().splitlines() == lines
