@@ -10,6 +10,10 @@ Commands:
 * ``list`` — the registered paper experiments.
 * ``experiment <name> [...]`` — run experiments by name and print their
   paper-vs-measured reports.
+* ``soak`` — the churn soak harness: sustained job turnover with periodic
+  aggregator kills and snapshot+WAL recovery, asserting zero spec drift,
+  bounded memory, and counted recovery telemetry; exits non-zero if any
+  check fails.  See ``docs/robustness.md``.
 
 Global observability flags (accepted by every command):
 
@@ -133,6 +137,35 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the accumulated metrics registry "
                                  "to PATH in Prometheus text format")
     _add_obs_flags(experiment)
+
+    soak = subparsers.add_parser(
+        "soak", help="churn soak with periodic aggregator kills and "
+                     "snapshot+WAL recovery")
+    soak.add_argument("--minutes", type=int, default=120,
+                      help="simulated minutes to run (default 120)")
+    soak.add_argument("--machines", type=int, default=8,
+                      help="fleet size (default 8)")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--fault-seed", type=int, default=1,
+                      help="seed for the fault schedule (default 1)")
+    soak.add_argument("--kill-every", type=int, default=900, metavar="SECONDS",
+                      help="kill the aggregator every this many simulated "
+                           "seconds (default 900)")
+    soak.add_argument("--outage", type=int, default=60, metavar="SECONDS",
+                      help="seconds the aggregator stays down per kill; "
+                           "agents ride the outage out on retry/backoff "
+                           "(default 60)")
+    soak.add_argument("--store", metavar="DIR", default=None,
+                      help="mirror the spec store to DIR (wal.jsonl + "
+                           "snapshot.json survive the run)")
+    soak.add_argument("--report-json", metavar="PATH", default=None,
+                      help="write the full soak report to PATH as JSON")
+    soak.add_argument("--timeseries-out", metavar="PATH", default=None,
+                      help="dump the scraped time series to PATH as JSONL")
+    soak.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="write the final metrics registry to PATH in "
+                           "Prometheus text format")
+    _add_obs_flags(soak)
     return parser
 
 
@@ -250,6 +283,43 @@ def _cmd_demo(minutes: int, seed: int,
     return 0
 
 
+def _cmd_soak(minutes: int, machines: int, seed: int, fault_seed: int,
+              kill_every: int, outage: int,
+              store: Optional[str] = None,
+              report_json: Optional[str] = None,
+              timeseries_out: Optional[str] = None,
+              metrics_out: Optional[str] = None) -> int:
+    from repro.experiments.soak import run_soak
+    from repro.obs import default_observability
+
+    obs = default_observability()
+    print(f"soaking {minutes} simulated minutes on {machines} machine(s), "
+          f"killing the aggregator every {kill_every}s "
+          f"(outage {outage}s)...")
+    report = run_soak(seconds=minutes * 60, seed=seed,
+                      num_machines=machines, kill_period=kill_every,
+                      outage_seconds=outage, fault_seed=fault_seed,
+                      store_dir=store, obs=obs)
+    print(report.render())
+    if report_json:
+        with open(report_json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote soak report to {report_json}")
+    if store:
+        print(f"spec store mirrored to {store}")
+    if metrics_out:
+        from repro.obs import write_prometheus
+
+        written = write_prometheus(obs.metrics, metrics_out)
+        print(f"wrote {written} exposition lines to {metrics_out}")
+    if timeseries_out and obs.timeseries is not None:
+        from repro.obs import write_timeseries_jsonl
+
+        written = write_timeseries_jsonl(obs.timeseries, timeseries_out)
+        print(f"wrote {written} time series to {timeseries_out}")
+    return 0 if report.passed else 1
+
+
 def _cmd_list() -> int:
     from repro.experiments.registry import EXPERIMENTS
 
@@ -331,6 +401,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "experiment":
             return _cmd_experiment(args.names, jobs=args.jobs,
                                    metrics_out=args.metrics_out)
+        if args.command == "soak":
+            return _cmd_soak(args.minutes, args.machines, args.seed,
+                             args.fault_seed, args.kill_every, args.outage,
+                             store=args.store,
+                             report_json=args.report_json,
+                             timeseries_out=args.timeseries_out,
+                             metrics_out=args.metrics_out)
         raise AssertionError(f"unhandled command {args.command!r}")
 
     if args.profile is None:

@@ -245,6 +245,12 @@ def run_sharded(
         aggregator = pipeline.aggregator
         faulted = pipeline.faults is not None
         telemetry = pipeline.obs.timeseries is not None
+        #: The coordinator's durable host is canonical: it is pumped
+        #: tick-by-tick between barriers (crash schedule, snapshots,
+        #: restores) with arrivals interleaved at their delivery ticks,
+        #: reproducing the single-process order exactly.  Workers demoted
+        #: their own hosts to schedule-tracking replicas.
+        host = pipeline.host
         # Account for the clock exactly once, coordinator-side, the same
         # way ClusterSimulation.run batches it; workers exclude sim_ticks
         # from every state they ship.
@@ -286,7 +292,8 @@ def run_sharded(
             with timers.stage("coordinator_ingest"):
                 sim.now = t  # replica events/clock track the run
                 refreshed = _replay_barrier(result, aggregator, t, windows,
-                                            arrivals, faulted, log_samples)
+                                            arrivals, faulted, log_samples,
+                                            host=host)
             for worker in workers:
                 _send(worker, ("specs", refreshed))
             if telemetry:
@@ -313,7 +320,7 @@ def run_sharded(
                 _send(worker, ("release",))
         with timers.stage("coordinator_merge"):
             sim.now = seconds
-            _merge_summaries(result, aggregator, summaries)
+            _merge_summaries(result, aggregator, summaries, host=host)
         for worker in workers:
             worker.process.join(timeout=10)
     finally:
@@ -328,21 +335,44 @@ def run_sharded(
     return result
 
 
+def _pump_host_through(host, through: int, arrivals: list) -> None:
+    """Advance the durable host to ``through``, one tick at a time.
+
+    ``arrivals`` must already be (tick, machine)-sorted.  Each tick pumps
+    the host first (restore, crash draw, snapshot — the single-process
+    ``_on_tick`` order), then applies that tick's fabric arrivals, so a
+    crash lands between exactly the same ingests as it would have in one
+    process.
+    """
+    index = 0
+    for tick in range(host.pumped_through + 1, through + 1):
+        host.pump(tick)
+        while index < len(arrivals) and arrivals[index][0] <= tick:
+            arrived_at, _machine, columns = arrivals[index]
+            host.ingest_columns(arrived_at, columns)
+            index += 1
+
+
 def _replay_barrier(result: ShardedRunResult, aggregator, t: int,
                     windows: list, arrivals: list, faulted: bool,
-                    log_samples: bool):
+                    log_samples: bool, host=None):
     """Apply one barrier's shipped state in single-process order.
 
     Fabric arrivals first (the single-process pump phase precedes the
     sampler phase), in (arrival tick, machine) order; then each closed
     window in sorted-machine order — ingest (clean mode only; faulted
     windows travel via the upload fabric), then the refresh check, exactly
-    the per-machine interleave of ``CpiPipeline._on_samples``.  Returns
+    the per-machine interleave of ``CpiPipeline._on_samples``.  With a
+    durable ``host``, every mutation routes through it (WAL + kill
+    schedule) with the host clock caught up tick-by-tick first.  Returns
     the refreshed spec map, or ``None``.
     """
     arrivals.sort(key=lambda entry: (entry[0], entry[1]))
-    for _arrived_at, _machine, columns in arrivals:
-        aggregator.ingest_batch(columns)
+    if host is not None:
+        _pump_host_through(host, t, arrivals)
+    else:
+        for _arrived_at, _machine, columns in arrivals:
+            aggregator.ingest_batch(columns)
     windows.sort(key=lambda entry: entry[0])
     refreshed = None
     for _machine, columns in windows:
@@ -350,23 +380,32 @@ def _replay_barrier(result: ShardedRunResult, aggregator, t: int,
         if log_samples:
             result.sample_log.extend(columns.to_samples())
         if not faulted:
-            aggregator.ingest_batch(columns)
-        published = aggregator.maybe_recompute(t)
+            if host is not None:
+                host.ingest_columns(t, columns)
+            else:
+                aggregator.ingest_batch(columns)
+        published = (host.maybe_recompute(t) if host is not None
+                     else aggregator.maybe_recompute(t))
         if published is not None:
             refreshed = published
     return refreshed
 
 
 def _merge_summaries(result: ShardedRunResult, aggregator,
-                     summaries: list[dict]) -> None:
+                     summaries: list[dict], host=None) -> None:
     """Fold worker end-of-run summaries into the coordinator view."""
     pipeline = result.pipeline
     # Fabric arrivals delivered after the last barrier.
     leftovers = [entry for summary in summaries
                  for entry in summary["arrivals"]]
     leftovers.sort(key=lambda entry: (entry[0], entry[1]))
-    for _arrived_at, _machine, columns in leftovers:
-        aggregator.ingest_batch(columns)
+    if host is not None:
+        # Run the host's clock out to the end of the run: kills after the
+        # last barrier still happen, exactly as single-process.
+        _pump_host_through(host, result.seconds - 1, leftovers)
+    else:
+        for _arrived_at, _machine, columns in leftovers:
+            aggregator.ingest_batch(columns)
     # Incidents and forensics rows, renumbered into global creation order
     # (sorted-machine order within a tick matches the single-process
     # sampler dispatch; at most one incident per machine-tick).

@@ -33,8 +33,24 @@ from typing import Any, Callable, Optional
 from repro.core.samplebatch import SampleColumns
 from repro.perf.profiling import StageTimers
 
-__all__ = ["ShardSpec", "ShardedRunUnsupported", "barrier_ticks",
-           "check_shardable", "run_shard_worker"]
+__all__ = ["ShardSpec", "ShardedRunUnsupported", "COORDINATOR_COUNTERS",
+           "barrier_ticks", "check_shardable", "run_shard_worker"]
+
+#: Counters owned by the coordinator and excluded from every worker
+#: export: the tick clock (accounted once, coordinator-side) and the
+#: durable aggregator host's recovery instruments (the worker's replica
+#: host is schedule-tracking only, but its replicated *build* can WAL
+#: bootstrap specs before the demotion — those appends must not
+#: double-count against the canonical host's).
+COORDINATOR_COUNTERS = (
+    "sim_ticks",
+    "aggregator_crashes",
+    "aggregator_restarts",
+    "wal_records_appended",
+    "wal_replayed_records",
+    "snapshot_compactions",
+    "wal_torn_tail",
+)
 
 
 class ShardedRunUnsupported(RuntimeError):
@@ -260,8 +276,9 @@ def _run(conn, spec: ShardSpec) -> None:
                 # of tick t — the same point in the tick the
                 # single-process step hook scrapes at.
                 conn.send(("scrape", t,
-                           export_state(registry,
-                                        exclude_counters=("sim_ticks",))))
+                           export_state(
+                               registry,
+                               exclude_counters=COORDINATOR_COUNTERS)))
         elif closed:  # pragma: no cover - schedule invariant
             raise AssertionError(
                 f"windows closed off the barrier schedule at t={t}")
@@ -281,7 +298,8 @@ def _run(conn, spec: ShardSpec) -> None:
                            if plane is not None else {}),
         "anomalies": {name: agents[name].anomalies_seen for name in shard},
         "degraded": {name: agents[name].degraded for name in shard},
-        "metrics": export_state(registry, exclude_counters=("sim_ticks",)),
+        "metrics": export_state(registry,
+                                exclude_counters=COORDINATOR_COUNTERS),
         "timers": [(name, entry["seconds"], int(entry["calls"]))
                    for name, entry in timers.report().items()],
     }))

@@ -37,8 +37,9 @@ from repro.core.records import CpiSample, CpiSpec, SpecKey
 from repro.core.samplebatch import SampleColumns
 from repro.core.throttle import ThrottleController
 from repro.core.window import ColumnarWindow
-from repro.faults.checkpoint import (AgentCheckpoint, FollowUpState,
-                                     sample_from_dict, sample_to_dict)
+from repro.faults.checkpoint import (AgentCheckpoint, CheckpointVersionError,
+                                     FollowUpState, sample_from_dict,
+                                     sample_to_dict)
 from repro.faults.quarantine import sample_quarantine_reason, spec_is_plausible
 from repro.obs import Observability, default_observability
 from repro.obs.tracing import PipelineTrace, Span
@@ -851,6 +852,27 @@ class MachineAgent:
             checkpoint_age=t - checkpoint.taken_at,
             followups_recovered=recovered,
             windows_restored=len(self._windows))
+
+    def restore_from_dict(self, data: dict, t: int) -> bool:
+        """Restore from a serialised checkpoint (what a real agent reads
+        off disk at start-up); returns whether anything was restored.
+
+        A checkpoint written under a different schema version — a stale
+        file left by a pre-upgrade agent — is ignored with a counted
+        ``checkpoint_version_mismatch`` event: the agent relearns its
+        windows instead of crashing on the file, which would wedge it in a
+        restart loop a restart cannot fix.
+        """
+        try:
+            checkpoint = AgentCheckpoint.from_dict(data)
+        except CheckpointVersionError as error:
+            self.obs.metrics.counter("checkpoint_version_mismatch").inc()
+            self.obs.events.warning(
+                "checkpoint_version_mismatch", machine=self.machine.name,
+                error=str(error))
+            return False
+        self.restore(checkpoint, t)
+        return True
 
     def crash_and_restart(self, t: int) -> None:
         """Crash, then restart from the latest checkpoint (if any)."""

@@ -303,3 +303,61 @@ class CpiAggregator:
         CPI behavior from scratch."  Also the natural hook for tests.
         """
         self._specs[spec.key()] = spec
+
+    # -- durable state ----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The complete learned state as a JSON-able dict.
+
+        Entries are ordered lists, not maps: dict insertion order is part
+        of the aggregator's observable behaviour (``recompute`` iterates
+        ``_current`` in insertion order), so :meth:`restore_state` must be
+        able to rebuild the exact same ordering.  Floats survive a JSON
+        round-trip bit-exactly (Python emits shortest-repr float64).
+        """
+        from repro.core.storage import spec_to_dict
+
+        return {
+            "specs": [spec_to_dict(spec) for spec in self._specs.values()],
+            "current": [
+                {"jobname": key.jobname, "platforminfo": key.platforminfo,
+                 "count": stats.count, "mean": stats.mean, "m2": stats.m2,
+                 "usage_sum": stats.usage_sum,
+                 "samples_per_task": dict(stats.samples_per_task)}
+                for key, stats in self._current.items()],
+            "last_refresh": self._last_refresh,
+            "total_ingested": self.total_samples_ingested,
+            "total_rejected": self.total_samples_rejected,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Install a state exported by :meth:`export_state`.
+
+        Replaces all learned state (specs, in-period Welford accumulators,
+        refresh clock, ingest totals).  Metric counters are deliberately
+        not rewound: monitoring is external to the process being restored.
+        """
+        from repro.core.storage import spec_from_dict
+
+        self._specs = {}
+        for data in state["specs"]:
+            spec = spec_from_dict(data)
+            self._specs[spec.key()] = spec
+        self._current = {}
+        for entry in state["current"]:
+            key = SpecKey(entry["jobname"], entry["platforminfo"])
+            self._current[key] = _RunningStats(
+                count=entry["count"], mean=entry["mean"], m2=entry["m2"],
+                usage_sum=entry["usage_sum"],
+                samples_per_task=dict(entry["samples_per_task"]))
+        self._last_refresh = state["last_refresh"]
+        self.total_samples_ingested = state["total_ingested"]
+        self.total_samples_rejected = state["total_rejected"]
+
+    def reset_state(self) -> None:
+        """Forget everything — the crash half of crash/restore."""
+        self._current = {}
+        self._specs = {}
+        self._last_refresh = None
+        self.total_samples_ingested = 0
+        self.total_samples_rejected = 0

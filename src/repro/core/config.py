@@ -78,6 +78,10 @@ class CpiConfig:
     #: Seconds between agent checkpoints of outlier-window/follow-up state;
     #: a crashed agent restarts from its latest checkpoint.
     checkpoint_interval: int = 60
+    #: Seconds between aggregator spec-store snapshots; each snapshot
+    #: compacts the WAL, bounding both replay time after a crash and the
+    #: WAL's memory/disk footprint.
+    specstore_snapshot_interval: int = 900
 
     # -- amelioration (Section 5) --------------------------------------------------------
     #: Hard-cap quota for ordinary batch antagonists, CPU-sec/sec.
@@ -95,6 +99,7 @@ class CpiConfig:
             "min_tasks_for_spec", "min_samples_per_task", "anomaly_violations",
             "anomaly_window", "correlation_window", "analysis_min_interval",
             "hardcap_duration", "checkpoint_interval",
+            "specstore_snapshot_interval",
         )
         for name in positives:
             if getattr(self, name) < 1:

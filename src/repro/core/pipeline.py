@@ -29,6 +29,7 @@ from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.forensics import ForensicsStore
 from repro.core.records import CpiSample, CpiSpec
 from repro.core.samplebatch import SampleColumns
+from repro.core.specstore import AggregatorHost, DurableSpecStore
 from repro.core.throttle import ThrottleController
 from repro.faults.plane import FaultPlane
 from repro.faults.profile import FaultProfile, resolve_fault_profile
@@ -52,6 +53,7 @@ class CpiPipeline:
         fault_profile: "FaultProfile | str | None" = None,
         fault_seed: int = 0,
         analysis_engine: Optional[str] = None,
+        spec_store: Optional[DurableSpecStore] = None,
     ):
         """Args:
             simulation: the cluster to deploy onto.  The pipeline registers
@@ -87,6 +89,11 @@ class CpiPipeline:
                 (``vector``/``scalar``; default ``$REPRO_ANALYSIS_ENGINE``
                 or ``vector``) — byte-identical output either way, see
                 ``docs/performance.md``.
+            spec_store: a :class:`~repro.core.specstore.DurableSpecStore`
+                to WAL every aggregator mutation into.  One is created
+                automatically when the fault profile can kill the
+                aggregator; pass one explicitly to keep a handle on it
+                (the soak harness does) or to mirror it to disk.
         """
         self.simulation = simulation
         self.config = config
@@ -109,12 +116,24 @@ class CpiPipeline:
             )
         profile = resolve_fault_profile(fault_profile)
         self.fault_profile = profile
+        #: Durable process shell around the aggregator; only built when
+        #: something needs it (a kill schedule, an outage, or an explicit
+        #: store) so plain runs keep their direct aggregator calls.
+        self.host: Optional[AggregatorHost] = None
+        if (spec_store is not None or profile.has_aggregator_faults
+                or profile.aggregator_outage_seconds > 0):
+            self.host = AggregatorHost(self.aggregator, profile, fault_seed,
+                                       config, obs=self.obs, store=spec_store)
         #: The injectable transport/crash fabric; ``None`` (zero profile)
-        #: keeps every path a direct in-process call.
+        #: keeps every path a direct in-process call.  A non-zero outage
+        #: forces the plane even on an otherwise clean profile: refusing
+        #: uploads only means something when uploads ride the fabric's
+        #: retry/backoff clients.
         self.faults: Optional[FaultPlane] = None
-        if not profile.is_zero:
+        if not profile.is_zero or profile.aggregator_outage_seconds > 0:
             self.faults = FaultPlane(profile, fault_seed, self.aggregator,
-                                     self.agents, config, obs=self.obs)
+                                     self.agents, config, obs=self.obs,
+                                     host=self.host)
         self._last_pump: Optional[int] = None
         #: When set (shard worker), the fault plane is pumped for these
         #: machines only; the coordinator owns the rest of the control plane.
@@ -151,10 +170,14 @@ class CpiPipeline:
             # Columnar even in-process: ingest_batch is bit-identical to
             # per-sample ingest and dodges its per-sample dispatch.
             columns = SampleColumns.from_samples(samples)
-            self.aggregator.ingest_batch(columns)
+            if self.host is not None:
+                self.host.ingest_columns(t, columns, samples=samples)
+            else:
+                self.aggregator.ingest_batch(columns)
         else:
             self.faults.upload(t, machine_name, samples)
-        refreshed = self.aggregator.maybe_recompute(t)
+        refreshed = (self.host.maybe_recompute(t) if self.host is not None
+                     else self.aggregator.maybe_recompute(t))
         if refreshed is not None:
             if self.faults is None:
                 for agent in self.agents.values():
@@ -168,11 +191,17 @@ class CpiPipeline:
 
     def _on_tick(self, t: int, machine: Machine, result: TickResult) -> None:
         self.machine_seconds += 1
-        if self.faults is not None and t != self._last_pump:
-            # Once per simulated second (hooks fire per machine): deliver
-            # due messages, advance retries, inject crashes, checkpoint.
+        if ((self.faults is not None or self.host is not None)
+                and t != self._last_pump):
+            # Once per simulated second (hooks fire per machine): the host
+            # first (an outage ending at t is back up before t's
+            # deliveries), then the fabric — deliver due messages, advance
+            # retries, inject crashes, checkpoint.
             self._last_pump = t
-            self.faults.pump(t, only=self.shard_names)
+            if self.host is not None:
+                self.host.pump(t)
+            if self.faults is not None:
+                self.faults.pump(t, only=self.shard_names)
         agent = self.agents[machine.name]
         agent.tick(t)
         for task, _state in result.departures:
@@ -267,6 +296,15 @@ class CpiPipeline:
         self.shard_names = keep
         # The coordinator owns the fleet TSDB; workers only ship state.
         self._scrape_locally = False
+        if self.host is not None:
+            # The coordinator owns the canonical durable host; this
+            # worker's host only tracks the up/down schedule so its
+            # endpoint gate refuses exactly what the coordinator's would.
+            # Accepted batches must keep flowing to the arrival capture
+            # (endpoint.ingest), not into the replica's WAL.
+            self.host.become_replica()
+            if self.faults is not None:
+                self.faults.endpoint.batch_sink = None
 
     # -- operator conveniences ---------------------------------------------------------
 
@@ -278,14 +316,19 @@ class CpiPipeline:
         period.
         """
         for spec in specs:
-            self.aggregator.set_spec(spec)
+            if self.host is not None:
+                self.host.set_spec(spec)
+            else:
+                self.aggregator.set_spec(spec)
         published = self.aggregator.specs()
         for agent in self.agents.values():
             agent.update_specs(published)
 
     def refresh_specs_now(self) -> None:
         """Force a spec recomputation and push, off the normal schedule."""
-        refreshed = self.aggregator.recompute(self.simulation.now)
+        refreshed = (self.host.recompute(self.simulation.now)
+                     if self.host is not None
+                     else self.aggregator.recompute(self.simulation.now))
         for agent in self.agents.values():
             agent.update_specs(refreshed)
 

@@ -11,15 +11,22 @@ Two of CPI2's data flows outlive a process:
 
 Everything here is JSON-lines: one record per line, append-friendly,
 greppable, and loadable into the matching in-memory types.
+
+Loaders tolerate a *torn tail*: a final line that fails to parse (partial
+JSON from a write interrupted by a crash) is skipped with a counted
+``storage_torn_tail`` warning — the same rule the spec-store WAL recovery
+applies — while corruption anywhere earlier in the file still raises with
+the path and line number.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.core.forensics import ForensicsStore, IncidentRecord
+from repro.obs import Observability, default_observability
 from repro.records import CpiSample, CpiSpec
 
 __all__ = [
@@ -29,6 +36,44 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+def _load_jsonl(path: PathLike, parse: Callable[[dict], object], kind: str,
+                obs: Optional[Observability] = None) -> list:
+    """Parse one record per line, torn-tail tolerant.
+
+    A record that fails to parse raises ``ValueError`` naming the path and
+    line — unless it is the final non-blank line *and* the failure is a
+    JSON parse error (partial JSON is what an interrupted write leaves
+    behind), in which case the torn tail is skipped with a counted
+    warning.  A final line that parses as JSON but has the wrong schema is
+    not a torn write and still raises.
+    """
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    last = max((i for i, line in enumerate(lines) if line.strip()),
+               default=-1)
+    out: list = []
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            if index != last:
+                raise ValueError(
+                    f"{path}:{index + 1}: {error}") from error
+            obs = obs or default_observability()
+            obs.metrics.counter("storage_torn_tail", kind=kind).inc()
+            obs.events.warning("storage_torn_tail", path=str(path),
+                               line=index + 1, kind=kind, error=str(error))
+            continue
+        try:
+            out.append(parse(record))
+        except ValueError as error:
+            raise ValueError(f"{path}:{index + 1}: {error}") from error
+    return out
 
 
 # -- specs ---------------------------------------------------------------------
@@ -65,20 +110,10 @@ def save_specs(path: PathLike, specs: Iterable[CpiSpec]) -> int:
     return count
 
 
-def load_specs(path: PathLike) -> list[CpiSpec]:
-    """Read specs written by :func:`save_specs`."""
-    specs = []
-    with open(path, encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                specs.append(spec_from_dict(json.loads(line)))
-            except (ValueError, json.JSONDecodeError) as error:
-                raise ValueError(
-                    f"{path}:{line_number}: {error}") from error
-    return specs
+def load_specs(path: PathLike,
+               obs: Optional[Observability] = None) -> list[CpiSpec]:
+    """Read specs written by :func:`save_specs` (torn-tail tolerant)."""
+    return _load_jsonl(path, spec_from_dict, "specs", obs=obs)
 
 
 # -- samples ---------------------------------------------------------------------
@@ -115,20 +150,10 @@ def save_samples(path: PathLike, samples: Iterable[CpiSample]) -> int:
     return count
 
 
-def load_samples(path: PathLike) -> list[CpiSample]:
-    """Read samples written by :func:`save_samples`."""
-    samples = []
-    with open(path, encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                samples.append(sample_from_dict(json.loads(line)))
-            except (ValueError, json.JSONDecodeError) as error:
-                raise ValueError(
-                    f"{path}:{line_number}: {error}") from error
-    return samples
+def load_samples(path: PathLike,
+                 obs: Optional[Observability] = None) -> list[CpiSample]:
+    """Read samples written by :func:`save_samples` (torn-tail tolerant)."""
+    return _load_jsonl(path, sample_from_dict, "samples", obs=obs)
 
 
 # -- forensics --------------------------------------------------------------------
@@ -142,18 +167,17 @@ def save_forensics(path: PathLike, store: ForensicsStore) -> int:
     return len(rows)
 
 
-def load_forensics(path: PathLike) -> ForensicsStore:
+def load_forensics(path: PathLike,
+                   obs: Optional[Observability] = None) -> ForensicsStore:
     """Load an incident log written by :func:`save_forensics`."""
-    store = ForensicsStore()
     field_names = set(IncidentRecord.__dataclass_fields__)
-    with open(path, encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            data = json.loads(line)
-            if set(data) != field_names:
-                raise ValueError(
-                    f"{path}:{line_number}: bad incident record keys")
-            store.add_record(IncidentRecord(**data))
+
+    def parse(data: dict) -> IncidentRecord:
+        if set(data) != field_names:
+            raise ValueError("bad incident record keys")
+        return IncidentRecord(**data)
+
+    store = ForensicsStore()
+    for record in _load_jsonl(path, parse, "forensics", obs=obs):
+        store.add_record(record)
     return store

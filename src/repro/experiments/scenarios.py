@@ -19,6 +19,7 @@ from repro.cluster.platform import PLATFORM_CATALOG, get_platform
 from repro.cluster.simulation import ClusterSimulation, SimConfig
 from repro.core.config import CpiConfig, DEFAULT_CONFIG
 from repro.core.pipeline import CpiPipeline
+from repro.core.specstore import DurableSpecStore
 from repro.faults.profile import FaultProfile
 from repro.obs import Observability
 from repro.perf.sampler import SamplerConfig
@@ -75,6 +76,7 @@ def build_cluster(
     obs: Optional[Observability] = None,
     tick_engine: Optional[str] = None,
     telemetry: bool = False,
+    spec_store: Optional["DurableSpecStore"] = None,
 ) -> Scenario:
     """A cluster of ``num_machines`` cycling through the given platforms.
 
@@ -86,6 +88,8 @@ def build_cluster(
     default per ``REPRO_TICK_ENGINE``) — the parity tests run both.
     ``telemetry`` attaches the fleet telemetry plane (TSDB + alert rules)
     to the run's facade, creating an isolated one if ``obs`` was omitted.
+    ``spec_store`` makes the aggregator durable (snapshot + WAL) even when
+    the fault profile schedules no kills — the soak harness relies on it.
     """
     if num_machines < 1:
         raise ValueError(f"num_machines must be >= 1, got {num_machines}")
@@ -102,7 +106,7 @@ def build_cluster(
                               config.sampling_period)))
     pipeline = CpiPipeline(sim, config, enable_migration=enable_migration,
                            obs=obs, fault_profile=fault_profile,
-                           fault_seed=fault_seed)
+                           fault_seed=fault_seed, spec_store=spec_store)
     return Scenario(simulation=sim, pipeline=pipeline)
 
 

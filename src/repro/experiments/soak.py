@@ -1,0 +1,339 @@
+"""Churn soak: sustained job turnover with periodic aggregator kills.
+
+Not a paper figure — the operational bar a durable control plane has to
+clear before anyone trusts it with a fleet: hours of jobs arriving and
+completing while the central aggregation service is killed on a schedule
+and restored from its snapshot + WAL spec store each time.  The harness
+asserts three things the unit tests cannot:
+
+* **Zero spec drift** — a never-crashed reference aggregator
+  (:meth:`~repro.core.specstore.AggregatorHost.attach_reference`) is fed
+  the same accepted mutations; at the end every published spec and every
+  in-period Welford accumulator must match the durable aggregator
+  bit-for-bit (hex-exact float comparison).
+* **Bounded memory** — RSS and live-object growth over the run stay under
+  explicit ceilings, and the WAL never grows past what one snapshot
+  interval can accumulate (compaction is actually compacting).
+* **Counted recovery** — every scheduled kill produced a restart, WAL
+  records were replayed, snapshots fired; all of it surfaced through the
+  metrics registry (``aggregator_restarts``, ``wal_replayed_records``,
+  ``snapshot_compactions``) and, when the telemetry plane is attached,
+  scraped into the TSDB where the ``aggregator_flapping`` rule watches it.
+
+``python -m repro soak`` drives this from the command line and exits
+non-zero if any check fails; CI runs a short smoke configuration.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.scheduler import PlacementError
+from repro.core.config import CpiConfig
+from repro.core.specstore import DurableSpecStore
+from repro.experiments.scenarios import Scenario, build_cluster
+from repro.faults.profile import FAULT_PROFILES
+from repro.obs import Observability
+from repro.workloads import (AntagonistKind, make_antagonist_job_spec,
+                             make_batch_job_spec)
+from repro.workloads.services import make_service_job_spec
+
+__all__ = ["SoakCheck", "SoakReport", "soak_config", "run_soak"]
+
+#: Churn cadence: one arrival wave per simulated five minutes.
+CHURN_STEP_SECONDS = 300
+
+
+def soak_config(**overrides) -> CpiConfig:
+    """The soak harness's CPI config: fast specs, frequent snapshots.
+
+    Refreshes every 20 minutes with low sample floors so specs actually
+    publish inside a bounded run, and snapshots every 10 minutes so a
+    multi-kill soak exercises compaction repeatedly.
+    """
+    defaults = dict(spec_refresh_period=1200, min_tasks_for_spec=4,
+                    min_samples_per_task=5, specstore_snapshot_interval=600)
+    defaults.update(overrides)
+    return CpiConfig(**defaults)
+
+
+@dataclass(frozen=True)
+class SoakCheck:
+    """One pass/fail assertion with its observed evidence."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class SoakReport:
+    """Everything a soak run measured, plus its verdicts."""
+
+    seconds: int
+    num_machines: int
+    kill_ticks: tuple[int, ...]
+    outage_seconds: int
+    arrivals: int = 0
+    placement_failures: int = 0
+    total_samples: int = 0
+    incidents: int = 0
+    specs_published: int = 0
+    restarts: int = 0
+    records_replayed: int = 0
+    snapshots: int = 0
+    wal_peak_records: int = 0
+    batches_refused: int = 0
+    rss_baseline_kib: int = 0
+    rss_peak_kib: int = 0
+    objects_baseline: int = 0
+    objects_peak: int = 0
+    alerts_fired: dict = field(default_factory=dict)
+    drift: dict = field(default_factory=dict)
+    checks: list[SoakCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def to_json(self) -> str:
+        data = {
+            name: value for name, value in self.__dict__.items()
+            if name != "checks"
+        }
+        data["kill_ticks"] = list(self.kill_ticks)
+        data["checks"] = [check.__dict__ for check in self.checks]
+        data["passed"] = self.passed
+        return json.dumps(data, indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"soak: {self.seconds}s on {self.num_machines} machines, "
+            f"{len(self.kill_ticks)} aggregator kill(s), "
+            f"outage {self.outage_seconds}s",
+            f"  churn: {self.arrivals} arrivals "
+            f"({self.placement_failures} placement failures), "
+            f"{self.total_samples} samples, {self.incidents} incidents, "
+            f"{self.specs_published} specs published",
+            f"  recovery: {self.restarts} restarts, "
+            f"{self.records_replayed} WAL records replayed, "
+            f"{self.snapshots} snapshots, "
+            f"WAL peak {self.wal_peak_records} records, "
+            f"{self.batches_refused} batches refused",
+            f"  memory: RSS {self.rss_baseline_kib} -> "
+            f"{self.rss_peak_kib} KiB, objects {self.objects_baseline} -> "
+            f"{self.objects_peak}",
+        ]
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"  [{mark}] {check.name}: {check.detail}")
+        lines.append(f"result: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _rss_kib() -> int:
+    """Resident set size in KiB (Linux /proc, portable fallback)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _live_objects() -> int:
+    gc.collect()
+    return len(gc.get_objects())
+
+
+def _finite_factory(spec, lifetime: float):
+    """Wrap a job spec's workload factory so tasks finish after a while."""
+    base = spec.workload_factory
+
+    def factory(index):
+        workload = base(index)
+        original = workload.on_tick
+
+        def on_tick(t, granted, capped):
+            outcome = original(t, granted, capped)
+            if outcome is None and workload.granted_cpu_seconds > lifetime:
+                return "completed"
+            return outcome
+
+        workload.on_tick = on_tick
+        return workload
+
+    return factory
+
+
+def _churn_submit(scenario: Scenario, step: int, seed: int,
+                  rng: np.random.Generator) -> tuple[int, int]:
+    """One churn wave: a short-lived batch job, periodically an antagonist."""
+    arrivals = 0
+    failures = 0
+    specs = [make_batch_job_spec(
+        f"churn-batch-{step}", num_tasks=int(rng.integers(2, 6)),
+        seed=seed + step, demand_level=float(rng.uniform(0.4, 1.5)))]
+    if step % 4 == 0:
+        kinds = list(AntagonistKind)
+        specs.append(make_antagonist_job_spec(
+            f"churn-ant-{step}", kinds[step % len(kinds)], num_tasks=1,
+            seed=seed + 1000 + step, demand_scale=1.2))
+    for spec in specs:
+        lifetime = float(rng.uniform(600, 1800))
+        spec = type(spec)(**{**spec.__dict__,
+                             "workload_factory": _finite_factory(spec,
+                                                                 lifetime)})
+        try:
+            scenario.submit(spec)
+            arrivals += 1
+        except PlacementError:
+            failures += 1
+    return arrivals, failures
+
+
+def run_soak(
+    seconds: int = 7200,
+    seed: int = 0,
+    num_machines: int = 8,
+    kill_period: int = 900,
+    outage_seconds: int = 60,
+    fault_seed: int = 1,
+    config: Optional[CpiConfig] = None,
+    store_dir: Optional[str] = None,
+    obs: Optional[Observability] = None,
+    telemetry: bool = True,
+    rss_growth_limit_kib: int = 256 * 1024,
+    object_growth_limit: int = 1_000_000,
+) -> SoakReport:
+    """Run the churn soak and return its report.
+
+    Kills fire every ``kill_period`` seconds (none at t=0); each takes the
+    aggregator down for ``outage_seconds`` before the store restores it.
+    ``store_dir`` additionally mirrors the spec store to disk (WAL +
+    snapshot files land there for CI artifact upload).
+    """
+    if seconds < CHURN_STEP_SECONDS:
+        raise ValueError(f"seconds must be >= {CHURN_STEP_SECONDS}, "
+                         f"got {seconds}")
+    config = config or soak_config()
+    kill_ticks = tuple(range(kill_period, seconds, kill_period))
+    profile = FAULT_PROFILES["none"].with_overrides(
+        name="soak", aggregator_kill_ticks=kill_ticks,
+        aggregator_outage_seconds=outage_seconds)
+    obs = obs or Observability()
+    if telemetry:
+        obs.enable_telemetry()
+    scenario = build_cluster(num_machines, seed=seed, config=config,
+                             fault_profile=profile, fault_seed=fault_seed,
+                             obs=obs, telemetry=telemetry,
+                             spec_store=DurableSpecStore(obs=obs))
+    pipeline = scenario.pipeline
+    host = pipeline.host
+    assert host is not None  # the explicit spec store forces the host
+    if store_dir is not None:
+        host.store.attach_disk(store_dir)
+    scenario.submit(make_service_job_spec("stable-svc",
+                                          num_tasks=2 * num_machines,
+                                          seed=seed))
+    host.attach_reference()
+    report = SoakReport(seconds=seconds, num_machines=num_machines,
+                        kill_ticks=kill_ticks,
+                        outage_seconds=outage_seconds)
+    sim = scenario.simulation
+    rng = np.random.default_rng(seed)
+    registry = obs.metrics
+    steps = seconds // CHURN_STEP_SECONDS
+    wal_peak = 0
+    rss_peak = 0
+    objects_peak = 0
+    for step in range(steps):
+        sim.run(CHURN_STEP_SECONDS)
+        arrived, failed = _churn_submit(scenario, step, seed, rng)
+        report.arrivals += arrived
+        report.placement_failures += failed
+        wal_peak = max(wal_peak, host.store.wal_records)
+        rss = _rss_kib()
+        objects = _live_objects()
+        if step == 0:
+            # Baseline after one step: caches and pools have warmed up,
+            # growth from here on is what the bound is about.
+            report.rss_baseline_kib = rss
+            report.objects_baseline = objects
+        rss_peak = max(rss_peak, rss)
+        objects_peak = max(objects_peak, objects)
+        registry.gauge("soak_rss_kib").set(rss)
+        registry.gauge("soak_live_objects").set(objects)
+        registry.gauge("soak_wal_records").set(host.store.wal_records)
+    remainder = seconds - steps * CHURN_STEP_SECONDS
+    if remainder:
+        sim.run(remainder)
+    wal_peak = max(wal_peak, host.store.wal_records)
+    report.wal_peak_records = wal_peak
+    report.rss_peak_kib = rss_peak
+    report.objects_peak = objects_peak
+    report.total_samples = pipeline.total_samples
+    report.incidents = len(pipeline.all_incidents())
+    report.specs_published = len(pipeline.aggregator.specs())
+    report.restarts = host.restarts
+    report.records_replayed = host.records_replayed
+    report.snapshots = host.store.snapshots_taken
+    report.batches_refused = int(
+        registry.total("aggregator_batches_refused"))
+    if obs.alerts is not None:
+        report.alerts_fired = dict(obs.alerts.fired_counts())
+    report.drift = host.reference_drift()
+    _verdicts(report, config, num_machines,
+              rss_growth_limit_kib, object_growth_limit)
+    return report
+
+
+def _verdicts(report: SoakReport, config: CpiConfig, num_machines: int,
+              rss_growth_limit_kib: int, object_growth_limit: int) -> None:
+    """Attach the pass/fail checks to a finished report."""
+    drift = report.drift
+    report.checks.append(SoakCheck(
+        "zero_spec_drift", bool(drift.get("exact")),
+        f"durable vs reference aggregator: "
+        f"{drift.get('specs_compared', 0)} specs and "
+        f"{drift.get('accumulators_compared', 0)} accumulators compared, "
+        f"exact={drift.get('exact')}"))
+    rss_growth = report.rss_peak_kib - report.rss_baseline_kib
+    report.checks.append(SoakCheck(
+        "bounded_rss", rss_growth <= rss_growth_limit_kib,
+        f"RSS grew {rss_growth} KiB (limit {rss_growth_limit_kib})"))
+    object_growth = report.objects_peak - report.objects_baseline
+    report.checks.append(SoakCheck(
+        "bounded_objects", object_growth <= object_growth_limit,
+        f"live objects grew {object_growth} (limit {object_growth_limit})"))
+    # One window per machine per sampling period, plus refresh records and
+    # slack for arrivals straddling the snapshot tick: if compaction works
+    # the WAL can never hold much more than one snapshot interval's worth.
+    wal_limit = (config.specstore_snapshot_interval
+                 // config.sampling_period + 2) * (num_machines + 2)
+    report.checks.append(SoakCheck(
+        "wal_compaction_bounds_wal",
+        report.wal_peak_records <= wal_limit,
+        f"WAL peaked at {report.wal_peak_records} records "
+        f"(limit {wal_limit})"))
+    expected_restarts = len(report.kill_ticks)
+    report.checks.append(SoakCheck(
+        "every_kill_recovered", report.restarts == expected_restarts,
+        f"{report.restarts} restarts for {expected_restarts} scheduled "
+        f"kills"))
+    report.checks.append(SoakCheck(
+        "recovery_telemetry_counted",
+        report.restarts > 0 and report.records_replayed > 0
+        and report.snapshots > 0,
+        f"restarts={report.restarts}, "
+        f"wal_replayed={report.records_replayed}, "
+        f"snapshots={report.snapshots}"))

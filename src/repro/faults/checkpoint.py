@@ -23,8 +23,17 @@ import numpy as np
 
 from repro.records import CpiSample
 
-__all__ = ["FollowUpState", "AgentCheckpoint", "CrashInjector",
+__all__ = ["CHECKPOINT_VERSION", "CheckpointVersionError", "FollowUpState",
+           "AgentCheckpoint", "CrashInjector",
            "sample_to_dict", "sample_from_dict"]
+
+#: Current checkpoint schema version.  Bump on any incompatible change to
+#: the serialised layout; agents ignore (never crash on) mismatches.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointVersionError(ValueError):
+    """A serialised checkpoint carries an unknown schema version."""
 
 
 def sample_to_dict(sample: CpiSample) -> dict[str, Any]:
@@ -77,10 +86,13 @@ class AgentCheckpoint:
     #: taskname -> in-window outlier flag timestamps (detector streaks).
     detector_flags: dict[str, list[int]] = field(default_factory=dict)
     followups: list[FollowUpState] = field(default_factory=list)
+    #: Schema version this checkpoint was taken under.
+    version: int = CHECKPOINT_VERSION
 
     def to_dict(self) -> dict[str, Any]:
         """The checkpoint as a JSON-able dict (what a real agent persists)."""
         return {
+            "version": self.version,
             "machine": self.machine,
             "taken_at": self.taken_at,
             "last_analysis": self.last_analysis,
@@ -92,7 +104,19 @@ class AgentCheckpoint:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "AgentCheckpoint":
-        """Rebuild a checkpoint from :meth:`to_dict` output."""
+        """Rebuild a checkpoint from :meth:`to_dict` output.
+
+        Raises:
+            CheckpointVersionError: for a checkpoint written under a
+                different schema version (a stale file from before an
+                upgrade, or from after a downgrade).  Callers should treat
+                this as "no checkpoint" — relearn, don't crash.
+        """
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointVersionError(
+                f"checkpoint schema version {version!r} != "
+                f"{CHECKPOINT_VERSION} (machine {data.get('machine')!r})")
         return cls(
             machine=data["machine"],
             taken_at=data["taken_at"],

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.agent import MachineAgent
     from repro.core.aggregator import CpiAggregator
     from repro.core.config import CpiConfig
+    from repro.core.specstore import AggregatorHost
 
 __all__ = ["SpecPush", "FaultPlane"]
 
@@ -69,13 +70,21 @@ class FaultPlane:
         agents: dict[str, "MachineAgent"],
         config: "CpiConfig",
         obs: Optional[Observability] = None,
+        host: Optional["AggregatorHost"] = None,
     ):
         self.profile = profile
         self.config = config
         self.obs = obs
         self.agents = agents
+        # With a durable host, accepted batches are WAL-logged before
+        # ingest and uploads are refused while the service is down; the
+        # hostless wiring is byte-identical to what it always was.
         self.endpoint = AggregatorEndpoint(
-            ingest=aggregator.ingest, ack=self._route_ack, obs=obs)
+            ingest=aggregator.ingest, ack=self._route_ack, obs=obs,
+            gate=host.accepting if host is not None else None,
+            batch_sink=host.ingest_wire_batch if host is not None else None)
+        if host is not None:
+            host.bind_endpoint(self.endpoint)
         self.ports: dict[str, _MachinePort] = {}
         root = np.random.SeedSequence(seed)
         names = sorted(agents)

@@ -152,22 +152,52 @@ class FaultProfile:
     #: Per machine-second probability the agent process crashes.
     agent_crash_rate: float = 0.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-second probability the central aggregation service crashes
+    #: (restored from its durable spec store; see ``core/specstore.py``).
+    aggregator_crash_rate: float = 0.0
+    #: Deterministic aggregator kill schedule (simulated seconds); fires
+    #: in addition to any ``aggregator_crash_rate`` draws.
+    aggregator_kill_ticks: tuple[int, ...] = ()
+    #: Seconds the aggregator stays down per crash.  0 = restart within
+    #: the same tick (recovery still runs — crash, wipe, restore — but no
+    #: uploads are refused, so the run stays byte-identical to one with
+    #: no kills at all).  > 0 = batches are refused while down and agents
+    #: ride the outage out on retry/backoff + stale-spec degraded mode.
+    aggregator_outage_seconds: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.agent_crash_rate <= 1.0:
             raise ValueError("agent_crash_rate must be in [0, 1], "
                              f"got {self.agent_crash_rate}")
+        if not 0.0 <= self.aggregator_crash_rate <= 1.0:
+            raise ValueError("aggregator_crash_rate must be in [0, 1], "
+                             f"got {self.aggregator_crash_rate}")
+        if self.aggregator_outage_seconds < 0:
+            raise ValueError("aggregator_outage_seconds must be >= 0, "
+                             f"got {self.aggregator_outage_seconds}")
+        if any(t < 0 for t in self.aggregator_kill_ticks):
+            raise ValueError("aggregator_kill_ticks must be >= 0, "
+                             f"got {self.aggregator_kill_ticks}")
 
     @property
     def is_zero(self) -> bool:
-        """True when the profile injects no faults at all.
+        """True when the profile injects no *transport or agent* faults.
 
         A zero profile makes the pipeline skip the transport layer
         entirely, so default runs stay byte-identical to a build without
-        fault injection.
+        fault injection.  Aggregator kills are deliberately not part of
+        this: a zero-outage kill schedule on an otherwise clean profile
+        exercises crash/restore without dragging in the fabric's one-tick
+        base latency, keeping clean-run parity exact.
         """
         return (self.upload.is_zero and self.ack.is_zero
                 and self.spec_push.is_zero and self.agent_crash_rate == 0.0)
+
+    @property
+    def has_aggregator_faults(self) -> bool:
+        """True when this profile can take the aggregator down."""
+        return (self.aggregator_crash_rate > 0.0
+                or bool(self.aggregator_kill_ticks))
 
     def with_overrides(self, **overrides) -> "FaultProfile":
         """A copy with the given fields replaced (sweeps use this)."""

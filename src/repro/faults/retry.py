@@ -214,6 +214,8 @@ class AggregatorEndpoint:
         ingest: Callable[[CpiSample], None],
         ack: Callable[[int, Ack], None],
         obs: Optional[Observability] = None,
+        gate: Optional[Callable[[], bool]] = None,
+        batch_sink: Optional[Callable[[int, SampleBatch], None]] = None,
     ):
         """Args:
             ingest: per-sample sink (the aggregator's ``ingest``, which
@@ -222,16 +224,38 @@ class AggregatorEndpoint:
                 are re-acked so a client whose ack got dropped stops
                 retrying.
             obs: telemetry handle.
+            gate: availability check — while it returns False the endpoint
+                refuses every batch (no ack, no dedup mark, counted), the
+                way a down aggregation service drops connections; clients
+                ride it out on their retry/backoff schedule.
+            batch_sink: batch-level ingest override; when set, each
+                non-duplicate batch is handed over whole (the durable host
+                WAL-logs it before applying) instead of via ``ingest``.
         """
         self.ingest = ingest
         self.ack = ack
         self.obs = obs
+        self.gate = gate
+        self.batch_sink = batch_sink
         self._seen: "OrderedDict[str, None]" = OrderedDict()
         self.batches_received = 0
         self.duplicates_ignored = 0
+        self.batches_refused = 0
 
     def receive(self, t: int, batch: SampleBatch) -> None:
         """Handle one delivered batch (possibly a duplicate)."""
+        if self.gate is not None and not self.gate():
+            # Service down: the batch vanishes exactly as if the process
+            # had dropped the connection.  No dedup mark and — crucially —
+            # no ack: the client keeps the batch pending and redelivers
+            # after the outage, which is what reconvergence rides on.
+            self.batches_refused += 1
+            if self.obs is not None:
+                self.obs.metrics.counter("aggregator_batches_refused").inc()
+                self.obs.events.event("aggregator_batch_refused",
+                                      batch=batch.batch_id,
+                                      machine=batch.machine)
+            return
         if batch.batch_id in self._seen:
             self.duplicates_ignored += 1
             if self.obs is not None:
@@ -243,6 +267,33 @@ class AggregatorEndpoint:
             self.batches_received += 1
             if self.obs is not None:
                 self.obs.metrics.counter("aggregator_batches_received").inc()
-            for sample in batch.samples:
-                self.ingest(sample)
+            if self.batch_sink is not None:
+                self.batch_sink(t, batch)
+            else:
+                for sample in batch.samples:
+                    self.ingest(sample)
         self.ack(t, Ack(batch_id=batch.batch_id, machine=batch.machine))
+
+    # -- durable dedup state -----------------------------------------------------
+
+    def export_dedup_state(self) -> dict:
+        """The dedup watermark as a JSON-able dict (snapshot payload)."""
+        return {"seen": list(self._seen), "received": self.batches_received,
+                "duplicates": self.duplicates_ignored}
+
+    def restore_dedup_state(self, state: dict) -> None:
+        """Install a watermark exported by :meth:`export_dedup_state`."""
+        self._seen = OrderedDict((batch_id, None)
+                                 for batch_id in state["seen"])
+        self.batches_received = state["received"]
+        self.duplicates_ignored = state["duplicates"]
+
+    def reset_state(self) -> None:
+        """Forget the dedup watermark — the crash half of crash/restore.
+
+        ``batches_refused`` survives: refusals are observed (and counted)
+        by the surviving fabric, not by the process that died.
+        """
+        self._seen = OrderedDict()
+        self.batches_received = 0
+        self.duplicates_ignored = 0

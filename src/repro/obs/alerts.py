@@ -207,6 +207,13 @@ DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
         ">=", 3, for_seconds=0, severity="critical",
         description=("three or more agent crashes inside ten minutes — "
                      "checkpoint/restore is masking a crash loop")),
+    AlertRule(
+        "aggregator_flapping",
+        CounterIncrease("aggregator_restarts", 900),
+        ">=", 3, for_seconds=0, severity="critical",
+        description=("the central aggregation service restarted three or "
+                     "more times inside fifteen minutes — WAL recovery is "
+                     "masking a crash loop and spec freshness is at risk")),
 )
 
 

@@ -114,3 +114,33 @@ class TestExperimentAll:
         assert invoked == list(stubbed)
         out = capsys.readouterr().out
         assert out.count("== ") == len(stubbed)
+
+
+class TestSoakCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.command == "soak"
+        assert args.minutes == 120
+        assert args.machines == 8
+        assert args.kill_every == 900
+        assert args.outage == 60
+        assert args.store is None
+
+    def test_soak_smoke_passes_and_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "soak.json"
+        store = tmp_path / "store"
+        code = main(["soak", "--minutes", "15", "--machines", "3",
+                     "--kill-every", "400", "--outage", "20",
+                     "--store", str(store),
+                     "--report-json", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result: PASS" in out
+        data = json.loads(report_path.read_text())
+        assert data["passed"] is True
+        assert data["restarts"] == 2
+        assert data["kill_ticks"] == [400, 800]
+        assert (store / "wal.jsonl").exists()
+        assert (store / "snapshot.json").exists()

@@ -1,0 +1,113 @@
+"""Golden-parity tests: aggregator kills and restores must be invisible.
+
+The durability contract (docs/robustness.md): because every aggregator
+mutation is WAL-logged before it is applied, a run whose aggregation
+service is killed and restored mid-run ends **byte-identical** to the
+same run never interrupted — same CPI sample stream, same published
+specs, same incidents, same counters — in a single process and at any
+shard count.  With a non-zero outage the runs are no longer comparable
+to an uninterrupted baseline (uploads are refused and retried), but all
+execution modes must still agree with each other exactly.
+
+Reuses the hex-canonical comparison helpers from tests/test_shards.py so
+"close enough" can never creep in.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.shards import run_sharded
+from repro.experiments.chaos import chaos_scenario
+from repro.faults.profile import FAULT_PROFILES
+from tests.test_shards import (_canon_incidents, _canon_samples, _canon_specs,
+                               _counter_totals, _sharded, _single)
+
+#: Mid-run kill schedule: early (before the first spec refresh), middle,
+#: and late (after the last barrier-aligned window has closed).
+KILL_TICKS = (600, 1800, 2900)
+
+SECONDS = 3600
+BASE_KWARGS = dict(seed=0, num_machines=4, fault_seed=1)
+
+
+def _kwargs(profile_name: str, **overrides) -> dict:
+    profile = FAULT_PROFILES[profile_name].with_overrides(**overrides)
+    return dict(BASE_KWARGS, fault_profile=profile)
+
+
+def test_clean_kill_restore_is_byte_identical():
+    """No transport faults: kills + same-tick restores change nothing."""
+    baseline = _single(chaos_scenario, _kwargs("none"), SECONDS,
+                       counters=False)
+    assert len(baseline["samples"]) > 0
+    assert len(baseline["specs"]) > 0
+    killed = _kwargs("none", aggregator_kill_ticks=KILL_TICKS)
+    assert _single(chaos_scenario, killed, SECONDS,
+                   counters=False) == baseline
+    for jobs in (1, 2, 4):
+        assert _sharded(chaos_scenario, killed, SECONDS, jobs,
+                        counters=False) == baseline, f"jobs={jobs}"
+
+
+def test_moderate_chaos_kill_restore_is_byte_identical():
+    """Kills under moderate chaos: still invisible, counters included."""
+    baseline = _single(chaos_scenario, _kwargs("moderate"), SECONDS,
+                       counters=True)
+    assert baseline["faults"] > 0
+    assert len(baseline["incidents"]) > 0
+    killed = _kwargs("moderate", aggregator_kill_ticks=KILL_TICKS)
+    assert _single(chaos_scenario, killed, SECONDS, counters=True) == baseline
+    for jobs in (1, 2, 4):
+        assert _sharded(chaos_scenario, killed, SECONDS, jobs,
+                        counters=True) == baseline, f"jobs={jobs}"
+
+
+def test_kill_run_actually_recovers():
+    """The parity above is not vacuous: the kill schedule really fires."""
+    killed = _kwargs("moderate", aggregator_kill_ticks=KILL_TICKS)
+    scenario = chaos_scenario(**killed)
+    scenario.simulation.run(SECONDS)
+    host = scenario.pipeline.host
+    assert host is not None
+    assert host.crashes == len(KILL_TICKS)
+    assert host.restarts == len(KILL_TICKS)
+    assert host.records_replayed > 0
+    obs = scenario.pipeline.obs
+    assert obs.metrics.total("aggregator_restarts") == len(KILL_TICKS)
+    assert obs.metrics.total("wal_replayed_records") == host.records_replayed
+
+
+def test_outage_reconvergence_identical_across_modes():
+    """A real outage (refused uploads) reconverges the same everywhere.
+
+    Machine agents ride the 120 s outage on retry/backoff and redeliver
+    once the service is restored; the post-outage state must agree
+    byte-for-byte between single-process and 2/4-way sharded execution,
+    refusal counts included.
+    """
+    outage = _kwargs("moderate", aggregator_kill_ticks=(1200,),
+                     aggregator_outage_seconds=120)
+    baseline = _single(chaos_scenario, outage, SECONDS, counters=True)
+
+    scenario = chaos_scenario(**outage)
+    scenario.simulation.run(SECONDS)
+    refused = scenario.pipeline.obs.metrics.total("aggregator_batches_refused")
+    assert refused > 0                         # the outage really gated
+    assert scenario.pipeline.host.restarts == 1
+
+    for jobs in (2, 4):
+        result = run_sharded(chaos_scenario, outage, seconds=SECONDS,
+                             jobs=jobs, log_samples=True)
+        pipeline = result.pipeline
+        sharded = {
+            "samples": _canon_samples(result.sample_log),
+            "incidents": _canon_incidents(result.all_incidents()),
+            "specs": _canon_specs(pipeline.aggregator),
+            "total": result.total_samples,
+            "faults": result.total_faults_injected,
+            "counters": _counter_totals(pipeline.obs),
+        }
+        assert sharded == baseline, f"jobs={jobs}"
+        sharded_refused = pipeline.obs.metrics.total(
+            "aggregator_batches_refused")
+        assert sharded_refused == refused, f"jobs={jobs}"
+        assert pipeline.host.restarts == 1, f"jobs={jobs}"

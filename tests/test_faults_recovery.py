@@ -8,7 +8,8 @@ from repro.cluster.task import SchedulingClass
 from repro.core.agent import MachineAgent
 from repro.core.config import CpiConfig
 from repro.core.policy import PolicyAction
-from repro.faults.checkpoint import AgentCheckpoint, FollowUpState
+from repro.faults.checkpoint import (CHECKPOINT_VERSION, AgentCheckpoint,
+                                     CheckpointVersionError, FollowUpState)
 from repro.obs import Observability
 from repro.perf.sampler import CpiSampler, SamplerConfig
 from repro.records import SpecKey
@@ -206,3 +207,51 @@ class TestCrashRestartDeterminism:
         _, _, tallies_a = self.run_faulted_demo(fault_seed=11)
         _, _, tallies_b = self.run_faulted_demo(fault_seed=12)
         assert tallies_a != tallies_b
+
+
+class TestCheckpointVersioning:
+    """A stale checkpoint schema must be ignored, never crash the agent."""
+
+    def test_version_field_serialised(self):
+        machine, sampler, agent, obs = build_rig()
+        checkpoint = agent.take_checkpoint(0)
+        assert checkpoint.version == CHECKPOINT_VERSION
+        assert checkpoint.to_dict()["version"] == CHECKPOINT_VERSION
+
+    def test_from_dict_rejects_mismatched_version(self):
+        machine, sampler, agent, obs = build_rig()
+        data = agent.take_checkpoint(0).to_dict()
+        data["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointVersionError,
+                           match="checkpoint schema version"):
+            AgentCheckpoint.from_dict(data)
+
+    def test_from_dict_rejects_missing_version(self):
+        machine, sampler, agent, obs = build_rig()
+        data = agent.take_checkpoint(0).to_dict()
+        del data["version"]
+        with pytest.raises(CheckpointVersionError):
+            AgentCheckpoint.from_dict(data)
+
+    def test_restore_from_dict_counts_mismatch_and_keeps_working(self):
+        machine, sampler, agent, obs = build_rig()
+        t = run_until_followup(machine, sampler, agent)
+        data = agent.take_checkpoint(t).to_dict()
+        data["version"] = 99
+
+        agent.crash(t + 1)
+        assert agent.restore_from_dict(data, t + 1) is False
+        assert obs.metrics.total("checkpoint_version_mismatch") == 1
+        assert agent._followups == []          # relearns instead of loading
+        # The agent stays functional after rejecting the stale file.
+        run_rig(machine, sampler, agent, t + 2, t + 60)
+
+    def test_restore_from_dict_round_trips_current_version(self):
+        machine, sampler, agent, obs = build_rig()
+        t = run_until_followup(machine, sampler, agent)
+        data = json.loads(json.dumps(agent.take_checkpoint(t).to_dict()))
+
+        agent.crash(t + 1)
+        assert agent.restore_from_dict(data, t + 1) is True
+        assert obs.metrics.total("checkpoint_version_mismatch") == 0
+        assert len(agent._followups) == 1

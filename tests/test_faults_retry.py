@@ -161,3 +161,92 @@ class TestResendQueueOverflow:
         client.on_ack(5, Ack(batch_id=ids[0], machine="m0"))
         assert client.batches_acked == 1
         assert obs.metrics.total("resend_queue_overflow") == 1
+
+
+class TestBackoffDeterminism:
+    """Jittered backoff is reproducible: same seed, same schedule."""
+
+    def test_same_rng_seed_same_jittered_schedule(self):
+        policy = RetryPolicy(timeout=10, max_attempts=5, backoff_base=4.0,
+                             backoff_factor=2.0, jitter=0.5)
+
+        def schedule(seed):
+            rng = np.random.default_rng(seed)
+            return [policy.backoff(n, rng) for n in range(1, 5)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_jitter_stays_within_the_advertised_swing(self):
+        policy = RetryPolicy(backoff_base=8.0, backoff_factor=1.0,
+                             backoff_cap=60.0, jitter=0.25)
+        rng = np.random.default_rng(3)
+        values = [policy.backoff(1, rng) for _ in range(200)]
+        assert all(6.0 <= v <= 10.0 for v in values)  # 8 +/- 25%
+        assert len(set(values)) > 1                   # actually jittered
+
+    def test_same_seed_same_resend_ticks_end_to_end(self):
+        policy = RetryPolicy(timeout=5, max_attempts=4, backoff_base=3.0,
+                             backoff_factor=2.0, jitter=0.5)
+
+        def resend_ticks(seed):
+            wire = []
+            client = UploadClient(
+                "m0", send=lambda t, batch: wire.append(t), policy=policy,
+                rng=np.random.default_rng(seed), obs=None)
+            client.upload(0, [make_sample()])
+            for t in range(1, 120):
+                client.pump(t)
+            return wire
+
+        assert resend_ticks(42) == resend_ticks(42)
+        assert len(resend_ticks(42)) == 4  # initial send + three retries
+
+
+class TestOutageLongerThanBackoffSchedule:
+    """An endpoint down past the client's whole retry budget: the batch is
+    abandoned with counted telemetry; one down shorter, it gets through."""
+
+    def _run(self, down_until: int, seconds: int = 200):
+        obs = Observability()
+        policy = RetryPolicy(timeout=5, max_attempts=3, backoff_base=2.0,
+                             backoff_factor=2.0, jitter=0.0)
+        up = {"at": down_until}
+        endpoint, ingested, acks = make_endpoint(obs=obs)
+        endpoint.gate = lambda: clock["t"] >= up["at"]
+        clock = {"t": 0}
+        wire = []
+        client = UploadClient(
+            "m0", send=lambda t, batch: wire.append((t, batch)), policy=policy,
+            rng=np.random.default_rng(0), obs=obs)
+        client.upload(0, [make_sample()])
+        for t in range(1, seconds):
+            clock["t"] = t
+            # Deliver every send of this tick, then advance the retry loop.
+            while wire:
+                _, batch = wire.pop(0)
+                endpoint.receive(t, batch)
+            for at, ack in list(acks):
+                acks.remove((at, ack))
+                client.on_ack(t, ack)
+            client.pump(t)
+        return client, endpoint, ingested, obs
+
+    def test_outage_longer_than_full_schedule_abandons(self):
+        # Full schedule: timeout 5 + (2 + 5) + (4 + 5) = last attempt dead
+        # by t=21; an endpoint down past that sees only refused sends.
+        client, endpoint, ingested, obs = self._run(down_until=100)
+        assert client.batches_abandoned == 1
+        assert client.pending_batches == 0
+        assert ingested == []
+        assert endpoint.batches_refused == 3  # every attempt was refused
+        assert obs.metrics.total("upload_batches_abandoned") == 1
+        assert obs.metrics.total("aggregator_batches_refused") == 3
+
+    def test_outage_shorter_than_schedule_recovers(self):
+        client, endpoint, ingested, obs = self._run(down_until=10)
+        assert client.batches_abandoned == 0
+        assert client.batches_acked == 1
+        assert len(ingested) == 1
+        assert endpoint.batches_refused > 0   # early attempts were refused
+        assert obs.metrics.total("upload_batches_abandoned") == 0

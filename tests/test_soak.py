@@ -1,0 +1,98 @@
+"""Tests for the churn soak harness (repro.experiments.soak)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.specstore import SNAPSHOT_FILENAME, WAL_FILENAME
+from repro.experiments.soak import SoakCheck, run_soak, soak_config
+from repro.obs import Observability
+
+#: Shortest configuration that still kills, snapshots, and churns twice:
+#: kills at 400 and 800, snapshots every 300 s, three churn waves.
+SMOKE_KWARGS = dict(seconds=900, num_machines=3, kill_period=400,
+                    outage_seconds=20, seed=0, fault_seed=1)
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    store = tmp_path_factory.mktemp("specstore")
+    config = soak_config(specstore_snapshot_interval=300,
+                         spec_refresh_period=600)
+    report = run_soak(config=config, store_dir=str(store), **SMOKE_KWARGS)
+    return report, store
+
+
+class TestSmokeSoak:
+    def test_all_checks_pass(self, smoke_report):
+        report, _ = smoke_report
+        assert report.passed, report.render()
+
+    def test_recovery_really_happened(self, smoke_report):
+        report, _ = smoke_report
+        assert report.kill_ticks == (400, 800)
+        assert report.restarts == 2
+        assert report.records_replayed > 0
+        assert report.snapshots > 0
+        assert report.drift["exact"] is True
+
+    def test_churn_really_happened(self, smoke_report):
+        report, _ = smoke_report
+        assert report.arrivals > 0
+        assert report.total_samples > 0
+
+    def test_store_files_on_disk(self, smoke_report):
+        _, store = smoke_report
+        assert (store / WAL_FILENAME).exists()
+        assert (store / SNAPSHOT_FILENAME).exists()
+
+    def test_report_json_shape(self, smoke_report):
+        report, _ = smoke_report
+        data = json.loads(report.to_json())
+        assert data["passed"] is True
+        assert data["kill_ticks"] == [400, 800]
+        assert {c["name"] for c in data["checks"]} == {
+            "zero_spec_drift", "bounded_rss", "bounded_objects",
+            "wal_compaction_bounds_wal", "every_kill_recovered",
+            "recovery_telemetry_counted"}
+        assert all(c["passed"] for c in data["checks"])
+
+    def test_render_lists_every_check(self, smoke_report):
+        report, _ = smoke_report
+        text = report.render()
+        assert text.count("[PASS]") == len(report.checks) == 6
+        assert text.endswith("result: PASS")
+
+
+class TestSoakGuards:
+    def test_rejects_too_short_run(self):
+        with pytest.raises(ValueError, match="seconds must be >="):
+            run_soak(seconds=60)
+
+    def test_no_kills_fails_recovery_check(self):
+        # A soak that never kills proves nothing about recovery: the
+        # recovery_telemetry_counted verdict must fail, not vacuously pass.
+        report = run_soak(seconds=600, num_machines=2, kill_period=4000,
+                          outage_seconds=0, telemetry=False,
+                          config=soak_config(specstore_snapshot_interval=300))
+        assert report.kill_ticks == ()
+        failed = [c.name for c in report.checks if not c.passed]
+        assert "recovery_telemetry_counted" in failed
+        assert report.passed is False
+
+    def test_failed_check_renders_fail(self):
+        check = SoakCheck("example", False, "it broke")
+        assert check.passed is False
+
+    def test_telemetry_scrapes_recovery_counters(self):
+        obs = Observability()
+        report = run_soak(seconds=600, num_machines=2, kill_period=250,
+                          outage_seconds=5, obs=obs, telemetry=True,
+                          config=soak_config(specstore_snapshot_interval=300))
+        assert report.restarts == 2
+        from repro.obs.timeseries import KIND_COUNTER
+
+        series = obs.timeseries.series(KIND_COUNTER, "aggregator_restarts")
+        assert series, "aggregator_restarts never scraped into the TSDB"

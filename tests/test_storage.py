@@ -38,9 +38,36 @@ class TestSpecRoundtrip:
             spec_from_dict({"jobname": "x"})
 
     def test_corrupt_line_reports_location(self, tmp_path):
+        # Mid-file corruption is damage, not a torn tail: it raises with
+        # the path and line number.
         path = tmp_path / "specs.jsonl"
-        path.write_text(json.dumps(spec_to_dict(make_spec())) + "\n{broken\n")
+        good = json.dumps(spec_to_dict(make_spec()))
+        path.write_text(good + "\n{broken\n" + good + "\n")
         with pytest.raises(ValueError, match=":2:"):
+            load_specs(path)
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        # A final line that fails to parse is the residue of an
+        # interrupted write: dropped with a counted warning, not a crash.
+        from repro.obs import Observability
+
+        path = tmp_path / "specs.jsonl"
+        specs = [make_spec(jobname=f"job-{i}") for i in range(3)]
+        save_specs(path, specs)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"jobname": "torn", "platform')
+        obs = Observability()
+        assert load_specs(path, obs=obs) == specs
+        assert obs.metrics.total("storage_torn_tail") == 1
+
+    def test_torn_tail_with_bad_schema_still_raises(self, tmp_path):
+        # Valid JSON with the wrong keys is a schema violation everywhere,
+        # including on the final line — only partial JSON is torn.
+        path = tmp_path / "specs.jsonl"
+        save_specs(path, [make_spec()])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"nope": 1}\n')
+        with pytest.raises(ValueError, match="bad spec record"):
             load_specs(path)
 
     def test_blank_lines_skipped(self, tmp_path):
@@ -64,6 +91,18 @@ class TestSampleRoundtrip:
     def test_bad_keys(self):
         with pytest.raises(ValueError, match="bad sample record"):
             sample_from_dict({"cpi": 1.0})
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        from repro.obs import Observability
+
+        samples = [make_sample(t=60 * i) for i in range(4)]
+        path = tmp_path / "samples.jsonl"
+        save_samples(path, samples)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"jobname": "torn"')
+        obs = Observability()
+        assert load_samples(path, obs=obs) == samples
+        assert obs.metrics.total("storage_torn_tail") == 1
 
 
 class TestForensicsRoundtrip:
