@@ -43,6 +43,26 @@ def pytest_addoption(parser):
              "BENCH_throughput.json at the repo root)")
 
 
+def warn_if_oversubscribed(jobs: int, what: str = "benchmark") -> bool:
+    """Warn (and return True) when ``jobs`` exceeds the machine's cores.
+
+    Speedup numbers recorded with more workers than cores measure context
+    switching, not scaling — the shard_sweep history has been bitten by
+    exactly this, so every parallel benchmark calls through here before
+    recording.
+    """
+    cores = os.cpu_count() or 1
+    if jobs > cores:
+        import warnings
+
+        warnings.warn(
+            f"{what}: jobs={jobs} oversubscribes this {cores}-core box; "
+            f"recorded speedups measure contention, not scaling",
+            stacklevel=2)
+        return True
+    return False
+
+
 @pytest.fixture
 def bench_json_sink(request):
     """Returns ``sink(key, payload, summary=None)``.
@@ -52,6 +72,10 @@ def bench_json_sink(request):
     ``summary`` is given, appends it as a one-line row to
     ``benchmarks/results/meta_throughput.txt`` — the human-skimmable perf
     trajectory that survives across runs.
+
+    Every payload is stamped with the recording box's ``cpu_count``:
+    speedup entries are meaningless without knowing how many cores were
+    available, and the artifact is long-lived.
     """
     path = Path(request.config.getoption("--bench-json"))
 
@@ -62,6 +86,8 @@ def bench_json_sink(request):
                 data = json.loads(path.read_text())
             except ValueError:
                 data = {}  # corrupt artifact: rebuild rather than crash
+        payload = dict(payload)
+        payload.setdefault("cpu_count", os.cpu_count() or 1)
         data[key] = payload
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         if summary is not None:
@@ -75,6 +101,8 @@ def bench_json_sink(request):
 @pytest.fixture(scope="session")
 def section7_trials():
     """The shared Section 7 manual-capping trial corpus."""
+    if TRIAL_JOBS > 1:
+        warn_if_oversubscribed(TRIAL_JOBS, "section7 trial corpus")
     return run_trials(NUM_TRIALS, jobs=TRIAL_JOBS)
 
 

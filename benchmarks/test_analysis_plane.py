@@ -214,18 +214,29 @@ def test_analysis_plane_throughput(benchmark, report_sink, bench_json_sink):
 
 
 def test_trials_parallel(benchmark, report_sink, bench_json_sink):
-    from repro.experiments.trials import TrialConfig, run_trials
+    from conftest import warn_if_oversubscribed
+
+    from repro.experiments.trials import (TRIALS_PARALLEL_MIN_PER_JOB,
+                                          TrialConfig, run_trials)
+    from repro.experiments.workerpool import shared_pool
+    from repro.obs import default_observability
 
     num_trials, jobs = 6, 2
+    warn_if_oversubscribed(jobs, "trials_parallel")
     config = TrialConfig(calibration_seconds=300, interference_seconds=360,
                          cap_seconds=120)
 
     def workload():
+        # The persistent pool is spawned outside the timed region — that
+        # is its contract: one spawn per process, reused by every
+        # fan-out, so short corpora no longer pay it per call.
+        shared_pool(jobs)
         start = time.perf_counter()
         serial = run_trials(num_trials, config, seed_base=11)
         serial_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        parallel = run_trials(num_trials, config, seed_base=11, jobs=jobs)
+        parallel = run_trials(num_trials, config, seed_base=11, jobs=jobs,
+                              min_per_job=0)
         parallel_seconds = time.perf_counter() - start
         return serial, serial_seconds, parallel, parallel_seconds
 
@@ -234,24 +245,38 @@ def test_trials_parallel(benchmark, report_sink, bench_json_sink):
     identical = [repr(t) for t in serial] == [repr(t) for t in parallel]
     speedup = serial_seconds / parallel_seconds
 
+    # This corpus sits under the documented fallback floor, so a plain
+    # jobs=2 call (no min_per_job override) must take the serial path and
+    # count it.
+    registry = default_observability().metrics
+    fallbacks_before = registry.value("trials_serial_fallback") or 0
+    run_trials(num_trials, config, seed_base=11, jobs=jobs)
+    fallback_counted = (registry.value("trials_serial_fallback")
+                        or 0) == fallbacks_before + 1
+
     report = ExperimentReport("meta_trials_parallel",
                               "Parallel trial execution")
     report.add("serial wall (s)", "-", serial_seconds,
                f"{num_trials} short trials")
-    report.add(f"--jobs {jobs} wall (s)", "-", parallel_seconds)
+    report.add(f"--jobs {jobs} wall (s)", "-", parallel_seconds,
+               "warm persistent pool, min_per_job=0")
     report.add("speedup", "~cores", speedup)
     report.add("results identical", "True", identical)
+    report.add("short corpus falls back to serial", "True", fallback_counted)
     report_sink(report)
 
     bench_json_sink(
         "trials_parallel",
         {
-            "workload": f"{num_trials} short Section-7 trials",
+            "workload": (f"{num_trials} short Section-7 trials, "
+                         "warm persistent pool"),
             "jobs": jobs,
             "serial_seconds": serial_seconds,
             "parallel_seconds": parallel_seconds,
             "speedup": speedup,
             "identical": identical,
+            "fallback_threshold_per_job": TRIALS_PARALLEL_MIN_PER_JOB,
+            "fallback_counted": fallback_counted,
         },
         summary=(f"trials: {serial_seconds:.1f}s serial -> "
                  f"{parallel_seconds:.1f}s at --jobs {jobs} "
@@ -260,3 +285,4 @@ def test_trials_parallel(benchmark, report_sink, bench_json_sink):
     # Identity is the hard gate; speedup depends on the runner's cores and
     # is gated in CI only when >= 2 cores are present.
     assert identical
+    assert fallback_counted

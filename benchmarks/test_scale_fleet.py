@@ -91,32 +91,57 @@ def test_scale_fleet_throughput(benchmark, report_sink, bench_json_sink):
 
 
 def test_shard_sweep_throughput(report_sink, bench_json_sink):
-    """The same fleet at 1/2/4 worker processes.
+    """The same fleet at 1/2/4 worker processes, on a persistent pool.
 
-    Correctness (sample count) is asserted unconditionally; the scaling
-    gates only fire where the runner actually has the cores — a 1-core
-    container records honest flat numbers instead of a vacuous pass.
+    Each job count runs three times against one :class:`ShardPool` —
+    first touch pays process spawn and a replicated build per worker;
+    by the third run every worker starts from a prebuilt replica, so the
+    ``coordinator_spawn`` stage shows the warm-pool amortization the
+    shared-memory transport PR claims.  The recorded throughput is the
+    best (warm) run.  Correctness (sample count) is asserted
+    unconditionally; the scaling gates only fire where the runner
+    actually has the cores — a 1-core container records honest flat
+    numbers (with ``cpu_count`` stamped) instead of a vacuous pass.
     """
+    from conftest import warn_if_oversubscribed
+
+    from repro.cluster.shards import ShardPool
+
     seconds = SIM_MINUTES * 60
     cores = os.cpu_count() or 1
+    rounds = 3
     sweep: dict[str, dict] = {}
-    for jobs in SHARD_JOBS:
-        timers = StageTimers()
-        start = time.perf_counter()
-        result = run_sharded(scale_scenario,
-                             dict(num_machines=NUM_MACHINES),
-                             seconds=seconds, jobs=jobs, timers=timers)
-        wall = time.perf_counter() - start
-        assert result.total_samples == NUM_TASKS * SIM_MINUTES
-        assert result.jobs == jobs
-        sweep[str(jobs)] = {
-            "wall_seconds": wall,
-            "task_ticks_per_wall_second": seconds * NUM_TASKS / wall,
-            "coordinator_stages": {
-                name: entry["seconds"]
-                for name, entry in timers.report().items()
-                if name.startswith("coordinator")},
-        }
+    pool = ShardPool()
+    try:
+        for jobs in SHARD_JOBS:
+            warn_if_oversubscribed(jobs, "shard_sweep")
+            walls = []
+            spawn_seconds = []
+            for _ in range(rounds):
+                timers = StageTimers()
+                start = time.perf_counter()
+                result = run_sharded(scale_scenario,
+                                     dict(num_machines=NUM_MACHINES),
+                                     seconds=seconds, jobs=jobs,
+                                     timers=timers, pool=pool)
+                walls.append(time.perf_counter() - start)
+                spawn_seconds.append(timers.seconds("coordinator_spawn"))
+                assert result.total_samples == NUM_TASKS * SIM_MINUTES
+                assert result.jobs == jobs
+                stages = {name: entry["seconds"]
+                          for name, entry in timers.report().items()
+                          if name.startswith("coordinator")}
+            wall = min(walls)
+            sweep[str(jobs)] = {
+                "wall_seconds": wall,
+                "wall_seconds_cold": walls[0],
+                "task_ticks_per_wall_second": seconds * NUM_TASKS / wall,
+                "coordinator_spawn_cold": spawn_seconds[0],
+                "coordinator_spawn_warm": spawn_seconds[-1],
+                "coordinator_stages": stages,  # last (warmest) round
+            }
+    finally:
+        pool.shutdown()
     base = sweep["1"]["task_ticks_per_wall_second"]
     for jobs in SHARD_JOBS:
         cell = sweep[str(jobs)]
@@ -129,14 +154,16 @@ def test_shard_sweep_throughput(report_sink, bench_json_sink):
         cell = sweep[str(jobs)]
         report.add(f"{jobs} worker(s): task-ticks / wall second", "-",
                    cell["task_ticks_per_wall_second"],
-                   f"{cell['speedup_vs_1_worker']:.2f}x vs 1 worker")
+                   f"{cell['speedup_vs_1_worker']:.2f}x vs 1 worker, "
+                   f"warm spawn {cell['coordinator_spawn_warm']:.3f}s")
     report_sink(report)
     bench_json_sink(
         "shard_sweep",
         {
             "workload": (f"{NUM_MACHINES} machines x {NUM_TASKS} tasks, "
                          f"full CPI2 pipeline, {SIM_MINUTES} sim-minutes, "
-                         f"run_sharded at jobs in {list(SHARD_JOBS)}"),
+                         f"run_sharded at jobs in {list(SHARD_JOBS)}, "
+                         f"best of {rounds} on one persistent pool"),
             "cpu_count": cores,
             "jobs": sweep,
         },
@@ -145,11 +172,24 @@ def test_shard_sweep_throughput(report_sink, bench_json_sink):
             for jobs in SHARD_JOBS)
             + f" task-ticks/s ({cores} cores)"))
 
-    # Scaling gates, only where the hardware can express them.
+    # Scaling gates, only where the hardware can express them.  (On an
+    # undersized box even the warm-spawn collapse can't show: prebuilds
+    # have no spare core to overlap into, so reruns still wait on them.)
+    warm4 = sweep["4"]
     if cores >= 2:
         assert sweep["2"]["speedup_vs_1_worker"] > 1.4, sweep["2"]
+    else:
+        print(f"SKIP shard scaling gate (2w > 1.4x): "
+              f"only {cores} core(s) on this runner")
     if cores >= 4:
-        assert sweep["4"]["speedup_vs_1_worker"] > 1.8, sweep["4"]
+        assert warm4["speedup_vs_1_worker"] >= 2.5, warm4
+        # The pool's point: warm reruns never pay process spawn again,
+        # and prebuilt replicas collapse the ready-wait too.
+        assert (warm4["coordinator_spawn_warm"]
+                < max(0.5 * warm4["coordinator_spawn_cold"], 0.05)), warm4
+    else:
+        print(f"SKIP shard scaling gate (4w >= 2.5x, warm spawn ~0): "
+              f"only {cores} core(s) on this runner")
 
 
 def _synthetic_samples(n: int) -> list[CpiSample]:

@@ -4,23 +4,43 @@ The paper's scalability argument — "anomalies are detected locally, which
 enables rapid responses and increases scalability" — makes the fleet
 embarrassingly parallel per machine: all cross-machine coupling flows
 through the central aggregation service.  :func:`run_sharded` exploits
-exactly that structure: machines are partitioned across N long-lived
+exactly that structure: machines are partitioned across N persistent
 worker processes (:mod:`repro.cluster.shardworker`), each rebuilding the
 full deterministic scenario and executing only its shard, while this
 coordinator keeps the control plane — the canonical
 :class:`~repro.core.aggregator.CpiAggregator`, the spec-refresh decision,
 the sample log, incident forensics, and merged telemetry.
 
+**The worker pool.**  Workers live in a :class:`ShardPool` that survives
+across runs (trials, experiments, bench iterations): process spawn is
+paid once per pool lifetime, and workers prebuild the next scenario
+replica during idle time once they have seen the same scenario twice —
+so warm reruns start with ``coordinator_spawn`` near zero.  A module-wide
+:func:`default_pool` serves every ``run_sharded`` call that does not
+bring its own; any failure mid-run resets the pool (workers terminated,
+segments unlinked), so no run ever observes another run's leftovers.
+
+**The two wires.**  Control traffic — barrier metadata, spec verdicts,
+scrape snapshots, run/finished/release handshakes — rides a pipe per
+worker, where latency matters and payloads are small.  Sample data rides
+a :class:`~repro.cluster.shm.ShmRing` per worker: the worker encodes each
+columnar :class:`~repro.core.samplebatch.SampleColumns` batch directly
+into the shared segment and the coordinator decodes numpy *views* over
+the same bytes — no pickling, no copies — releasing each barrier's
+records back to the writer in one commit after replay.  If a barrier's
+payload overflows the ring, the coordinator materialises the views it
+holds and commits early (backpressure relief), so arbitrarily large
+windows degrade to copying instead of deadlocking.
+
 **Barriers.**  Workers free-run through machine physics and fault-plane
 pumping, and synchronize only at sampler window-close ticks (the schedule
 is fleet-global because every machine shares the duty cycle).  At a
-barrier each worker ships its closed windows as columnar
-:class:`~repro.core.samplebatch.SampleColumns` (plus, under a fault
-profile, the upload batches that *arrived* at its endpoint since the last
-barrier), then blocks for the coordinator's spec-refresh verdict.  The
-periodic reschedule point needs no barrier: sharded runs refuse scenarios
-with pending or migratable work, making the rescheduler a no-op by
-construction (:func:`~repro.cluster.shardworker.check_shardable`).
+barrier each worker ships window/arrival *metadata* on the pipe, the
+payloads on the ring, then blocks for the coordinator's spec-refresh
+verdict.  The periodic reschedule point needs no barrier: sharded runs
+refuse scenarios with pending or migratable work, making the rescheduler
+a no-op by construction
+(:func:`~repro.cluster.shardworker.check_shardable`).
 
 **Determinism.**  Each machine owns a private generator spawned from the
 root seed *before* shard restriction, and per-machine fault components are
@@ -46,6 +66,7 @@ byte-identical at any ``--jobs`` count.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field, replace
@@ -53,13 +74,15 @@ from typing import Any, Callable, Iterable, Optional
 
 from repro.cluster.shardworker import (ShardSpec, ShardedRunUnsupported,
                                        barrier_ticks, check_shardable,
-                                       run_shard_worker)
+                                       run_pool_worker)
+from repro.cluster.shm import ShmRing, ShmRingStalled
+from repro.core.samplebatch import SampleColumns
 from repro.obs.metrics import merge_state
 from repro.perf.profiling import StageTimers
 from repro.records import CpiSample
 
 __all__ = ["ShardCrashed", "ShardedRunUnsupported", "ShardedRunResult",
-           "plan_shards", "run_sharded"]
+           "ShardPool", "default_pool", "plan_shards", "run_sharded"]
 
 
 class ShardCrashed(RuntimeError):
@@ -97,17 +120,126 @@ def plan_shards(names: Iterable[str], jobs: int) -> tuple[tuple[str, ...], ...]:
 
 
 @dataclass
-class _Worker:
-    """Coordinator-side handle for one shard worker process."""
+class _PoolWorker:
+    """Coordinator-side handle for one persistent shard worker process.
 
-    index: int
-    machines: tuple[str, ...]
+    ``index`` and ``machines`` describe the worker's *current run
+    assignment* (set at lease time); ``slot`` is its stable position in
+    the pool.
+    """
+
+    slot: int
     process: Any
     conn: Any
+    ring: ShmRing
+    index: int = -1
+    machines: tuple[str, ...] = ()
+    #: Batches decoded from the ring and not yet committed; materialised
+    #: in place if backpressure relief forces an early commit.
+    borrowed: list = field(default_factory=list)
 
 
-def _recv(worker: _Worker, timeout: Optional[float] = None):
-    """Receive one message, surfacing worker death instead of hanging."""
+class ShardPool:
+    """A persistent fleet of shard worker processes plus their rings.
+
+    Workers are generic — any worker can run any :class:`ShardSpec` — so
+    the pool grows to the largest ``jobs`` it has served and reuses those
+    processes for every subsequent run (not thread-safe: one run at a
+    time).  :meth:`reset` is the failure path: terminate everything,
+    unlink every segment, start from scratch on the next lease.
+    """
+
+    def __init__(self, mp_context=None, ring_bytes: Optional[int] = None):
+        self._ctx = mp_context or mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._ring_bytes = ring_bytes
+        self._workers: list[_PoolWorker] = []
+        #: Processes ever started — bench asserts warm reruns add zero.
+        self.spawned_total = 0
+
+    def lease(self, count: int) -> list[_PoolWorker]:
+        """Hand out ``count`` live workers, spawning or replacing as needed.
+
+        A worker is replaced if its process died *or* its ring's mapping
+        is gone — an external ``sweep_segments()`` (the crash backstop is
+        process-global) closes pool rings out from under us, and leasing
+        must hand out healthy transport, not a dangling segment.
+        """
+        for i, worker in enumerate(self._workers):
+            if not worker.process.is_alive() or worker.ring.closed:
+                self._dispose(worker, terminate=True)
+                self._workers[i] = self._spawn(worker.slot)
+        while len(self._workers) < count:
+            self._workers.append(self._spawn(len(self._workers)))
+        return self._workers[:count]
+
+    def _spawn(self, slot: int) -> _PoolWorker:
+        ring = ShmRing.create(self._ring_bytes)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=run_pool_worker,
+            args=(child_conn, ring.name, ring.capacity),
+            name=f"repro-shard-{slot}", daemon=True)
+        process.start()
+        child_conn.close()
+        self.spawned_total += 1
+        return _PoolWorker(slot=slot, process=process, conn=parent_conn,
+                           ring=ring)
+
+    def _dispose(self, worker: _PoolWorker, terminate: bool = False) -> None:
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if terminate and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5)
+        worker.ring.unlink()
+
+    def reset(self) -> None:
+        """Failure path: kill every worker and unlink every segment.
+
+        Called whenever a run leaves the pool in an unknown protocol
+        state (worker crash, coordinator exception, KeyboardInterrupt);
+        the next :meth:`lease` starts fresh.
+        """
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            self._dispose(worker, terminate=True)
+
+    def shutdown(self) -> None:
+        """Graceful exit: stop every worker, then unlink its segment."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=5)
+            self._dispose(worker, terminate=True)
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+
+_DEFAULT_POOL: Optional[ShardPool] = None
+
+
+def default_pool() -> ShardPool:
+    """The process-wide pool behind every plain :func:`run_sharded` call."""
+    global _DEFAULT_POOL
+    if _DEFAULT_POOL is None:
+        _DEFAULT_POOL = ShardPool()
+        # Registered after repro.cluster.shm's sweep (atexit is LIFO), so
+        # the graceful stop runs first and the sweep stays a no-op.
+        atexit.register(_DEFAULT_POOL.shutdown)
+    return _DEFAULT_POOL
+
+
+def _recv(worker: _PoolWorker, timeout: Optional[float] = None):
+    """Receive one control message, surfacing worker death over hanging."""
     deadline = None if timeout is None else time.monotonic() + timeout
     while True:
         try:
@@ -128,12 +260,43 @@ def _recv(worker: _Worker, timeout: Optional[float] = None):
                                f"no message within {timeout}s")
 
 
-def _send(worker: _Worker, message) -> None:
+def _send(worker: _PoolWorker, message) -> None:
     try:
         worker.conn.send(message)
     except (BrokenPipeError, OSError):
         raise ShardCrashed(worker.index, worker.machines,
                            "connection closed on send")
+
+
+def _take_batch(worker: _PoolWorker,
+                timeout: Optional[float]) -> SampleColumns:
+    """Decode the next ring record as a zero-copy columnar batch.
+
+    Backpressure relief runs first: once uncommitted bytes pass half the
+    ring, every outstanding view is materialised (copied off the segment)
+    and the ring committed, guaranteeing the blocked writer space for any
+    record up to ``max_record_bytes``.
+    """
+    ring = worker.ring
+    if ring.pending_bytes > ring.capacity // 2:
+        for batch in worker.borrowed:
+            batch.materialize()
+        worker.borrowed.clear()
+        ring.commit()
+    try:
+        view = ring.take(timeout=timeout, is_alive=worker.process.is_alive)
+    except ShmRingStalled as exc:
+        raise ShardCrashed(worker.index, worker.machines, str(exc))
+    batch = SampleColumns.decode(view)
+    worker.borrowed.append(batch)
+    return batch
+
+
+def _commit_rings(workers: list[_PoolWorker]) -> None:
+    """Release every decoded view back to the writers (replay is done)."""
+    for worker in workers:
+        worker.borrowed.clear()
+        worker.ring.commit()
 
 
 @dataclass
@@ -221,14 +384,20 @@ def run_sharded(
     timers: Optional[StageTimers] = None,
     barrier_timeout: Optional[float] = 120.0,
     mp_context=None,
+    pool: Optional[ShardPool] = None,
 ) -> ShardedRunResult:
     """Run ``builder(**kwargs)`` for ``seconds`` ticks across ``jobs`` workers.
 
     ``builder`` must be a module-level callable (workers import it by
     reference) returning a Scenario-like object; it is called once here
-    for the coordinator replica and once per worker.  Raises
+    for the coordinator replica and once per worker (amortised by the
+    pool's prebuild on repeat runs).  Workers come from ``pool`` if
+    given, else the process-wide :func:`default_pool` — unless
+    ``mp_context`` is passed, which gets a throwaway pool on that context
+    (contexts can't be mixed within a pool).  Raises
     :class:`ShardedRunUnsupported` for scenarios the sharded engine cannot
-    replay and :class:`ShardCrashed` if any worker dies mid-run.
+    replay and :class:`ShardCrashed` if any worker dies mid-run; either
+    way the pool is reset, so the failure cannot leak into later runs.
     ``barrier_timeout`` bounds how long the coordinator waits at any
     barrier (``None`` waits forever).
     """
@@ -258,24 +427,29 @@ def run_sharded(
             sim._c_ticks.inc(seconds)
     result = ShardedRunResult(scenario=scenario, jobs=len(shards),
                               seconds=seconds, shards=shards, timers=timers)
-    ctx = mp_context or mp.get_context(
-        "fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    workers: list[_Worker] = []
+    ephemeral: Optional[ShardPool] = None
+    if pool is None:
+        if mp_context is not None:
+            pool = ephemeral = ShardPool(mp_context=mp_context)
+        else:
+            pool = default_pool()
     try:
         with timers.stage("coordinator_spawn"):
-            for index, machines in enumerate(shards):
-                parent_conn, child_conn = ctx.Pipe()
-                spec = ShardSpec(index=index, builder=builder, kwargs=kwargs,
-                                 machines=machines, seconds=seconds)
-                process = ctx.Process(target=run_shard_worker,
-                                      args=(child_conn, spec),
-                                      name=f"repro-shard-{index}",
-                                      daemon=True)
-                process.start()
-                child_conn.close()
-                workers.append(_Worker(index, machines, process, parent_conn))
+            workers = pool.lease(len(shards))
+            for worker, (index, machines) in zip(workers, enumerate(shards)):
+                worker.index = index
+                worker.machines = machines
+                worker.borrowed.clear()
+                _send(worker, ("run",
+                               ShardSpec(index=index, builder=builder,
+                                         kwargs=kwargs, machines=machines,
+                                         seconds=seconds)))
             for worker in workers:
-                _recv(worker, barrier_timeout)  # ("ready", index)
+                message = _recv(worker, barrier_timeout)
+                if message[0] != "ready":
+                    raise ShardCrashed(worker.index, worker.machines,
+                                       f"protocol error: expected ready, "
+                                       f"got {message[0]!r}")
         for t in barrier_ticks(sim.config.sampler, seconds):
             windows: list = []
             arrivals: list = []
@@ -287,13 +461,21 @@ def run_sharded(
                             worker.index, worker.machines,
                             f"protocol error: expected window@{t}, "
                             f"got {message[:2]}")
-                    windows.extend(message[2])
-                    arrivals.extend(message[3])
+                    # Metadata on the pipe, payloads on the ring — in the
+                    # order the worker wrote them: arrivals, then windows.
+                    for arrived_at, machine in message[3]:
+                        arrivals.append((arrived_at, machine,
+                                         _take_batch(worker,
+                                                     barrier_timeout)))
+                    for name in message[2]:
+                        windows.append((name,
+                                        _take_batch(worker, barrier_timeout)))
             with timers.stage("coordinator_ingest"):
                 sim.now = t  # replica events/clock track the run
                 refreshed = _replay_barrier(result, aggregator, t, windows,
                                             arrivals, faulted, log_samples,
                                             host=host)
+                _commit_rings(workers)
             for worker in workers:
                 _send(worker, ("specs", refreshed))
             if telemetry:
@@ -316,22 +498,29 @@ def run_sharded(
                     raise ShardCrashed(worker.index, worker.machines,
                                        f"protocol error: expected finished, "
                                        f"got {message[0]!r}")
-                summaries.append(message[2])
-                _send(worker, ("release",))
+                summary = message[2]
+                summary["arrivals"] = [
+                    (arrived_at, machine,
+                     _take_batch(worker, barrier_timeout))
+                    for arrived_at, machine in summary.pop("arrival_meta")]
+                summaries.append(summary)
         with timers.stage("coordinator_merge"):
             sim.now = seconds
             _merge_summaries(result, aggregator, summaries, host=host)
+            _commit_rings(workers)
+        # Release last: workers loop back for the next lease (and may
+        # prebuild the next replica) only once their rings are drained.
         for worker in workers:
-            worker.process.join(timeout=10)
+            _send(worker, ("release",))
+    except BaseException:
+        # The pool's protocol state is unknowable mid-run: scrap it.
+        # Terminates workers and unlinks every segment (ShardCrashed,
+        # KeyboardInterrupt, and coordinator bugs all land here).
+        pool.reset()
+        raise
     finally:
-        for worker in workers:
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=5)
+        if ephemeral is not None:
+            ephemeral.shutdown()
     return result
 
 
@@ -365,7 +554,9 @@ def _replay_barrier(result: ShardedRunResult, aggregator, t: int,
     the per-machine interleave of ``CpiPipeline._on_samples``.  With a
     durable ``host``, every mutation routes through it (WAL + kill
     schedule) with the host clock caught up tick-by-tick first.  Returns
-    the refreshed spec map, or ``None``.
+    the refreshed spec map, or ``None``.  Consumes every batch before
+    returning (``.tolist()`` under the ingest paths), so the caller may
+    commit the rings immediately after.
     """
     arrivals.sort(key=lambda entry: (entry[0], entry[1]))
     if host is not None:

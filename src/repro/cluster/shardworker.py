@@ -1,4 +1,4 @@
-"""The shard worker: one process executing a slice of the fleet.
+"""The shard worker: one persistent process executing slices of the fleet.
 
 Each worker rebuilds the *full* deterministic scenario from a module-level
 builder plus kwargs (the "replicated build" — no machine state ever
@@ -6,6 +6,14 @@ crosses a process boundary), then restricts execution to its shard of
 machines.  Per-machine RNG streams are spawned from the root seed before
 the restriction (`ClusterSimulation.__init__`), so which shard a machine
 lands on cannot change any draw — determinism by construction.
+
+Workers are *persistent* (:class:`~repro.cluster.shards.ShardPool`): one
+process serves many runs, looping on ``("run", spec)`` requests.  The
+process-spawn cost is paid once per pool lifetime, and after a scenario
+key has run twice the worker *prebuilds* the next fresh replica during
+the idle gap after ``("release",)`` — so warm reruns of the same scenario
+(bench sweeps, repeated trials) start with both spawn and build already
+amortized.
 
 The worker owns everything machine-local: physics, samplers, agents
 (detection, throttling, follow-ups), and, under a fault profile, the
@@ -17,10 +25,13 @@ sample log, and merged telemetry.
 Synchronization happens at the natural barrier — every sampler
 window-close tick (``t >= duration and (t - duration) % period == 0``; all
 samplers share the duty cycle, so the schedule is global).  At a barrier
-the worker ships its closed windows (columnar), plus any fabric arrivals
-captured since the previous barrier, and blocks for the coordinator's
-spec-refresh verdict before letting its agents consume the windows — the
-exact order the single-process pipeline interleaves these effects in.
+the worker sends the *metadata* of its closed windows and captured fabric
+arrivals over the control pipe, writes the columnar payloads into its
+shared-memory ring (:mod:`repro.cluster.shm` — no pickling; the
+coordinator decodes numpy views over the same bytes), and blocks for the
+coordinator's spec-refresh verdict before letting its agents consume the
+windows — the exact order the single-process pipeline interleaves these
+effects in.
 """
 
 from __future__ import annotations
@@ -30,11 +41,12 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from repro.cluster.shm import ShmRing
 from repro.core.samplebatch import SampleColumns
 from repro.perf.profiling import StageTimers
 
 __all__ = ["ShardSpec", "ShardedRunUnsupported", "COORDINATOR_COUNTERS",
-           "barrier_ticks", "check_shardable", "run_shard_worker"]
+           "barrier_ticks", "check_shardable", "run_pool_worker"]
 
 #: Counters owned by the coordinator and excluded from every worker
 #: export: the tick clock (accounted once, coordinator-side) and the
@@ -51,6 +63,12 @@ COORDINATOR_COUNTERS = (
     "snapshot_compactions",
     "wal_torn_tail",
 )
+
+#: Runs of one scenario key before the worker starts prebuilding the next
+#: replica at release time.  One-off scenarios (most tests) never pay a
+#: wasted build; repeated ones (bench sweeps, parity suites) hit a warm
+#: prebuilt scenario from their third run on.
+PREBUILD_AFTER_RUNS = 2
 
 
 class ShardedRunUnsupported(RuntimeError):
@@ -82,6 +100,16 @@ class ShardSpec:
     kwargs: dict
     machines: tuple[str, ...]
     seconds: int
+
+    def scenario_key(self) -> tuple:
+        """Identity of the *replica build* (shard-independent).
+
+        Two specs with the same key build byte-identical scenarios, so a
+        prebuilt replica for one can serve the other — the shard
+        restriction and run length are applied after the build.
+        """
+        return (self.builder, tuple(sorted(
+            (name, repr(value)) for name, value in self.kwargs.items())))
 
 
 def barrier_ticks(sampler_config, seconds: int) -> list[int]:
@@ -118,34 +146,6 @@ def check_shardable(scenario) -> None:
             "scenario has unplaced tasks at build time; the periodic "
             "rescheduler would mutate placement mid-run, which the sharded "
             f"engine cannot replay (pending jobs: {pending})")
-
-
-def _install_arrival_capture(plane, shard: tuple[str, ...], arrivals: list):
-    """Make the worker's endpoint record, not ingest.
-
-    The worker-local :class:`~repro.faults.retry.AggregatorEndpoint` still
-    dedupes batch ids and sends acks (machine-side behaviour), but instead
-    of feeding the worker's dead replica aggregator, each non-duplicate
-    batch is recorded as ``(arrival_tick, machine, SampleColumns)`` for the
-    coordinator to replay into the canonical aggregator in global
-    (tick, machine) order — the same order the single-process pump
-    delivers in.
-    """
-    staging: list = []
-    plane.endpoint.ingest = staging.append
-    for name in shard:
-        port = plane.ports[name]
-        original = port.uplink.deliver
-
-        def deliver(t, batch, _original=original):
-            staging.clear()
-            _original(t, batch)
-            if staging:
-                arrivals.append((t, batch.machine,
-                                 SampleColumns.from_samples(staging)))
-                staging.clear()
-
-        port.uplink.deliver = deliver
 
 
 def _portable_incidents(agents, shard: tuple[str, ...]) -> list[tuple]:
@@ -188,33 +188,95 @@ class _TaskRef:
     job: _JobRef
 
 
-def run_shard_worker(conn, spec: ShardSpec) -> None:
-    """Worker process entry point: build, run, report, exit."""
+@dataclass
+class _Prebuilt:
+    """A fresh replica built ahead of its run (see PREBUILD_AFTER_RUNS)."""
+
+    key: tuple
+    scenario: Any
+    obs: Any
+    build_seconds: float
+
+
+def _build_scenario(spec: ShardSpec):
+    """One fresh, isolated replica build: new default facade, then build."""
+    from repro.obs import Observability, set_default_observability
+
+    obs = Observability()
+    set_default_observability(obs)
+    scenario = spec.builder(**spec.kwargs)
+    check_shardable(scenario)
+    return scenario, obs
+
+
+def run_pool_worker(conn, ring_name: str, ring_capacity: int) -> None:
+    """Persistent worker entry point: loop run requests until stopped.
+
+    Protocol (worker side): receive ``("run", spec)``; reply
+    ``("ready", index)`` once the replica is built and restricted; run the
+    barrier loop; send ``("finished", index, summary)``; block for
+    ``("release",)``; optionally prebuild; loop.  ``("stop",)`` exits.
+    Any per-run failure is reported as ``("error", index, traceback)`` and
+    kills the process — the pool discards and respawns crashed workers.
+    """
+    ring = ShmRing.attach(ring_name, ring_capacity)
+    spec: Optional[ShardSpec] = None
     try:
-        _run(conn, spec)
+        prebuilt: Optional[_Prebuilt] = None
+        run_counts: dict[tuple, int] = {}
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                return
+            spec = message[1]
+            key = spec.scenario_key()
+            run_counts[key] = run_counts.get(key, 0) + 1
+            _run_one(conn, ring, spec, prebuilt)
+            prebuilt = None
+            if run_counts[key] >= PREBUILD_AFTER_RUNS:
+                start = time.perf_counter()
+                scenario, obs = _build_scenario(spec)
+                prebuilt = _Prebuilt(key, scenario, obs,
+                                     time.perf_counter() - start)
+    except EOFError:
+        # Coordinator went away without a stop message (its process is
+        # exiting); nothing left to serve.
+        return
     except BaseException:
         try:
-            conn.send(("error", spec.index,
-                       f"shard {spec.index} "
-                       f"(machines {', '.join(spec.machines)}):\n"
+            index = spec.index if spec is not None else -1
+            machines = ", ".join(spec.machines) if spec is not None else "?"
+            conn.send(("error", index,
+                       f"shard {index} (machines {machines}):\n"
                        f"{traceback.format_exc()}"))
         except Exception:
             pass
         raise
     finally:
+        ring.close()
         conn.close()
 
 
-def _run(conn, spec: ShardSpec) -> None:
-    from repro.obs import Observability, set_default_observability
+def _write_batch(ring: ShmRing, columns: SampleColumns) -> None:
+    """Encode one columnar batch straight into the shared segment."""
+    ring.write(columns.encoded_nbytes, columns.encode_into)
+
+
+def _run_one(conn, ring: ShmRing, spec: ShardSpec,
+             prebuilt: Optional[_Prebuilt]) -> None:
+    from repro.obs import set_default_observability
     from repro.obs.metrics import export_state
 
-    # Isolate from anything the parent process accumulated before forking.
-    set_default_observability(Observability())
     timers = StageTimers()
-    with timers.stage("worker_build"):
-        scenario = spec.builder(**spec.kwargs)
-        check_shardable(scenario)
+    key = spec.scenario_key()
+    if prebuilt is not None and prebuilt.key == key:
+        scenario, obs = prebuilt.scenario, prebuilt.obs
+        set_default_observability(obs)
+        timers.add("worker_prebuild", prebuilt.build_seconds, calls=1)
+    else:
+        with timers.stage("worker_build"):
+            scenario, obs = _build_scenario(spec)
+    with timers.stage("worker_restrict"):
         sim = scenario.simulation
         pipeline = scenario.pipeline
         pipeline.restrict_to_shard(spec.machines)
@@ -229,7 +291,7 @@ def _run(conn, spec: ShardSpec) -> None:
         registry = pipeline.obs.metrics
         arrivals: list = []
         if plane is not None:
-            _install_arrival_capture(plane, shard, arrivals)
+            arrivals = plane.capture_arrivals(shard)
         barriers = set(barrier_ticks(sim.config.sampler, spec.seconds))
     conn.send(("ready", spec.index))
     if sim._c_ticks is not None and spec.seconds:
@@ -248,12 +310,19 @@ def _run(conn, spec: ShardSpec) -> None:
                 # this per machine before anything else at this tick).
                 for name, samples in closed:
                     plane.upload(t, name, samples)
-            windows = [(name, SampleColumns.from_samples(samples))
-                       for name, samples in closed]
+            # Control-plane metadata on the pipe *first*, payloads into
+            # the ring second: the coordinator starts draining as soon as
+            # the metadata lands, so a ring smaller than the barrier
+            # payload backpressures instead of deadlocking.
+            conn.send(("window", t, [name for name, _ in closed],
+                       [(at, machine) for at, machine, _ in arrivals]))
+            for _at, _machine, columns in arrivals:
+                _write_batch(ring, columns)
+            for _name, samples in closed:
+                _write_batch(ring, SampleColumns.from_samples(samples))
+            arrivals.clear()
             now = time.perf_counter()
             compute += now - mark
-            conn.send(("window", t, windows, arrivals[:]))
-            arrivals.clear()
             reply = conn.recv()
             mark = time.perf_counter()
             waiting += mark - now
@@ -287,7 +356,7 @@ def _run(conn, spec: ShardSpec) -> None:
     timers.add("worker_compute", compute, calls=spec.seconds)
     timers.add("worker_barrier_wait", waiting, calls=len(barriers))
     conn.send(("finished", spec.index, {
-        "arrivals": arrivals[:],
+        "arrival_meta": [(at, machine) for at, machine, _ in arrivals],
         "incidents": _portable_incidents(agents, shard),
         "forensics": [(row.time_seconds, row.machine, i, row)
                       for i, row in enumerate(pipeline.forensics.records)],
@@ -303,6 +372,9 @@ def _run(conn, spec: ShardSpec) -> None:
         "timers": [(name, entry["seconds"], int(entry["calls"]))
                    for name, entry in timers.report().items()],
     }))
-    # Wait for the coordinator's release so the pipe is never torn down
-    # while it still has our summary in flight.
+    # Post-barrier fabric arrivals ride the ring like everything else.
+    for _at, _machine, columns in arrivals:
+        _write_batch(ring, columns)
+    # Wait for the coordinator's release so neither the pipe nor the ring
+    # is torn down or reused while it still has our summary in flight.
     conn.recv()

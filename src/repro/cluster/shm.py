@@ -1,0 +1,325 @@
+"""Shared-memory ring buffers: the sharded pipeline's data-plane wire.
+
+Worker processes produce closed sampling windows as columnar
+:class:`~repro.core.samplebatch.SampleColumns`; before this module they
+crossed the process boundary as pickles on a pipe — one serialize, one
+copy into the kernel, one copy out, one deserialize, per window, per
+barrier.  :class:`ShmRing` replaces that with a single-producer /
+single-consumer byte ring in a ``multiprocessing.shared_memory`` segment:
+the worker encodes each batch directly into the segment and the
+coordinator decodes numpy *views* over the same bytes (zero-copy), so the
+only per-batch costs left are one bounds check and one small string-table
+decode.  Pipes remain for the control plane (barrier metadata, spec
+verdicts, scrape states) where latency, not bandwidth, matters.
+
+**Protocol.**  Records are ``[int64 length][payload][pad to 8]``; a
+length of ``-1`` is the wrap sentinel (the rest of the ring tail is dead,
+the next record starts at offset 0).  Two monotonically increasing byte
+cursors live in the segment header: the writer advances ``write`` after
+each record, the reader advances ``read`` only at :meth:`ShmRingReader.commit`
+— until then decoded views stay valid because the writer never crosses
+the read cursor.  Each side writes only its own cursor, so no lock is
+needed (8-byte aligned stores are atomic on every platform CPython runs
+on).
+
+**Backpressure.**  :meth:`ShmRingWriter.write` blocks while the ring
+lacks space and fails loudly after ``timeout`` instead of deadlocking.
+The reader side guarantees progress by committing (after materialising
+any still-referenced views) whenever uncommitted bytes exceed half the
+capacity — which is why a single record larger than half the ring is
+rejected at the writer with advice to raise ``REPRO_SHM_RING_BYTES``.
+
+**Cleanup.**  POSIX shared memory outlives processes: a leaked segment
+is a file in ``/dev/shm`` until reboot.  Every created segment is
+registered in a module-level table and unlinked by :func:`sweep_segments`
+on interpreter exit (``atexit``), in addition to the ``try/finally``
+unlinks on the owning pool's shutdown/reset paths — clean exits, crashed
+workers, and KeyboardInterrupt all leave ``/dev/shm`` empty.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Optional
+
+__all__ = ["ShmRing", "ShmRingStalled", "ShmRecordTooLarge",
+           "SEGMENT_PREFIX", "default_ring_bytes", "live_segments",
+           "sweep_segments"]
+
+#: Every segment this module creates is named with this prefix, so leak
+#: checks (tests, CI) can assert ``/dev/shm`` holds none of ours.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Default data capacity per ring; override with ``REPRO_SHM_RING_BYTES``.
+#: A 500-task fleet's barrier payload is a few tens of KiB, so 4 MiB is
+#: two orders of magnitude of headroom before backpressure engages.
+DEFAULT_RING_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct("<qq")     # write cursor, read cursor (bytes, monotonic)
+_LENGTH = struct.Struct("<q")      # per-record length prefix
+_WRAP = -1                         # length sentinel: rest of ring tail is dead
+_ALIGN = 8
+_POLL_SECONDS = 0.0002
+
+#: Segments created (and therefore owned) by this process, by name.
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+
+#: Segments whose mapping could not be closed because zero-copy views
+#: were still referenced (a crash unwound mid-barrier).  Held so their
+#: ``__del__`` never runs against live exports; the names are already
+#: unlinked, so these cost address space, not ``/dev/shm`` entries.
+_ZOMBIES: list[shared_memory.SharedMemory] = []
+
+
+def default_ring_bytes() -> int:
+    """The configured per-ring data capacity (``REPRO_SHM_RING_BYTES``)."""
+    raw = os.environ.get("REPRO_SHM_RING_BYTES")
+    if not raw:
+        return DEFAULT_RING_BYTES
+    value = int(raw)
+    if value < 4096:
+        raise ValueError(
+            f"REPRO_SHM_RING_BYTES must be >= 4096, got {value}")
+    return _pad(value)
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of segments created by this process and not yet unlinked."""
+    return tuple(sorted(_OWNED))
+
+
+def sweep_segments() -> int:
+    """Unlink every still-live segment this process created.
+
+    The atexit backstop behind the per-pool ``try/finally`` unlinks: a
+    coordinator that dies with a pool still up (unhandled exception,
+    KeyboardInterrupt above the run loop) must not leave ``/dev/shm``
+    littered.  Returns the number of segments unlinked.
+    """
+    swept = 0
+    for name in list(_OWNED):
+        shm = _OWNED.pop(name)
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - views alive
+            pass
+        try:
+            shm.unlink()
+            swept += 1
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    return swept
+
+
+atexit.register(sweep_segments)
+
+
+def _pad(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class ShmRingStalled(RuntimeError):
+    """The peer stopped making progress within the timeout."""
+
+
+class ShmRecordTooLarge(ValueError):
+    """A single record cannot fit the ring's backpressure guarantee."""
+
+
+class ShmRing:
+    """One single-producer/single-consumer shared-memory byte ring.
+
+    Create on the coordinator (owner) side with :meth:`create`, attach on
+    the worker side with :meth:`attach`.  The owner unlinks; attachers
+    only close.  Writer and reader roles are fixed per process: the
+    worker writes, the coordinator reads.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int,
+                 owner: bool):
+        self._shm = shm
+        self.capacity = capacity
+        self._owner = owner
+        #: Reader-side: end of everything taken but not yet committed.
+        self._pending = self._read_cursor()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: Optional[int] = None) -> "ShmRing":
+        capacity = _pad(capacity if capacity is not None
+                        else default_ring_bytes())
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=_HEADER.size + capacity)
+        _HEADER.pack_into(shm.buf, 0, 0, 0)
+        _OWNED[shm.name.lstrip("/")] = shm
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShmRing":
+        # Python < 3.13 registers the segment with the resource tracker
+        # on attach too.  Workers are always mp children of the owner, so
+        # they share the owner's tracker and the register is a set no-op;
+        # the tracker then doubles as a SIGKILL backstop (it unlinks
+        # whatever the owner never got to).  Do NOT unregister here: the
+        # tracker holds one entry per name, and removing it from a child
+        # makes the owner's eventual unlink complain about the missing
+        # registration.
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, capacity, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name.lstrip("/")
+
+    @property
+    def closed(self) -> bool:
+        """True once the local mapping is gone (closed or swept)."""
+        return self._shm.buf is None
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - buffer already torn down
+            pass
+        except BufferError:
+            # Zero-copy views over the segment are still referenced
+            # (e.g. a crash unwound mid-barrier with decoded batches on
+            # the stack).  Keep the mapping alive instead; unlink still
+            # removes the name, so nothing leaks in /dev/shm.
+            _ZOMBIES.append(self._shm)
+
+    def unlink(self) -> None:
+        """Owner side: close and remove the segment from the system."""
+        self.close()
+        if not self._owner:
+            return
+        _OWNED.pop(self.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+
+    # -- cursors ----------------------------------------------------------------
+
+    def _write_cursor(self) -> int:
+        return _LENGTH.unpack_from(self._shm.buf, 0)[0]
+
+    def _read_cursor(self) -> int:
+        return _LENGTH.unpack_from(self._shm.buf, 8)[0]
+
+    def _set_write_cursor(self, value: int) -> None:
+        _LENGTH.pack_into(self._shm.buf, 0, value)
+
+    def _set_read_cursor(self, value: int) -> None:
+        _LENGTH.pack_into(self._shm.buf, 8, value)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Reader side: bytes taken (views outstanding) but not committed."""
+        return self._pending - self._read_cursor()
+
+    @property
+    def max_record_bytes(self) -> int:
+        """Largest single payload :meth:`write` accepts.
+
+        Half the capacity minus framing: the reader only guarantees to
+        free space once uncommitted bytes exceed half the ring, so a
+        record needing more than the other half could deadlock.
+        """
+        # Worst case the record also burns a wrap sentinel plus the dead
+        # tail, so budget the frame twice.
+        return self.capacity // 2 - 2 * (_LENGTH.size + _ALIGN)
+
+    # -- writer side ------------------------------------------------------------
+
+    def write(self, nbytes: int, fill: Callable[[memoryview], None],
+              timeout: Optional[float] = 120.0) -> None:
+        """Append one record, blocking while the ring lacks space.
+
+        ``fill`` receives a writable memoryview of exactly ``nbytes``
+        over the segment and must fill it completely; this is what lets
+        :meth:`~repro.core.samplebatch.SampleColumns.encode_into` write
+        columns straight into shared memory with no intermediate bytes
+        object.
+        """
+        if nbytes > self.max_record_bytes:
+            raise ShmRecordTooLarge(
+                f"record of {nbytes} bytes exceeds the ring's "
+                f"{self.max_record_bytes}-byte record bound; raise "
+                f"REPRO_SHM_RING_BYTES (capacity {self.capacity})")
+        slot = _LENGTH.size + _pad(nbytes)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        write = self._write_cursor()
+        while True:
+            pos = write % self.capacity
+            tail = self.capacity - pos
+            need = slot + (tail if tail < slot else 0)
+            if self.capacity - (write - self._read_cursor()) >= need:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShmRingStalled(
+                    f"ring full for {timeout}s ({nbytes}-byte record, "
+                    f"capacity {self.capacity}); reader stopped consuming")
+            time.sleep(_POLL_SECONDS)
+        if tail < slot:
+            # Dead tail: plant the wrap sentinel and start at offset 0.
+            _LENGTH.pack_into(self._shm.buf, _HEADER.size + pos, _WRAP)
+            write += tail
+            pos = 0
+        start = _HEADER.size + pos
+        _LENGTH.pack_into(self._shm.buf, start, nbytes)
+        fill(self._shm.buf[start + _LENGTH.size:
+                           start + _LENGTH.size + nbytes])
+        # Publish only after the payload is fully in place.
+        self._set_write_cursor(write + slot)
+
+    def write_bytes(self, payload: bytes,
+                    timeout: Optional[float] = 120.0) -> None:
+        """Append one pre-serialized record (test/diagnostic convenience)."""
+        view = memoryview(payload)
+        self.write(len(view), lambda dst: dst.__setitem__(slice(None), view),
+                   timeout=timeout)
+
+    # -- reader side ------------------------------------------------------------
+
+    def take(self, timeout: Optional[float] = 120.0,
+             is_alive: Optional[Callable[[], bool]] = None) -> memoryview:
+        """Borrow the next record as a zero-copy view.
+
+        The view stays valid until :meth:`commit`; callers that must hold
+        data past a commit copy it first (``SampleColumns.materialize``).
+        ``is_alive`` lets the coordinator surface a dead writer process
+        instead of timing out.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._write_cursor() - self._pending < _LENGTH.size:
+            if is_alive is not None and not is_alive():
+                raise ShmRingStalled("writer process died mid-record")
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShmRingStalled(
+                    f"no record within {timeout}s (writer stalled)")
+            time.sleep(_POLL_SECONDS)
+        pos = self._pending % self.capacity
+        start = _HEADER.size + pos
+        length = _LENGTH.unpack_from(self._shm.buf, start)[0]
+        if length == _WRAP:
+            self._pending += self.capacity - pos
+            return self.take(timeout=timeout, is_alive=is_alive)
+        self._pending += _LENGTH.size + _pad(length)
+        return self._shm.buf[start + _LENGTH.size:
+                             start + _LENGTH.size + length]
+
+    def commit(self) -> None:
+        """Release every record taken so far back to the writer.
+
+        Views handed out by :meth:`take` must no longer be dereferenced
+        after this (the writer may reuse the bytes).
+        """
+        self._set_read_cursor(self._pending)

@@ -8,7 +8,6 @@ report, so they are safe to run ad hoc from the command line.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from typing import Callable, Sequence
 
 from repro.experiments.reporting import ExperimentReport
@@ -331,12 +330,14 @@ def run_experiments(names: Sequence[str], jobs: int = 1
     jobs = min(jobs, len(names))
     if jobs <= 1:
         return [(name, run_experiment(name)) for name in names]
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    from repro.experiments.workerpool import shared_pool
+
     # chunksize 1: experiment runtimes vary by an order of magnitude, so
-    # let the pool balance them one at a time.
-    with ctx.Pool(processes=jobs) as pool:
-        outcomes = pool.map(_run_experiment_with_metrics, names, chunksize=1)
+    # let the pool balance them one at a time.  The pool persists across
+    # calls (and is shared with run_trials), so repeated fan-outs pay the
+    # worker spawn cost once.
+    outcomes = shared_pool(jobs).map(_run_experiment_with_metrics, names,
+                                     chunksize=1)
     registry = default_observability().metrics
     for _report, state in outcomes:
         merge_state(registry, state, gauges="set")

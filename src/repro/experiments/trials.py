@@ -31,7 +31,6 @@ predictive and their trials noisier.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -52,7 +51,15 @@ from repro.workloads import AntagonistKind, make_antagonist_workload
 from repro.workloads.base import SyntheticWorkload
 from repro.workloads.demand import constant, with_noise
 
-__all__ = ["TrialConfig", "TrialResult", "run_trial", "run_trials"]
+__all__ = ["TrialConfig", "TrialResult", "run_trial", "run_trials",
+           "TRIALS_PARALLEL_MIN_PER_JOB"]
+
+#: Minimum trials per worker before ``run_trials`` fans out.  One trial
+#: is ~100ms of work; below this floor the pool round-trips (task
+#: pickling, result shipping, registry merges) eat the win, so shorter
+#: corpora run serial and count ``trials_serial_fallback``.  Pass
+#: ``min_per_job=0`` to force fan-out (parity tests do).
+TRIALS_PARALLEL_MIN_PER_JOB = 8
 
 #: Antagonist archetypes sampled by the trial generator.
 _TRIAL_KINDS = (
@@ -467,36 +474,48 @@ def _run_trial_star(seed_and_config: tuple[int, TrialConfig | None]
 
 
 def run_trials(num_trials: int, config: TrialConfig | None = None,
-               seed_base: int = 0, jobs: int = 1) -> list[TrialResult]:
+               seed_base: int = 0, jobs: int = 1,
+               min_per_job: Optional[int] = None) -> list[TrialResult]:
     """Run ``num_trials`` independent trials (the paper collected ~400).
 
     Every trial is seeded from its own ``SeedSequence((0xC0FFEE, seed))`` /
     ``((0xFACE, seed))`` pair and shares no state with its neighbours, so
-    with ``jobs > 1`` the trials fan out across a process pool and
-    ``pool.map`` reassembles the results in seed order — the returned list
-    is identical to a serial run, trial for trial and bit for bit.  Worker
-    observability ships back with each result and folds into this
-    process's default registry in seed order, so the metrics report no
-    longer under-counts under ``jobs > 1``.
+    with ``jobs > 1`` the trials fan out across the persistent shared
+    process pool (:mod:`repro.experiments.workerpool` — spawned once per
+    process, reused by every fan-out) and ``pool.map`` reassembles the
+    results in seed order — the returned list is identical to a serial
+    run, trial for trial and bit for bit.  Worker observability ships
+    back with each result and folds into this process's default registry
+    in seed order, so the metrics report no longer under-counts under
+    ``jobs > 1``.
+
+    Corpora shorter than ``min_per_job`` trials per worker (default
+    :data:`TRIALS_PARALLEL_MIN_PER_JOB`) run serial instead — the pool
+    round-trips would cost more than they save — counting a
+    ``trials_serial_fallback`` tick in the default metrics registry.
     """
     if num_trials < 1:
         raise ValueError(f"num_trials must be >= 1, got {num_trials}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    jobs = min(jobs, num_trials)
-    if jobs == 1:
-        return [run_trial(seed_base + i, config) for i in range(num_trials)]
     from repro.obs import default_observability
     from repro.obs.metrics import merge_state
 
-    # Fork where available (Linux): workers inherit the warm interpreter
-    # instead of re-importing it, same choice as repro.cluster.shards.
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    jobs = min(jobs, num_trials)
+    if min_per_job is None:
+        min_per_job = TRIALS_PARALLEL_MIN_PER_JOB
+    if jobs > 1 and num_trials < jobs * min_per_job:
+        default_observability().metrics.counter(
+            "trials_serial_fallback").inc()
+        jobs = 1
+    if jobs == 1:
+        return [run_trial(seed_base + i, config) for i in range(num_trials)]
+    from repro.experiments.workerpool import shared_pool
+
     work = [(seed_base + i, config) for i in range(num_trials)]
     chunksize = max(1, num_trials // (jobs * 4))
-    with ctx.Pool(processes=jobs) as pool:
-        outcomes = pool.map(_run_trial_star, work, chunksize=chunksize)
+    pool = shared_pool(jobs)
+    outcomes = pool.map(_run_trial_star, work, chunksize=chunksize)
     registry = default_observability().metrics
     for _result, state in outcomes:
         merge_state(registry, state, gauges="set")

@@ -144,6 +144,38 @@ class FaultPlane:
             self.ports[name].speclink.send(t, SpecPush(issued_at=t,
                                                        specs=dict(specs)))
 
+    def capture_arrivals(self, machines: Iterable[str]) -> list:
+        """Rewire the endpoint to record arrivals instead of ingesting.
+
+        Shard workers call this: the worker-local
+        :class:`~repro.faults.retry.AggregatorEndpoint` still dedupes
+        batch ids and sends acks (machine-side behaviour), but instead of
+        feeding the worker's demoted replica aggregator, each
+        non-duplicate batch is recorded in the returned list as
+        ``(arrival_tick, machine, SampleColumns)`` for the coordinator to
+        replay into the canonical aggregator in global (tick, machine)
+        order — the same order the single-process pump delivers in.
+        """
+        from repro.core.samplebatch import SampleColumns
+
+        arrivals: list = []
+        staging: list = []
+        self.endpoint.ingest = staging.append
+        for name in machines:
+            port = self.ports[name]
+            original = port.uplink.deliver
+
+            def deliver(t, batch, _original=original):
+                staging.clear()
+                _original(t, batch)
+                if staging:
+                    arrivals.append((t, batch.machine,
+                                     SampleColumns.from_samples(staging)))
+                    staging.clear()
+
+            port.uplink.deliver = deliver
+        return arrivals
+
     def pump(self, t: int, only: Optional[Iterable[str]] = None) -> None:
         """Advance fabric time by one second.
 

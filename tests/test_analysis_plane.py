@@ -553,8 +553,20 @@ class TestParallelTrials:
 
         config = self._fast_config()
         serial = run_trials(4, config, seed_base=5)
-        parallel = run_trials(4, config, seed_base=5, jobs=2)
+        # min_per_job=0 forces real fan-out: 4 trials across 2 workers
+        # would otherwise take the documented serial fallback.
+        parallel = run_trials(4, config, seed_base=5, jobs=2, min_per_job=0)
         assert [repr(t) for t in parallel] == [repr(t) for t in serial]
+
+    def test_short_corpus_falls_back_to_serial(self):
+        from repro.experiments.trials import run_trials
+        from repro.obs import default_observability
+
+        config = self._fast_config()
+        registry = default_observability().metrics
+        before = registry.value("trials_serial_fallback") or 0
+        run_trials(2, config, seed_base=5, jobs=2)
+        assert (registry.value("trials_serial_fallback") or 0) == before + 1
 
     def test_trial_identical_across_engines(self, monkeypatch):
         from repro.experiments.trials import run_trial

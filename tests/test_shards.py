@@ -18,13 +18,15 @@ hang the coordinator).
 
 from __future__ import annotations
 
+import glob
 import math
 import os
 
 import pytest
 
-from repro.cluster.shards import (ShardCrashed, ShardedRunUnsupported,
-                                  plan_shards, run_sharded)
+from repro.cluster.shards import (ShardCrashed, ShardPool,
+                                  ShardedRunUnsupported, plan_shards,
+                                  run_sharded)
 from repro.cluster.shardworker import barrier_ticks, check_shardable
 from repro.core.aggregator import CpiAggregator
 from repro.core.config import CpiConfig
@@ -215,13 +217,125 @@ def _crashing_scenario():
 
 def test_worker_death_raises_shard_crashed():
     """A dying worker surfaces as ShardCrashed naming its machines — no hang."""
-    with pytest.raises(ShardCrashed) as excinfo:
-        run_sharded(_crashing_scenario, seconds=240, jobs=2,
-                    barrier_timeout=60.0)
-    error = excinfo.value
-    assert "m1" in error.machines
-    assert "m1" in str(error)
-    assert "died mid-run" in str(error)
+    pool = ShardPool()
+    try:
+        with pytest.raises(ShardCrashed) as excinfo:
+            run_sharded(_crashing_scenario, seconds=240, jobs=2,
+                        barrier_timeout=60.0, pool=pool)
+        error = excinfo.value
+        assert "m1" in error.machines
+        assert "m1" in str(error)
+        assert "died mid-run" in str(error)
+        # The crash reset the pool (unknown protocol state)...
+        assert pool.size == 0
+        # ...and the very next lease serves a clean run.
+        result = run_sharded(scale_scenario, _POOL_KWARGS,
+                             seconds=300, jobs=2, pool=pool)
+        assert result.total_samples > 0
+    finally:
+        pool.shutdown()
+
+
+# -- pool lifecycle and segment hygiene ---------------------------------------
+
+
+#: Small but real: two shards, a few windows, a spec refresh.
+_POOL_KWARGS = dict(num_machines=4, seed=3, num_service_jobs=1,
+                    num_batch_jobs=1, tasks_per_job=4,
+                    config=CpiConfig(spec_refresh_period=600,
+                                     min_samples_per_task=5))
+
+
+def _repro_segments() -> set[str]:
+    """repro-owned segment files currently present in /dev/shm."""
+    return set(glob.glob("/dev/shm/repro-shm-*"))
+
+
+def test_warm_pool_reuses_workers_and_prebuilds():
+    """Reruns spawn no processes, and the third run hits a prebuilt replica."""
+    pool = ShardPool()
+    try:
+        results = [run_sharded(scale_scenario, _POOL_KWARGS, seconds=300,
+                               jobs=2, pool=pool) for _ in range(3)]
+        assert pool.spawned_total == 2          # paid once, not per run
+        first, second, third = (r.timers.report() for r in results)
+        assert first["worker_build"]["calls"] == 2
+        assert "worker_prebuild" not in first
+        # Same scenario twice seen -> workers prebuild after run 2's
+        # release, so run 3 starts on a warm replica and never builds.
+        assert "worker_build" not in third
+        assert third["worker_prebuild"]["calls"] == 2
+        # Parity is untouched by pool temperature.
+        assert [_canon_specs(r.pipeline.aggregator) for r in results[1:]] \
+            == [_canon_specs(results[0].pipeline.aggregator)] * 2
+    finally:
+        pool.shutdown()
+
+
+def test_no_segment_leak_after_clean_run():
+    before = _repro_segments()
+    pool = ShardPool()
+    try:
+        run_sharded(scale_scenario, _POOL_KWARGS, seconds=300, jobs=2,
+                    pool=pool)
+    finally:
+        pool.shutdown()
+    assert _repro_segments() == before
+
+
+def test_no_segment_leak_after_worker_crash():
+    before = _repro_segments()
+    pool = ShardPool()
+    try:
+        with pytest.raises(ShardCrashed):
+            run_sharded(_crashing_scenario, seconds=240, jobs=2,
+                        barrier_timeout=60.0, pool=pool)
+    finally:
+        pool.shutdown()
+    assert _repro_segments() == before
+
+
+def test_pool_recovers_after_external_sweep():
+    """sweep_segments() is process-global; leasing must heal, not dangle.
+
+    The crash backstop can close a live pool's rings out from under it
+    (e.g. another component sweeping on its own failure path).  The next
+    lease has to notice the dead mappings and respawn.
+    """
+    from repro.cluster.shm import sweep_segments
+
+    pool = ShardPool()
+    try:
+        first = run_sharded(scale_scenario, _POOL_KWARGS, seconds=300,
+                            jobs=2, pool=pool)
+        assert sweep_segments() >= 2            # yanks both pool rings
+        again = run_sharded(scale_scenario, _POOL_KWARGS, seconds=300,
+                            jobs=2, pool=pool)
+        assert pool.spawned_total == 4          # both workers respawned
+        assert _canon_specs(again.pipeline.aggregator) \
+            == _canon_specs(first.pipeline.aggregator)
+    finally:
+        pool.shutdown()
+
+
+def test_no_segment_leak_after_keyboard_interrupt(monkeypatch):
+    """Ctrl-C mid-barrier resets the pool and unlinks every segment."""
+    import repro.cluster.shards as shards_module
+
+    def interrupt(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    before = _repro_segments()
+    pool = ShardPool()
+    try:
+        monkeypatch.setattr(shards_module, "_replay_barrier", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            run_sharded(scale_scenario, _POOL_KWARGS, seconds=300, jobs=2,
+                        pool=pool)
+        assert pool.size == 0
+    finally:
+        pool.shutdown()
+    assert _repro_segments() == before
 
 
 # -- shard planning and the barrier schedule ----------------------------------
