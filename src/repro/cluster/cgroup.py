@@ -55,6 +55,14 @@ class BandwidthCap:
 class Cgroup:
     """A per-task CPU container: limit, optional hard-cap, usage history."""
 
+    #: Class-wide cap-change epoch.  Every :meth:`apply_cap` /
+    #: :meth:`release_cap` anywhere bumps it, which is how the vectorized
+    #: demand plane (:mod:`repro.cluster.demandplane`) knows its cached cap
+    #: columns are stale without polling every cgroup every tick.  (The lazy
+    #: expiry drop in :meth:`cap_at` does *not* bump it: an expired cap and
+    #: no cap are indistinguishable through ``t < expires_at``.)
+    _cap_mutations = 0
+
     def __init__(self, name: str, cpu_limit: float):
         """Args:
             name: container name (``<job>/<index>`` by convention).
@@ -68,7 +76,12 @@ class Cgroup:
         self._cap: Optional[BandwidthCap] = None
         self._usage_history: deque[tuple[int, float]] = deque(
             maxlen=USAGE_HISTORY_SECONDS)
-        self.total_cpu_seconds = 0.0
+        self._total_cpu = 0.0
+        # The demand plane's charge ledger, when a compiled task table owns
+        # this cgroup: per-tick charges are buffered there and flushed in
+        # consecutive runs.  Every usage read below flushes first, so the
+        # deferral is unobservable.
+        self._ledger = None
         # Columnar usage ledger: a float64 ring mirroring the deque, indexed
         # by ``t % USAGE_HISTORY_SECONDS``.  It exists so the identification
         # engine can read a window of per-second usage as one array slice
@@ -94,11 +107,13 @@ class Cgroup:
             raise ValueError(f"cap duration must be positive, got {duration}")
         cap = BandwidthCap(quota=quota, expires_at=now + duration)
         self._cap = cap
+        Cgroup._cap_mutations += 1
         return cap
 
     def release_cap(self) -> None:
         """Remove any active hard-cap immediately."""
         self._cap = None
+        Cgroup._cap_mutations += 1
 
     def cap_at(self, t: int) -> Optional[BandwidthCap]:
         """The cap in force at time ``t``, dropping it lazily once expired."""
@@ -126,12 +141,30 @@ class Cgroup:
 
     # -- accounting ---------------------------------------------------------
 
+    def _flush_ledger(self) -> None:
+        """Drain any charges the demand plane has buffered for this cgroup."""
+        ledger = self._ledger
+        if ledger is not None:
+            ledger.flush_charges()
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        """Lifetime CPU-seconds charged to this cgroup."""
+        self._flush_ledger()
+        return self._total_cpu
+
+    @total_cpu_seconds.setter
+    def total_cpu_seconds(self, value: float) -> None:
+        self._flush_ledger()
+        self._total_cpu = value
+
     def charge(self, t: int, usage: float) -> None:
         """Record ``usage`` CPU-sec/sec consumed during second ``t``."""
+        self._flush_ledger()
         if usage < 0:
             raise ValueError(f"usage must be >= 0, got {usage}")
         self._usage_history.append((t, usage))
-        self.total_cpu_seconds += usage
+        self._total_cpu += usage
         if self._ring_ok:
             last = self._ring_last
             if last is not None and t == last + 1:
@@ -151,6 +184,53 @@ class Cgroup:
                 self._ring_ok = False
                 self._ring = None
 
+    def _charge_run(self, t0: int, values: np.ndarray,
+                    checked: bool = False) -> None:
+        """Apply a run of consecutive per-second charges starting at ``t0``.
+
+        The demand plane's ledger flush calls this with one column of its
+        pending matrix; the effect is bit-identical to calling
+        :meth:`charge` for ``t0, t0+1, ...`` in order (same deque tuples,
+        same sequential float adds into the total, same ring writes).  Only
+        the ledger may call it — it does not flush, and assumes the run was
+        buffered *after* any earlier direct charges.  ``checked`` means the
+        caller already proved ``values`` non-negative for the whole block.
+        """
+        if not checked and not values.min() >= 0.0:
+            # A negative (or NaN) grant: take the scalar path so validation
+            # raises exactly as a direct charge would, at the same second.
+            for offset, usage in enumerate(values.tolist()):
+                self.charge(t0 + offset, usage)
+            return
+        count = len(values)
+        vals = values.tolist()
+        self._usage_history.extend(zip(range(t0, t0 + count), vals))
+        total = self._total_cpu
+        for v in vals:
+            total += v
+        self._total_cpu = total
+        if not self._ring_ok:
+            return
+        last = self._ring_last
+        if last is None:
+            if self._ring is None:
+                self._ring = np.zeros(USAGE_HISTORY_SECONDS)
+        elif t0 != last + 1:
+            self._ring_ok = False
+            self._ring = None
+            return
+        capacity = USAGE_HISTORY_SECONDS
+        i0 = t0 % capacity
+        ring = self._ring
+        if i0 + count <= capacity:
+            ring[i0:i0 + count] = values
+        else:
+            head = capacity - i0
+            ring[i0:] = values[:head]
+            ring[:count - head] = values[head:]
+        self._ring_last = t0 + count - 1
+        self._ring_count += count
+
     def usage_between(self, start: int, end: int) -> float:
         """Mean CPU-sec/sec over the half-open window ``[start, end)``.
 
@@ -159,6 +239,7 @@ class Cgroup:
         """
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
+        self._flush_ledger()
         history = self._usage_history
         span = end - start
         # Charges arrive once per tick in strictly increasing time order, so
@@ -190,6 +271,7 @@ class Cgroup:
         """
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
+        self._flush_ledger()
         if not self._ring_ok:
             return None
         out = np.zeros(end - start)
@@ -214,6 +296,7 @@ class Cgroup:
 
     def last_usage(self) -> float:
         """Most recently recorded per-second usage (0.0 before any charge)."""
+        self._flush_ledger()
         if not self._usage_history:
             return 0.0
         return self._usage_history[-1][1]

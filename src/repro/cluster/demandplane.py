@@ -1,0 +1,522 @@
+"""The vectorized demand/allocation plane: columnar demand programs.
+
+The per-machine vector tick engine (PR 3) batched the *physics* of a tick,
+but phases 1-3 and 5b-6 — demand evaluation, cgroup clipping, base-CPI
+reads, charging, ``on_tick`` accounting — still made three Python closure
+calls per task per simulated second.  This module removes that last big
+Python loop from the hot path: :class:`DemandColumns` compiles the
+declarative ``spec`` forms that the combinators in
+:mod:`repro.workloads.demand` attach to their closures into
+struct-of-arrays programs, so one machine's (or, fused, one cluster's)
+demand for tick ``t`` is a handful of numpy ufunc passes.
+
+Bit-exactness is a hard contract, mirroring the tick engines
+(``docs/performance.md`` has the full argument):
+
+* **RNG ordering** — log-normal demand noise draws one
+  ``rng.standard_normal()`` per noisy task from that task's own generator,
+  in table order (arena order when fused) — exactly the sequence the
+  scalar closures draw, so every downstream consumer of those generators
+  (transaction counters, latency models) sees an identical stream.
+* **Operand order** — every compiled formula multiplies/adds in the same
+  order as its closure, clamps with the same NaN-safe ``d if d > 0.0 else
+  0.0`` branch, and keeps the one transcendental per noisy task
+  (``np.exp``) elementwise-identical to the scalar call.
+* **Shared factor evaluation** — ``scaled`` factors carrying a ``spec``
+  attribute (e.g. :class:`~repro.workloads.diurnal.DiurnalPattern`)
+  declare themselves pure, so tasks with equal factor specs share one
+  scalar evaluation per tick; the ``math.cos`` calls stay scalar and
+  therefore bit-identical.
+* **Eligibility fallback** — any workload the compiler cannot express (a
+  hand-written demand lambda, an overridden ``cpu_demand``, a subclassed
+  cgroup, non-finite parameters) makes :meth:`DemandColumns.compile`
+  return ``None`` and that machine steps down to the closure path,
+  mirroring ``fused_eligible``.
+
+Cgroup state is columnar too: per-task limit and hard-cap columns are
+rebuilt only when any cap changes (a class-level mutation counter on
+:class:`~repro.cluster.cgroup.Cgroup`), and charges are buffered in a
+small per-table ledger that flushes whole consecutive runs into each
+cgroup's ring/deque — any read of cgroup usage state flushes first, so
+the deferral is unobservable.
+
+Engine selection follows the ``REPRO_ANALYSIS_ENGINE`` precedent:
+``REPRO_DEMAND_ENGINE=vector|scalar`` process-wide, or per machine via
+``Machine(demand_engine=...)``.  The scalar engine is the closure path,
+kept verbatim as the golden reference.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+from bisect import bisect_right
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cgroup import Cgroup
+
+__all__ = ["DEMAND_ENGINES", "DEMAND_ENGINE_ENV", "resolve_demand_engine",
+           "DemandColumns"]
+
+#: Valid demand-engine names.
+DEMAND_ENGINES = ("vector", "scalar")
+
+#: Environment variable selecting the process-wide default engine.
+DEMAND_ENGINE_ENV = "REPRO_DEMAND_ENGINE"
+
+#: Buffered ticks per charge-ledger flush.  Small enough that a flush stays
+#: cache-friendly, large enough to amortize the per-cgroup bookkeeping; the
+#: 60-second sampler window forces a flush long before the buffer wraps the
+#: 900-second usage ring.
+_CHARGE_CHUNK = 128
+
+_INF = float("inf")
+
+#: Draws bulk-fetched per chunk of a private noise generator's stream.
+_DRAW_CHUNK = 256
+
+#: ``sys.getrefcount`` ceiling that proves a noise generator is private to
+#: its ``with_noise`` closure: one reference from the spec, one from the
+#: bound ``standard_normal`` in the closure cell, plus getrefcount's own
+#: argument.  Any further reference means someone else (a workload's
+#: transaction counter, a CPI-modulation closure, a second demand function)
+#: might interleave draws, so the stream must stay strictly per-tick.
+_PRIVATE_RNG_REFS = 3
+
+
+def _chunked_stream(rng):
+    """Yield ``rng``'s scalar ``standard_normal`` stream, drawn in chunks.
+
+    ``standard_normal(k)`` consumes the underlying bit stream exactly as
+    ``k`` scalar calls do (the ziggurat fills the array element by element),
+    so the yielded values — and the generator's position at every chunk
+    boundary — are bit-identical to per-tick scalar draws, at a fraction of
+    the per-draw call overhead.
+    """
+    draw = rng.standard_normal
+    while True:
+        yield from draw(_DRAW_CHUNK).tolist()
+
+
+def resolve_demand_engine(explicit: Optional[str] = None) -> str:
+    """The demand engine to use: ``explicit``, else the env var, else vector.
+
+    Raises:
+        ValueError: for a name outside :data:`DEMAND_ENGINES`.
+    """
+    engine = explicit or os.environ.get(DEMAND_ENGINE_ENV) or "vector"
+    if engine not in DEMAND_ENGINES:
+        raise ValueError(
+            f"demand engine must be one of {', '.join(DEMAND_ENGINES)}, "
+            f"got {engine!r}")
+    return engine
+
+
+# The workload modules import repro.cluster.interference, whose package
+# __init__ imports machine, which imports this module — so the reference to
+# SyntheticWorkload and the spec classes must resolve lazily at first
+# compile, after every module involved has finished importing.
+_WMODS = None
+
+
+def _workload_modules():
+    global _WMODS
+    if _WMODS is None:
+        from repro.workloads import base as wbase
+        from repro.workloads import demand as wdemand
+        _WMODS = (wbase, wdemand)
+    return _WMODS
+
+
+def _finite(*values: float) -> bool:
+    return all(math.isfinite(v) for v in values)
+
+
+def _as_index(indices: list[int], n: int):
+    """A fancy index for ``indices`` — the cheap full slice when possible."""
+    if len(indices) == n and indices == list(range(n)):
+        return slice(None)
+    return np.asarray(indices, dtype=np.intp)
+
+
+class DemandColumns:
+    """A compiled, batch-evaluable demand/cgroup program for one task table.
+
+    Built by :meth:`compile` from a table's workloads and cgroups (in table
+    order); the machine's vector input path and :class:`FusedFleet` both
+    evaluate it — the fused fleet compiles one program over the whole arena
+    so the ufunc passes run once per cluster-tick instead of once per
+    machine.
+    """
+
+    __slots__ = (
+        "n", "workloads", "cgroups",
+        "_base0", "_vals",
+        "_onoff", "_ramp", "_phased", "_scaled", "_noise",
+        "_limits", "_allowed", "_cap_mask",
+        "_cap_quota", "_cap_expires", "_cap_epoch", "_any_cap", "_no_caps",
+        "_base_cpi_vals", "_base_cpi_dyn", "check_base_cpi",
+        "batch_on_tick", "now_workloads",
+        "_pending", "_pend_count", "_pend_t0",
+    )
+
+    @classmethod
+    def compile(cls, workloads: Sequence, cgroups: Sequence[Cgroup],
+                cpu_limits: Sequence[float], *,
+                attach_ledger: bool = True) -> Optional["DemandColumns"]:
+        """Compile a task table's demand plane, or ``None`` if ineligible.
+
+        Ineligibility (→ the caller keeps the scalar closure path): any
+        overridden/patched ``cpu_demand``, a demand function without a
+        recognised spec tree (leaf under optional ``scaled`` wrappers under
+        an optional outermost ``with_noise``), a spec-less ``scaled``
+        factor, non-finite parameters, a subclassed cgroup, or a cgroup
+        shared between tasks (the charge ledger needs one column per
+        cgroup).
+        """
+        wbase, wdemand = _workload_modules()
+        sw = wbase.SyntheticWorkload
+        n = len(workloads)
+        if n == 0:
+            return None
+
+        leaves: list = []
+        chains: list[tuple] = []      # scaled factors, innermost first
+        noises: list = []             # NoiseSpec or None
+        try:
+            for w in workloads:
+                if (type(w).cpu_demand is not sw.cpu_demand
+                        or "cpu_demand" in getattr(w, "__dict__", ())):
+                    return None
+                spec = wdemand.demand_spec(w._demand)
+                noise = None
+                if isinstance(spec, wdemand.NoiseSpec):
+                    noise = spec
+                    if not _finite(noise.sigma):
+                        return None
+                    spec = spec.base
+                factors = []
+                while isinstance(spec, wdemand.ScaledSpec):
+                    if getattr(spec.factor, "spec", None) is None:
+                        return None
+                    factors.append(spec.factor)
+                    spec = spec.base
+                if isinstance(spec, wdemand.ConstantSpec):
+                    ok = _finite(spec.level)
+                elif isinstance(spec, wdemand.OnOffSpec):
+                    ok = _finite(spec.on_level, spec.off_level,
+                                 spec.on_seconds)
+                elif isinstance(spec, wdemand.PhasedSpec):
+                    ok = _finite(*spec.levels)
+                elif isinstance(spec, wdemand.RampSpec):
+                    ok = _finite(spec.start_level, spec.end_level)
+                else:
+                    return None
+                if not ok:
+                    return None
+                leaves.append(spec)
+                chains.append(tuple(reversed(factors)))
+                noises.append(noise)
+        except AttributeError:
+            return None
+        for cg in cgroups:
+            if type(cg) is not Cgroup:
+                return None
+        if len({id(cg) for cg in cgroups}) != n:
+            return None
+
+        self = object.__new__(cls)
+        self.n = n
+        self.workloads = tuple(workloads)
+        self.cgroups = tuple(cgroups)
+
+        # -- leaf columns, grouped by kind ---------------------------------
+        base0 = np.zeros(n)
+        onoff_i: list[int] = []
+        onoff_rows: list = []
+        ramp_i: list[int] = []
+        ramp_rows: list = []
+        phased_groups: dict = {}
+        for i, spec in enumerate(leaves):
+            if isinstance(spec, wdemand.ConstantSpec):
+                base0[i] = spec.level
+            elif isinstance(spec, wdemand.OnOffSpec):
+                onoff_i.append(i)
+                onoff_rows.append(spec)
+            elif isinstance(spec, wdemand.RampSpec):
+                ramp_i.append(i)
+                ramp_rows.append(spec)
+            else:
+                phased_groups.setdefault(spec, []).append(i)
+        self._base0 = base0
+        self._vals = np.empty(n)
+        if onoff_i:
+            self._onoff = (
+                _as_index(onoff_i, n),
+                np.array([s.on_level for s in onoff_rows]),
+                np.array([s.off_level for s in onoff_rows]),
+                np.array([s.period for s in onoff_rows], dtype=np.int64),
+                np.array([s.phase for s in onoff_rows], dtype=np.int64),
+                np.array([s.on_seconds for s in onoff_rows]),
+                np.empty(len(onoff_i), dtype=np.int64),
+            )
+        else:
+            self._onoff = None
+        if ramp_i:
+            self._ramp = (
+                _as_index(ramp_i, n),
+                np.array([s.start_level for s in ramp_rows]),
+                np.array([s.end_level - s.start_level for s in ramp_rows]),
+                np.array([s.end_level for s in ramp_rows]),
+                np.array([s.duration for s in ramp_rows], dtype=np.int64),
+            )
+        else:
+            self._ramp = None
+        self._phased = tuple(
+            (list(spec.boundaries), list(spec.levels), spec.total,
+             spec.cycle, _as_index(idx, n))
+            for spec, idx in phased_groups.items())
+
+        # -- scaled stages: depth-major, one evaluation per factor spec ----
+        stages: list[tuple] = []
+        depth = 0
+        while True:
+            groups: dict = {}
+            for i, chain in enumerate(chains):
+                if len(chain) > depth:
+                    key = chain[depth].spec
+                    groups.setdefault(key, (chain[depth], []))[1].append(i)
+            if not groups:
+                break
+            for fn, idx in groups.values():
+                stages.append((_as_index(idx, n), fn))
+            depth += 1
+        self._scaled = tuple(stages)
+
+        # -- noise: per-task draws from each task's own generator ----------
+        # Full-width columns (sigma = 0 on noiseless slots): exp(0) == 1.0
+        # exactly, so one in-place table-wide multiply applies the noise
+        # without any fancy-indexed gather/scatter on the hot path.
+        noise_i = [i for i, s in enumerate(noises) if s is not None]
+        if noise_i:
+            sigma_full = np.zeros(n)
+            draws = []
+            for i in noise_i:
+                spec = noises[i]
+                sigma_full[i] = spec.sigma
+                # A generator no one else can reach gets a chunked stream
+                # (installed once, then sticky on the spec so its position
+                # survives recompiles and engine switches); a shared one
+                # keeps strict per-tick scalar draws.
+                stream = spec.stream
+                it = stream[0] if stream is not None else None
+                if (it is None and stream is not None
+                        and sys.getrefcount(spec.rng) <= _PRIVATE_RNG_REFS):
+                    it = stream[0] = _chunked_stream(spec.rng)
+                draws.append(it.__next__ if it is not None
+                             else spec.rng.standard_normal)
+            self._noise = (
+                _as_index(noise_i, n),
+                sigma_full,
+                tuple(draws),
+                np.zeros(n),
+                np.empty(n, dtype=bool),
+            )
+        else:
+            self._noise = None
+
+        # -- cgroup columns ------------------------------------------------
+        self._limits = np.asarray(cpu_limits, dtype=np.float64)
+        self._allowed = np.empty(n)
+        self._cap_quota = np.empty(n)
+        self._cap_expires = np.empty(n)
+        self._cap_mask = np.empty(n, dtype=bool)
+        self._cap_epoch = -1        # forces a sync on first use
+        self._any_cap = False
+        self._no_caps = [False] * n
+
+        # -- base-CPI columns: constants cached, the rest scalar slots -----
+        # A constant slot is validated (> 0) here once, so the tick loop
+        # only needs its positivity check when dynamic slots exist; a
+        # non-positive constant is routed through a dynamic slot so the
+        # per-tick check raises exactly as the closure path would.
+        vals = [0.0] * n
+        dyn: list[tuple[int, object]] = []
+        now_workloads: list = []
+        for i, w in enumerate(workloads):
+            overridden = (type(w).base_cpi is not sw.base_cpi
+                          or "base_cpi" in getattr(w, "__dict__", ()))
+            if overridden or w._cpi_modulation is not None:
+                dyn.append((i, w.base_cpi))
+                # Modulation (and any override) may read ``_now``, which
+                # the batched on_tick path must therefore keep advancing.
+                now_workloads.append(w)
+            elif w._base_cpi > 0:
+                vals[i] = w._base_cpi
+            else:
+                dyn.append((i, w.base_cpi))
+        self._base_cpi_vals = vals
+        self._base_cpi_dyn = tuple(dyn)
+        self.check_base_cpi = bool(dyn)
+        self.now_workloads = tuple(now_workloads)
+
+        self.batch_on_tick = all(
+            type(w).on_tick is sw.on_tick
+            and "on_tick" not in getattr(w, "__dict__", ())
+            for w in workloads)
+
+        # -- charge ledger -------------------------------------------------
+        if attach_ledger:
+            self._pending = np.empty((_CHARGE_CHUNK, n))
+            for cg in cgroups:
+                cg._ledger = self
+        else:
+            self._pending = None
+        self._pend_count = 0
+        self._pend_t0 = 0
+        return self
+
+    # -- demand ---------------------------------------------------------------
+
+    def demand(self, t: int) -> np.ndarray:
+        """All tasks' clamped CPU demand at ``t``, in table order.
+
+        Returns an internal buffer, overwritten by the next call.
+        """
+        vals = self._vals
+        np.copyto(vals, self._base0)
+        oo = self._onoff
+        if oo is not None:
+            idx, on, off, period, phase, on_seconds, ti = oo
+            np.add(phase, t, ti)
+            np.remainder(ti, period, ti)
+            vals[idx] = np.where(np.less(ti, on_seconds), on, off)
+        rp = self._ramp
+        if rp is not None:
+            idx, start, delta, end, duration = rp
+            v = np.add(start, np.multiply(delta, np.divide(t, duration)))
+            vals[idx] = np.where(np.greater_equal(t, duration), end, v)
+        for boundaries, levels, total, cycle, idx in self._phased:
+            if cycle:
+                vals[idx] = levels[bisect_right(boundaries, t % total)]
+            elif t >= total:
+                vals[idx] = levels[-1]
+            else:
+                vals[idx] = levels[bisect_right(boundaries, t)]
+        for idx, fn in self._scaled:
+            seg = vals[idx] * fn(t)
+            vals[idx] = np.where(seg > 0.0, seg, 0.0)
+        nz = self._noise
+        if nz is not None:
+            idx, sigma, draws, z, mask = nz
+            # One scalar draw per noisy task from its own generator, in
+            # table order: bit-identical stream positions to the closures.
+            z[idx] = [draw() for draw in draws]
+            np.multiply(z, sigma, z)
+            np.exp(z, z)
+            # sigma is 0 on noiseless slots, so exp gives exactly 1.0 there
+            # and the table-wide multiply leaves them bit-unchanged.  The
+            # mask clamp matches the closures' ``d if d > 0.0 else 0.0``
+            # (NaN — e.g. 0 × inf from an overflowing exp — goes to 0 too).
+            np.multiply(vals, z, vals)
+            np.greater(vals, 0.0, mask)
+            np.logical_not(mask, mask)
+            vals[mask] = 0.0
+        return vals
+
+    def allowed_and_capped(self, t: int) -> tuple[np.ndarray, list[bool]]:
+        """Demand clipped by limits and active caps, plus the capped flags.
+
+        The array is an internal buffer, overwritten by the next call; the
+        capped list is shared when no cap is active (callers treat it as
+        read-only).
+        """
+        a = self._allowed
+        np.minimum(self.demand(t), self._limits, out=a)
+        if Cgroup._cap_mutations != self._cap_epoch:
+            self._sync_caps()
+        if self._any_cap:
+            active = np.less(t, self._cap_expires, out=self._cap_mask)
+            if active.any():
+                np.minimum(a, np.where(active, self._cap_quota, _INF),
+                           out=a)
+                return a, active.tolist()
+        return a, self._no_caps
+
+    def _sync_caps(self) -> None:
+        """Rebuild the cap columns from the cgroups' current caps.
+
+        Runs only when :attr:`Cgroup._cap_mutations` moved — i.e. some cap
+        anywhere was applied or released.  Expired caps the scalar path
+        would have dropped lazily stay in the columns; ``t < expires_at``
+        makes them inactive all the same, and simulation time only moves
+        forward.
+        """
+        quota = self._cap_quota
+        expires = self._cap_expires
+        any_cap = False
+        for i, cg in enumerate(self.cgroups):
+            cap = cg._cap
+            if cap is None:
+                quota[i] = _INF
+                expires[i] = -_INF
+            else:
+                quota[i] = cap.quota
+                expires[i] = cap.expires_at
+                any_cap = True
+        self._any_cap = any_cap
+        self._cap_epoch = Cgroup._cap_mutations
+
+    # -- base CPI -------------------------------------------------------------
+
+    def base_cpi(self) -> list[float]:
+        """Per-task contention-free CPI: cached constants, live modulated.
+
+        Returns an internal list (constant slots written once at compile),
+        overwritten by the next call; callers only read/copy it.
+        """
+        vals = self._base_cpi_vals
+        for i, fn in self._base_cpi_dyn:
+            vals[i] = fn()
+        return vals
+
+    # -- charge ledger --------------------------------------------------------
+
+    def charge_tick(self, t: int, grants: list[float]) -> None:
+        """Buffer one tick's per-task grants for deferred cgroup charging."""
+        count = self._pend_count
+        if count == 0:
+            self._pend_t0 = t
+        elif t != self._pend_t0 + count:
+            # A manually driven machine skipped or replayed seconds; flush
+            # so each cgroup still sees maximal consecutive runs.
+            self.flush_charges()
+            self._pend_t0 = t
+            count = 0
+        self._pending[count] = grants
+        self._pend_count = count + 1
+        if self._pend_count == _CHARGE_CHUNK:
+            self.flush_charges()
+
+    def flush_charges(self) -> None:
+        """Apply all buffered charges to the cgroups.
+
+        Called from every cgroup usage read (``usage_between``,
+        ``usage_window_view``, ``last_usage``, ``total_cpu_seconds``), from
+        placement changes, and when the buffer fills — so no reader can
+        ever observe a stale ledger.
+        """
+        count = self._pend_count
+        if count == 0 or self._pending is None:
+            return
+        self._pend_count = 0
+        t0 = self._pend_t0
+        block = self._pending[:count]
+        # One reduce over the whole block; only when it fails does each
+        # column re-check and (if offending) fall back to scalar charges.
+        checked = bool(block.min() >= 0.0)
+        for j, cg in enumerate(self.cgroups):
+            cg._charge_run(t0, block[:, j], checked)

@@ -45,6 +45,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.demandplane import DemandColumns
 from repro.cluster.interference import (InterferenceModel, MachineContention,
                                         _SATURATE_KNEE)
 from repro.cluster.machine import Machine, TickResult
@@ -67,6 +68,7 @@ def fused_eligible(machine: Machine) -> bool:
             and cls.tick is Machine.tick
             and cls._tick_vector is Machine._tick_vector
             and cls._tick_inputs is Machine._tick_inputs
+            and cls._tick_alloc is Machine._tick_alloc
             and cls._tick_finish is Machine._tick_finish
             and type(machine.interference).tick_batch
                 is InterferenceModel.tick_batch
@@ -84,7 +86,7 @@ class FusedFleet:
         "llc_mib", "membw_cap", "cpi_scale", "cycles_per_sec", "sigma",
         "coupling", "coupling4", "cache_mib", "membw_gbps", "cache_sens",
         "membw_sens", "base_l3", "l2_base", "cold", "any_noise",
-        "matrix_targets",
+        "matrix_targets", "demand_columns",
     )
 
     @classmethod
@@ -116,6 +118,27 @@ class FusedFleet:
             (j, m, tb, offsets[j], len(tb.tasks))
             for j, (m, tb) in enumerate(zip(machines, tables))
             if tb.tasks)
+
+        # One cluster-wide demand program, when every resident segment
+        # compiled one: demand/cap/base-CPI columns then span the whole
+        # arena and phase 1's per-machine ufunc dispatch collapses into a
+        # single pass.  Per-task noise draws happen in arena order ==
+        # machine order x table order, exactly the per-machine sequence.
+        # No ledger: each machine table's own program keeps charging its
+        # cgroups.  Any ineligible segment -> per-machine phase 1.
+        fleet_dc = None
+        if self.segments and all(tb.demand_columns is not None
+                                 for _, _, tb, _, _ in self.segments):
+            workloads: list = []
+            cgroups: list = []
+            limits: list[float] = []
+            for _, _, tb, _, _ in self.segments:
+                workloads.extend(tb.workloads)
+                cgroups.extend(tb.cgroups)
+                limits.extend(tb.cpu_limits)
+            fleet_dc = DemandColumns.compile(workloads, cgroups, limits,
+                                             attach_ledger=False)
+        self.demand_columns = fleet_dc
 
         # Scratch buffers, allocated once per fleet build.
         (self.grants, self.cache_contrib, self.membw_contrib, self.tmp,
@@ -212,18 +235,37 @@ class FusedFleet:
         if stale:
             return None
 
-        # Phase 1 (Python, per machine): demand, clipping, allocation.
+        # Phase 1: demand, clipping, allocation.  With a fleet-wide demand
+        # program the columnar passes run once over the arena and only the
+        # small tier-allocation loop stays per machine; otherwise each
+        # machine's _tick_inputs runs (columnar or closure per its engine).
         g = self.grants
         cpi = self.cpi
         segments = self.segments
         inputs: list[Optional[tuple[list[float], list[bool]]]] = \
             [None] * len(self.machines)
-        for j, m, tb, o, n in segments:
-            grants, capped, base = m._tick_inputs(t, tb)
-            end = o + n
-            g[o:end] = grants
-            cpi[o:end] = base
-            inputs[j] = (grants, capped)
+        fdc = self.demand_columns
+        if fdc is not None:
+            allowed_all, capped_all = fdc.allowed_and_capped(t)
+            allowed_list = allowed_all.tolist()
+            base_all = fdc.base_cpi()
+            if fdc.check_base_cpi and not min(base_all) > 0:
+                bad = min(base_all)
+                raise ValueError(f"base_cpi must be positive, got {bad}")
+            cpi[:] = base_all
+            for j, m, tb, o, n in segments:
+                end = o + n
+                capped = capped_all[o:end]
+                grants = m._tick_alloc(t, tb, allowed_list[o:end], capped)
+                g[o:end] = grants
+                inputs[j] = (grants, capped)
+        else:
+            for j, m, tb, o, n in segments:
+                grants, capped, base = m._tick_inputs(t, tb)
+                end = o + n
+                g[o:end] = grants
+                cpi[o:end] = base
+                inputs[j] = (grants, capped)
 
         # Phase 2 (numpy, cluster-wide): contention, inflation, CPI,
         # miss rates, noise, counters — InterferenceModel.tick_batch's math

@@ -42,6 +42,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.demandplane import DemandColumns, resolve_demand_engine
 from repro.cluster.interference import (BatchWorkspace, InterferenceModel,
                                         MachineContention, ProfileTable,
                                         ResourceProfile)
@@ -129,9 +130,10 @@ class _TaskTable:
     __slots__ = ("tasks", "names", "cgroups", "cgroup_names", "workloads",
                  "demand_fns", "on_tick_fns", "base_cpi_fns", "profile_fns",
                  "cpu_limits", "tier_indices", "profiles", "profile_table",
-                 "workspace", "counter_matrix")
+                 "workspace", "counter_matrix", "demand_columns")
 
-    def __init__(self, tasks: Sequence[Task], counters: CounterBank):
+    def __init__(self, tasks: Sequence[Task], counters: CounterBank,
+                 demand_engine: str = "scalar"):
         self.tasks: tuple[Task, ...] = tuple(tasks)
         self.names: tuple[str, ...] = tuple(t.name for t in tasks)
         self.cgroups = tuple(t.cgroup for t in tasks)
@@ -151,6 +153,13 @@ class _TaskTable:
         self.workspace = BatchWorkspace(len(tasks)) if tasks else None
         self.counter_matrix = (counters.matrix_view(self.cgroup_names)
                                if tasks else None)
+        # The compiled demand/cgroup program, or None when the engine is
+        # scalar or any workload/cgroup is beyond the compiler (the machine
+        # then keeps the closure path, mirroring fused_eligible).
+        self.demand_columns = (
+            DemandColumns.compile(self.workloads, self.cgroups,
+                                  self.cpu_limits)
+            if (demand_engine == "vector" and tasks) else None)
         self.refresh_profiles([fn() for fn in self.profile_fns])
 
     def refresh_profiles(self, profiles: Sequence[ResourceProfile]) -> None:
@@ -172,6 +181,7 @@ class Machine:
         rng: np.random.Generator | None = None,
         cpi_noise_sigma: float = 0.03,
         tick_engine: str | None = None,
+        demand_engine: str | None = None,
     ):
         """Args:
             name: cluster-unique machine name.
@@ -183,6 +193,10 @@ class Machine:
             tick_engine: ``"vector"`` (batched hot path, the default) or
                 ``"legacy"`` (the scalar reference loop).  ``None`` defers
                 to the ``REPRO_TICK_ENGINE`` environment variable.
+            demand_engine: ``"vector"`` (compiled columnar demand plane, the
+                default) or ``"scalar"`` (the per-task closure reference).
+                ``None`` defers to the ``REPRO_DEMAND_ENGINE`` environment
+                variable.
         """
         if cpi_noise_sigma < 0:
             raise ValueError(f"cpi_noise_sigma must be >= 0, got {cpi_noise_sigma}")
@@ -196,6 +210,7 @@ class Machine:
         self.rng = rng or np.random.default_rng(0)
         self.cpi_noise_sigma = cpi_noise_sigma
         self.tick_engine = engine
+        self.demand_engine = resolve_demand_engine(demand_engine)
         self.counters = CounterBank()
         self._tasks: dict[str, Task] = {}
         self._table: Optional[_TaskTable] = None
@@ -214,7 +229,7 @@ class Machine:
             raise ValueError(f"task {task.name} already on machine {self.name}")
         task.mark_running(self.name)
         self._tasks[task.name] = task
-        self._table = None
+        self._invalidate_table()
 
     def remove(self, task_name: str, state: TaskState,
                reason: Optional[str] = None) -> Task:
@@ -225,7 +240,7 @@ class Machine:
             raise KeyError(f"no task {task_name!r} on machine {self.name}") from None
         task.mark_stopped(state, reason)
         self.counters.drop(task.cgroup.name)
-        self._table = None
+        self._invalidate_table()
         return task
 
     def get_task(self, task_name: str) -> Task:
@@ -247,11 +262,24 @@ class Machine:
         """Cgroup names of all resident tasks."""
         return [t.cgroup.name for t in self.resident_tasks()]
 
+    def _invalidate_table(self) -> None:
+        """Discard the cached task table after a placement change.
+
+        Any charges its demand program buffered are flushed first — the
+        outgoing table's ledger is about to become unreachable, and a new
+        table's program will re-point the surviving cgroups at itself.
+        """
+        table = self._table
+        if table is not None and table.demand_columns is not None:
+            table.demand_columns.flush_charges()
+        self._table = None
+
     def _task_table(self) -> _TaskTable:
         """The cached task-index table, rebuilt after placement changes."""
         table = self._table
         if table is None:
-            table = _TaskTable(self.resident_tasks(), self.counters)
+            table = _TaskTable(self.resident_tasks(), self.counters,
+                               self.demand_engine)
             self._table = table
         return table
 
@@ -340,7 +368,11 @@ class Machine:
 
         Shared verbatim by the per-machine vector path and the cluster-fused
         path (:mod:`repro.cluster.fused`) so the demand/base-CPI closure call
-        order — the RNG-ordering contract — cannot drift between them.
+        order — the RNG-ordering contract — cannot drift between them.  When
+        the table carries a compiled demand program (``demand_engine
+        "vector"`` and every workload/cgroup expressible), demand, clipping
+        and base-CPI reads run columnar; the closure loop below is the
+        scalar reference and the fallback.
 
         Returns:
             ``(grants, capped, base_cpi)`` as plain Python lists in table
@@ -348,27 +380,58 @@ class Machine:
             cannot change within the tick, so the legacy path's second
             ``is_capped`` lookup is redundant).
         """
-        cgroups = table.cgroups
-        cpu_limits = table.cpu_limits
-        n = len(cgroups)
+        dc = table.demand_columns
+        if dc is not None:
+            allowed_arr, capped = dc.allowed_and_capped(t)
+            grants = self._tick_alloc(t, table, allowed_arr.tolist(), capped)
+            # base_cpi closures are pure within a tick (modulation reads
+            # ``_now``, which only on_tick advances), so reading them here
+            # rather than after allocation is unobservable.
+            base_cpi = dc.base_cpi()
+            if dc.check_base_cpi and not min(base_cpi) > 0:
+                bad = min(base_cpi)
+                raise ValueError(f"base_cpi must be positive, got {bad}")
+            return grants, capped, base_cpi
+        else:
+            cgroups = table.cgroups
+            cpu_limits = table.cpu_limits
+            n = len(cgroups)
 
-        # 1-2. demand, clipped by cgroup limit and any hard-cap.
-        allowed = [0.0] * n
-        capped = [False] * n
-        for i, fn in enumerate(table.demand_fns):
-            d = fn(t)
-            if not d > 0.0:     # matches max(0.0, d), including d = NaN
-                d = 0.0
-            limit = cpu_limits[i]
-            a = d if d < limit else limit
-            cap = cgroups[i].cap_at(t)
-            if cap is not None:
-                capped[i] = True
-                if cap.quota < a:
-                    a = cap.quota
-            allowed[i] = a
+            # 1-2. demand, clipped by cgroup limit and any hard-cap.
+            allowed = [0.0] * n
+            capped = [False] * n
+            for i, fn in enumerate(table.demand_fns):
+                d = fn(t)
+                if not d > 0.0:     # matches max(0.0, d), including d = NaN
+                    d = 0.0
+                limit = cpu_limits[i]
+                a = d if d < limit else limit
+                cap = cgroups[i].cap_at(t)
+                if cap is not None:
+                    capped[i] = True
+                    if cap.quota < a:
+                        a = cap.quota
+                allowed[i] = a
 
-        # 3. tier allocation (pro-rata within a saturated tier).
+            grants = self._tick_alloc(t, table, allowed, capped)
+            base_cpi = [fn() for fn in table.base_cpi_fns]
+
+        if not min(base_cpi) > 0:
+            bad = min(base_cpi)
+            raise ValueError(f"base_cpi must be positive, got {bad}")
+        return grants, capped, base_cpi
+
+    def _tick_alloc(self, t: int, table: _TaskTable, allowed: list[float],
+                    capped: list[bool]) -> list[float]:
+        """Tick phase 3: tier allocation (pro-rata within a saturated tier)
+        and duty cycling — plain Python on purpose.
+
+        Tier membership is a handful of index tuples and the sums must stay
+        sequential left-to-right for bit-parity with the legacy loop, so
+        numpy would buy nothing here; both demand engines and the fused
+        fleet share this exact loop.
+        """
+        n = len(allowed)
         grants = [0.0] * n
         remaining = self.cpu_capacity
         for indices in table.tier_indices:
@@ -396,12 +459,7 @@ class Machine:
             factor = max(0.0, 1.0 - duty.core_share * (1.0 - duty.level))
             for i, name in enumerate(table.names):
                 grants[i] *= duty.level if name == duty.target_task else factor
-
-        base_cpi = [fn() for fn in table.base_cpi_fns]
-        if not min(base_cpi) > 0:
-            bad = min(base_cpi)
-            raise ValueError(f"base_cpi must be positive, got {bad}")
-        return grants, capped, base_cpi
+        return grants
 
     def _tick_finish(self, t: int, table: _TaskTable, result: TickResult,
                      grants: list[float], capped: list[bool]) -> None:
@@ -411,14 +469,47 @@ class Machine:
         Shared by the per-machine vector path and the cluster-fused path;
         mutates ``result.departures`` in place.
         """
-        cgroups = table.cgroups
+        dc = table.demand_columns
         total = self.total_cpu_seconds
         runnable = 0
-        for i, grant in enumerate(grants):
-            cgroups[i].charge(t, grant)
-            total += grant
-            if grant > 0.0:
-                runnable += 1
+        if dc is not None:
+            # Charges go to the table's ledger (flushed by any usage read,
+            # placement change, or every _CHARGE_CHUNK ticks).
+            dc.charge_tick(t, grants)
+            if dc.batch_on_tick:
+                # Every workload uses SyntheticWorkload.on_tick verbatim:
+                # plain accounting, never a departure — fold it into the
+                # totals loop without the per-task method dispatch.  Only
+                # workloads whose base_cpi may read ``_now`` need it
+                # advanced (the rest never look at it).
+                for w, grant in zip(table.workloads, grants):
+                    total += grant
+                    if grant > 0.0:
+                        runnable += 1
+                    w.granted_cpu_seconds += grant
+                for w in dc.now_workloads:
+                    w._now = t
+                if True in capped:
+                    for i, w in enumerate(table.workloads):
+                        if capped[i]:
+                            w.capped_seconds += 1
+                self.total_cpu_seconds = total
+                oversubscribed = max(0, runnable - self.platform.num_cores)
+                self.counters.record_context_switches(
+                    runnable * _SWITCHES_PER_TASK_SECOND
+                    + oversubscribed * 100)
+                return
+            for grant in grants:
+                total += grant
+                if grant > 0.0:
+                    runnable += 1
+        else:
+            cgroups = table.cgroups
+            for i, grant in enumerate(grants):
+                cgroups[i].charge(t, grant)
+                total += grant
+                if grant > 0.0:
+                    runnable += 1
         self.total_cpu_seconds = total
         oversubscribed = max(0, runnable - self.platform.num_cores)
         self.counters.record_context_switches(

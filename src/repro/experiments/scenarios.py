@@ -75,6 +75,7 @@ def build_cluster(
     fault_seed: int = 0,
     obs: Optional[Observability] = None,
     tick_engine: Optional[str] = None,
+    demand_engine: Optional[str] = None,
     telemetry: bool = False,
     spec_store: Optional["DurableSpecStore"] = None,
 ) -> Scenario:
@@ -85,7 +86,9 @@ def build_cluster(
     run's telemetry from the process default, which the chaos sweep needs
     to attribute fault counters to one profile at a time; ``tick_engine``
     picks the machine tick implementation (``"vector"``/``"legacy"``,
-    default per ``REPRO_TICK_ENGINE``) — the parity tests run both.
+    default per ``REPRO_TICK_ENGINE``) — the parity tests run both, and
+    ``demand_engine`` does the same for the demand plane
+    (``"vector"``/``"scalar"``, default per ``REPRO_DEMAND_ENGINE``).
     ``telemetry`` attaches the fleet telemetry plane (TSDB + alert rules)
     to the run's facade, creating an isolated one if ``obs`` was omitted.
     ``spec_store`` makes the aggregator durable (snapshot + WAL) even when
@@ -97,7 +100,8 @@ def build_cluster(
         obs = (obs or Observability()).enable_telemetry()
     machines = [
         Machine(f"m{i}", get_platform(platforms[i % len(platforms)]),
-                cpi_noise_sigma=cpi_noise_sigma, tick_engine=tick_engine)
+                cpi_noise_sigma=cpi_noise_sigma, tick_engine=tick_engine,
+                demand_engine=demand_engine)
         for i in range(num_machines)
     ]
     sim = ClusterSimulation(machines, SimConfig(

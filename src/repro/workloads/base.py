@@ -59,7 +59,11 @@ class SyntheticWorkload:
 
     def cpu_demand(self, t: int) -> float:
         """Desired CPU-sec/sec at time ``t``."""
-        return max(0.0, self._demand(t))
+        # NaN-safe clamp: ``max(0.0, d)`` would be argument-order-sensitive
+        # for NaN; the branch form returns 0.0 for every non-positive and
+        # non-finite demand, matching with_noise/scaled and the tick loop.
+        d = self._demand(t)
+        return d if d > 0.0 else 0.0
 
     def base_cpi(self) -> float:
         """Current contention-free CPI (modulation applied at the last tick)."""

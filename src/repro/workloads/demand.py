@@ -1,19 +1,45 @@
-"""Composable CPU-demand functions.
+"""Composable CPU-demand functions, with declarative spec forms.
 
 A demand function maps simulation time (seconds) to desired CPU usage in
 CPU-sec/sec.  Workloads are assembled from these small combinators; the case
 studies each need a specific temporal shape (bursty antagonists, bimodal
 self-inflicted victims, steady services) and these express them directly.
+
+Every combinator returns an ordinary callable *and* attaches a frozen
+``spec`` attribute describing it declaratively (:class:`ConstantSpec`,
+:class:`OnOffSpec`, ...).  The vectorized demand engine
+(:mod:`repro.cluster.demandplane`) compiles those specs into
+struct-of-arrays programs so a whole machine's demand for one tick is a
+handful of numpy ufunc passes; a demand function without a recognised spec
+(a hand-written lambda, an unsupported composition) simply makes its
+machine fall back to calling the closures — the closures here remain the
+scalar reference semantics either way.
+
+Spec contract: a spec must describe the closure *exactly* — same value,
+bit for bit, for every ``t`` — and a callable carrying a ``spec`` must be
+pure (its output determined by ``t`` and the spec alone).  The one
+exception is :class:`NoiseSpec`, which names the generator its closure
+draws from so the compiled form can consume the identical RNG stream.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 __all__ = [
     "DemandFn",
+    "DemandSpec",
+    "ConstantSpec",
+    "OnOffSpec",
+    "PhasedSpec",
+    "RampSpec",
+    "ScaledSpec",
+    "NoiseSpec",
+    "demand_spec",
     "constant",
     "on_off",
     "phased",
@@ -27,11 +53,101 @@ __all__ = [
 DemandFn = Callable[[int], float]
 
 
+# -- spec forms ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstantSpec:
+    """Spec of :func:`constant`."""
+
+    level: float
+
+
+@dataclass(frozen=True)
+class OnOffSpec:
+    """Spec of :func:`on_off` (and :func:`bimodal`, which delegates to it)."""
+
+    on_level: float
+    off_level: float
+    period: int
+    on_seconds: float   # duty * period, precomputed exactly as the closure does
+    phase: int
+
+
+@dataclass(frozen=True)
+class PhasedSpec:
+    """Spec of :func:`phased`: cumulative segment boundaries and levels."""
+
+    boundaries: tuple[int, ...]  # cumulative end time of each segment
+    levels: tuple[float, ...]
+    total: int
+    cycle: bool
+
+
+@dataclass(frozen=True)
+class RampSpec:
+    """Spec of :func:`ramp`."""
+
+    start_level: float
+    end_level: float
+    duration: int
+
+
+@dataclass(frozen=True)
+class ScaledSpec:
+    """Spec of :func:`scaled`.
+
+    ``factor`` is the factor callable itself; it is compilable only when it
+    carries its own ``spec`` attribute (e.g.
+    :class:`~repro.workloads.diurnal.DiurnalPattern`), which asserts it is
+    pure so tasks whose factors have equal specs may share one evaluation.
+    """
+
+    base: Optional["DemandSpec"]
+    factor: Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Spec of :func:`with_noise`: log-normal noise from a named generator.
+
+    ``stream`` is a one-slot mutable holder shared with the closure.  It
+    starts as ``[None]`` (the closure draws scalars straight from ``rng``);
+    the demand engine may install an iterator yielding the generator's
+    scalar stream in bulk-drawn chunks (bit-identical values, cheaper per
+    draw).  Once installed, *every* consumer — compiled program or closure,
+    whichever runs — takes draws from that iterator, so the stream position
+    stays exact across engine switches and table recompiles.
+    """
+
+    base: Optional["DemandSpec"]
+    sigma: float
+    rng: np.random.Generator
+    stream: list = field(default=None, compare=False, repr=False)
+
+
+DemandSpec = Union[ConstantSpec, OnOffSpec, PhasedSpec, RampSpec,
+                   ScaledSpec, NoiseSpec]
+
+
+def demand_spec(fn: DemandFn) -> Optional[DemandSpec]:
+    """The declarative spec of ``fn``, or ``None`` for opaque callables."""
+    return getattr(fn, "spec", None)
+
+
+# -- combinators --------------------------------------------------------------
+
+
 def constant(level: float) -> DemandFn:
     """Steady demand of ``level`` CPU-sec/sec."""
     if level < 0:
         raise ValueError(f"level must be >= 0, got {level}")
-    return lambda t: level
+
+    def fn(t: int) -> float:
+        return level
+
+    fn.spec = ConstantSpec(level)
+    return fn
 
 
 def on_off(on_level: float, off_level: float, period: int,
@@ -59,11 +175,16 @@ def on_off(on_level: float, off_level: float, period: int,
     def fn(t: int) -> float:
         return on_level if ((t + phase) % period) < on_seconds else off_level
 
+    fn.spec = OnOffSpec(on_level, off_level, period, on_seconds, phase)
     return fn
 
 
 def phased(segments: Sequence[tuple[int, float]], cycle: bool = True) -> DemandFn:
     """Piecewise-constant demand from ``(duration_seconds, level)`` segments.
+
+    Segment lookup is a binary search over precomputed cumulative
+    boundaries, so long schedules (diurnal traces with hundreds of
+    segments) cost O(log n) per call instead of a linear scan.
 
     Args:
         segments: the schedule, in order.
@@ -77,20 +198,24 @@ def phased(segments: Sequence[tuple[int, float]], cycle: bool = True) -> DemandF
             raise ValueError(f"segment duration must be >= 1, got {duration}")
         if level < 0:
             raise ValueError(f"segment level must be >= 0, got {level}")
-    total = sum(d for d, _ in segments)
+    boundaries: list[int] = []
+    levels: list[float] = []
+    elapsed = 0
+    for duration, level in segments:
+        elapsed += duration
+        boundaries.append(elapsed)
+        levels.append(level)
+    total = elapsed
+    last_level = levels[-1]
 
     def fn(t: int) -> float:
         if cycle:
             t = t % total
         elif t >= total:
-            return segments[-1][1]
-        elapsed = 0
-        for duration, level in segments:
-            elapsed += duration
-            if t < elapsed:
-                return level
-        return segments[-1][1]
+            return last_level
+        return levels[bisect_right(boundaries, t)]
 
+    fn.spec = PhasedSpec(tuple(boundaries), tuple(levels), total, cycle)
     return fn
 
 
@@ -106,6 +231,7 @@ def ramp(start_level: float, end_level: float, duration: int) -> DemandFn:
             return end_level
         return start_level + (end_level - start_level) * (t / duration)
 
+    fn.spec = RampSpec(start_level, end_level, duration)
     return fn
 
 
@@ -134,6 +260,7 @@ def with_noise(base: DemandFn, sigma: float,
 
     _exp = np.exp
     draw = rng.standard_normal
+    stream: list = [None]
 
     def fn(t: int) -> float:
         # sigma * standard_normal() is bit-identical to normal(0.0, sigma)
@@ -141,9 +268,14 @@ def with_noise(base: DemandFn, sigma: float,
         # ``d if d > 0.0 else 0.0`` matches max(0.0, d) for every float
         # including NaN.  This runs once per task per simulated second, so
         # it is one of the hottest expressions in the whole simulator.
-        d = base(t) * float(_exp(sigma * draw()))
+        # When the demand engine has installed a chunked stream for this
+        # generator (see NoiseSpec.stream), draws must come from it so the
+        # stream position survives engine switches and table recompiles.
+        it = stream[0]
+        d = base(t) * float(_exp(sigma * (draw() if it is None else next(it))))
         return d if d > 0.0 else 0.0
 
+    fn.spec = NoiseSpec(demand_spec(base), sigma, rng, stream)
     return fn
 
 
@@ -151,6 +283,11 @@ def scaled(base: DemandFn, factor_fn: Callable[[int], float]) -> DemandFn:
     """Modulate ``base`` by a time-varying factor (e.g. a diurnal pattern)."""
 
     def fn(t: int) -> float:
-        return max(0.0, base(t) * factor_fn(t))
+        # The same NaN-safe clamp as with_noise and the machine tick: a
+        # factor that misbehaves (NaN, -inf) yields zero demand, never a
+        # NaN that would poison the allocation arithmetic downstream.
+        d = base(t) * factor_fn(t)
+        return d if d > 0.0 else 0.0
 
+    fn.spec = ScaledSpec(demand_spec(base), factor_fn)
     return fn

@@ -42,6 +42,11 @@ class DiurnalPattern:
         self.amplitude = amplitude
         self.peak_hour = peak_hour
         self.weekend_damping = weekend_damping
+        # Purity declaration for the vectorized demand engine: two patterns
+        # with equal specs produce identical outputs for every t, so tasks
+        # sharing a spec can share one evaluation per tick (keeping the
+        # math.cos calls scalar and therefore bit-identical).
+        self.spec = ("diurnal", amplitude, peak_hour, weekend_damping)
 
     def __call__(self, t: int) -> float:
         """The load multiplier at simulation time ``t`` seconds."""

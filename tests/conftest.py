@@ -7,8 +7,24 @@ import pytest
 
 from repro.cluster.platform import get_platform
 from repro.core.config import CpiConfig
+from repro.obs import set_default_observability
 from repro.records import CpiSample, CpiSpec
 from repro.testing import make_quiet_machine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_observability():
+    """Each test sees a pristine process-default Observability.
+
+    CLI entry points swap the process-wide default (and ``soak`` enables
+    the telemetry plane on it); without this reset those flags leak into
+    later tests' scenario builds — e.g. a sharded run whose coordinator
+    replica suddenly expects telemetry scrapes that its workers (which
+    always build fresh defaults) never send.
+    """
+    set_default_observability(None)
+    yield
+    set_default_observability(None)
 
 
 @pytest.fixture

@@ -1,0 +1,652 @@
+"""The vectorized demand plane vs the scalar closure reference.
+
+Three layers of pinning:
+
+* **Hypothesis property tests** — every compiled demand kind (constant,
+  on_off/bimodal, phased, ramp, scaled, with_noise, and nested
+  compositions) matches its closure bit-for-bit (float hex) over
+  adversarial ``t`` ranges, phases, durations and noise seeds.
+* **Eligibility** — anything the compiler can't express (opaque lambdas,
+  overridden ``cpu_demand``, subclassed cgroups, shared cgroups,
+  non-finite parameters) steps the machine down to the closure path, and
+  that machine still ticks identically to a scalar-engine twin.
+* **End-to-end golden parity** — ``REPRO_DEMAND_ENGINE=scalar`` vs
+  ``vector`` on the scale scenario (clean, sharded at 1/2/4 workers) and
+  the chaos scenario (moderate faults, caps actually applied), compared
+  through the same hex-canonical forms the shard golden tests use.
+
+Plus regression tests for the NaN-clamp unification (``scaled`` /
+``with_noise`` / ``SyntheticWorkload.cpu_demand`` all treat non-finite
+demand as zero) and the deferred charge ledger (every cgroup read sees
+flushed state).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cgroup import Cgroup
+from repro.cluster.demandplane import (DEMAND_ENGINE_ENV, DEMAND_ENGINES,
+                                       DemandColumns, resolve_demand_engine)
+from repro.cluster.job import Job, JobSpec
+from repro.cluster.machine import Machine
+from repro.cluster.platform import get_platform
+from repro.cluster.shards import run_sharded
+from repro.cluster.task import PriorityBand, SchedulingClass, TaskState
+from repro.core.config import CpiConfig
+from repro.experiments.chaos import chaos_scenario
+from repro.experiments.scenarios import scale_scenario
+from repro.testing import QUIET_PROFILE, ScriptedWorkload, make_scripted_job
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.demand import (ConstantSpec, NoiseSpec, OnOffSpec,
+                                    PhasedSpec, RampSpec, ScaledSpec, bimodal,
+                                    constant, demand_spec, on_off, phased,
+                                    ramp, scaled, with_noise)
+from repro.workloads.diurnal import DiurnalPattern
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _hex(x) -> str:
+    return float(x).hex()
+
+
+def _workload(fn) -> SyntheticWorkload:
+    return SyntheticWorkload(base_cpi=1.0, profile=QUIET_PROFILE, demand=fn)
+
+
+def _compile_one(fn):
+    """Compile a single-task table around ``fn`` (huge limit: no clipping)."""
+    w = _workload(fn)
+    cg = Cgroup("t/0", 1e12)
+    return DemandColumns.compile([w], [cg], [cg.cpu_limit])
+
+
+def _assert_kind_parity(factory, ts):
+    """``factory()`` builds the same demand fn twice (fresh identically
+    seeded RNGs each call); closure and compiled evaluations must agree
+    bit-for-bit at every ``t``."""
+    scalar_w = _workload(factory())
+    dc = _compile_one(factory())
+    assert dc is not None, "expected the demand fn to compile"
+    for t in ts:
+        expected = scalar_w.cpu_demand(t)
+        got = float(dc.demand(t)[0])
+        assert _hex(got) == _hex(expected), (
+            f"t={t}: compiled {got!r} != closure {expected!r}")
+
+
+_LEVELS = st.floats(min_value=0.0, max_value=1e9,
+                    allow_nan=False, allow_infinity=False)
+_TS = st.lists(st.integers(min_value=0, max_value=2**40),
+               min_size=8, max_size=32)
+
+# ---------------------------------------------------------------------------
+# hypothesis property tests: compiled == closure, bit for bit
+
+
+class TestCompiledKindParity:
+    @settings(max_examples=50, deadline=None)
+    @given(level=_LEVELS, ts=_TS)
+    def test_constant(self, level, ts):
+        _assert_kind_parity(lambda: constant(level), ts)
+
+    @settings(max_examples=50, deadline=None)
+    @given(on=_LEVELS, off=_LEVELS,
+           period=st.integers(1, 10_000_000),
+           duty=st.floats(0.0, 1.0),
+           phase=st.integers(0, 10**9), ts=_TS)
+    def test_on_off(self, on, off, period, duty, phase, ts):
+        _assert_kind_parity(
+            lambda: on_off(on, off, period, duty=duty, phase=phase), ts)
+
+    @settings(max_examples=50, deadline=None)
+    @given(low=_LEVELS, high=_LEVELS, period=st.integers(1, 100_000),
+           frac=st.floats(0.0, 1.0), phase=st.integers(0, 10**6), ts=_TS)
+    def test_bimodal(self, low, high, period, frac, phase, ts):
+        _assert_kind_parity(
+            lambda: bimodal(low, high, period, low_fraction=frac,
+                            phase=phase), ts)
+
+    @settings(max_examples=50, deadline=None)
+    @given(segments=st.lists(
+               st.tuples(st.integers(1, 100_000), _LEVELS),
+               min_size=1, max_size=20),
+           cycle=st.booleans(), ts=_TS)
+    def test_phased(self, segments, cycle, ts):
+        _assert_kind_parity(lambda: phased(segments, cycle=cycle), ts)
+
+    @settings(max_examples=50, deadline=None)
+    @given(start=_LEVELS, end=_LEVELS,
+           duration=st.integers(1, 10_000_000), ts=_TS)
+    def test_ramp(self, start, end, duration, ts):
+        _assert_kind_parity(lambda: ramp(start, end, duration), ts)
+
+    @settings(max_examples=50, deadline=None)
+    @given(level=_LEVELS, amplitude=st.floats(0.0, 0.99),
+           peak=st.floats(0.0, 23.99), ts=_TS)
+    def test_scaled_diurnal(self, level, amplitude, peak, ts):
+        _assert_kind_parity(
+            lambda: scaled(constant(level),
+                           DiurnalPattern(amplitude, peak_hour=peak)), ts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(level=_LEVELS, a1=st.floats(0.0, 0.99), a2=st.floats(0.0, 0.99),
+           ts=_TS)
+    def test_nested_scaled(self, level, a1, a2, ts):
+        _assert_kind_parity(
+            lambda: scaled(scaled(constant(level), DiurnalPattern(a1)),
+                           DiurnalPattern(a2)), ts)
+
+    @settings(max_examples=50, deadline=None)
+    @given(level=_LEVELS, sigma=st.floats(0.0, 2.0), seed=st.integers(0, 2**31),
+           ts=_TS)
+    def test_noise_over_constant(self, level, sigma, seed, ts):
+        _assert_kind_parity(
+            lambda: with_noise(constant(level), sigma,
+                               np.random.default_rng(seed)), ts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(on=_LEVELS, off=_LEVELS, period=st.integers(1, 100_000),
+           sigma=st.floats(0.0, 1.0), seed=st.integers(0, 2**31), ts=_TS)
+    def test_noise_over_on_off(self, on, off, period, sigma, seed, ts):
+        _assert_kind_parity(
+            lambda: with_noise(on_off(on, off, period), sigma,
+                               np.random.default_rng(seed)), ts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(level=_LEVELS, amp=st.floats(0.0, 0.99), sigma=st.floats(0.0, 1.0),
+           seed=st.integers(0, 2**31), ts=_TS)
+    def test_noise_over_scaled(self, level, amp, sigma, seed, ts):
+        _assert_kind_parity(
+            lambda: with_noise(scaled(constant(level), DiurnalPattern(amp)),
+                               sigma, np.random.default_rng(seed)), ts)
+
+    def test_mixed_table_draws_in_table_order(self):
+        """Noise draws must come from each task's own generator in table
+        order even when non-noisy tasks are interleaved."""
+        def build():
+            return [
+                with_noise(constant(1.0), 0.1, np.random.default_rng(1)),
+                constant(2.0),
+                with_noise(on_off(3.0, 0.5, 60), 0.2,
+                           np.random.default_rng(2)),
+                phased([(10, 1.0), (20, 4.0)]),
+                with_noise(constant(0.7), 0.3, np.random.default_rng(3)),
+            ]
+        scalar_ws = [_workload(fn) for fn in build()]
+        compiled_ws = [_workload(fn) for fn in build()]
+        cgs = [Cgroup(f"t/{i}", 1e12) for i in range(len(compiled_ws))]
+        dc = DemandColumns.compile(compiled_ws, cgs,
+                                   [cg.cpu_limit for cg in cgs])
+        assert dc is not None
+        for t in range(0, 500, 7):
+            expected = [w.cpu_demand(t) for w in scalar_ws]
+            got = dc.demand(t).tolist()
+            assert [_hex(g) for g in got] == [_hex(e) for e in expected]
+
+
+# ---------------------------------------------------------------------------
+# spec forms
+
+
+class TestSpecs:
+    def test_combinators_carry_specs(self):
+        assert demand_spec(constant(1.0)) == ConstantSpec(1.0)
+        assert demand_spec(on_off(2.0, 0.5, 60, duty=0.25, phase=7)) == \
+            OnOffSpec(2.0, 0.5, 60, 0.25 * 60, 7)
+        assert demand_spec(phased([(10, 1.0), (5, 2.0)])) == \
+            PhasedSpec((10, 15), (1.0, 2.0), 15, True)
+        assert demand_spec(ramp(0.0, 4.0, 100)) == RampSpec(0.0, 4.0, 100)
+        pat = DiurnalPattern(0.2)
+        spec = demand_spec(scaled(constant(1.0), pat))
+        assert isinstance(spec, ScaledSpec)
+        assert spec.base == ConstantSpec(1.0) and spec.factor is pat
+        rng = np.random.default_rng(0)
+        nspec = demand_spec(with_noise(constant(1.0), 0.1, rng))
+        assert isinstance(nspec, NoiseSpec)
+        assert nspec.sigma == 0.1 and nspec.rng is rng
+
+    def test_zero_sigma_noise_keeps_base_spec(self):
+        fn = with_noise(constant(3.0), 0.0, np.random.default_rng(0))
+        assert demand_spec(fn) == ConstantSpec(3.0)
+
+    def test_opaque_lambda_has_no_spec(self):
+        assert demand_spec(lambda t: 1.0) is None
+
+
+# ---------------------------------------------------------------------------
+# eligibility fallback
+
+
+class TestEligibility:
+    def test_opaque_demand_fn_is_ineligible(self):
+        assert _compile_one(lambda t: 1.0) is None
+
+    def test_speccless_scale_factor_is_ineligible(self):
+        assert _compile_one(scaled(constant(1.0), lambda t: 2.0)) is None
+
+    def test_overridden_cpu_demand_is_ineligible(self):
+        class Custom(SyntheticWorkload):
+            def cpu_demand(self, t):
+                return 1.0
+
+        w = Custom(base_cpi=1.0, profile=QUIET_PROFILE, demand=constant(1.0))
+        cg = Cgroup("t/0", 4.0)
+        assert DemandColumns.compile([w], [cg], [4.0]) is None
+
+    def test_subclassed_cgroup_is_ineligible(self):
+        class FancyCgroup(Cgroup):
+            pass
+
+        w = _workload(constant(1.0))
+        cg = FancyCgroup("t/0", 4.0)
+        assert DemandColumns.compile([w], [cg], [4.0]) is None
+
+    def test_shared_cgroup_is_ineligible(self):
+        ws = [_workload(constant(1.0)), _workload(constant(2.0))]
+        cg = Cgroup("t/0", 4.0)
+        assert DemandColumns.compile(ws, [cg, cg], [4.0, 4.0]) is None
+
+    def test_non_finite_parameters_are_ineligible(self):
+        assert _compile_one(constant(float("nan"))) is None
+        assert _compile_one(constant(float("inf"))) is None
+        assert _compile_one(
+            with_noise(constant(1.0), float("nan"),
+                       np.random.default_rng(0))) is None
+
+    def test_machine_steps_down_and_matches_scalar_engine(self):
+        """A machine whose table can't compile still ticks bit-identically
+        to a scalar-engine twin (the closure path is shared)."""
+        def build(engine):
+            m = Machine("m0", get_platform("westmere-2.6"),
+                        cpi_noise_sigma=0.03, demand_engine=engine)
+            spec = JobSpec(
+                name="odd", num_tasks=3,
+                scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+                priority_band=PriorityBand.PRODUCTION,
+                cpu_limit_per_task=2.0,
+                workload_factory=lambda i: SyntheticWorkload(
+                    base_cpi=1.0, profile=QUIET_PROFILE,
+                    demand=lambda t, i=i: 0.5 + 0.1 * i))
+            for task in Job(spec):
+                m.place(task)
+            return m
+
+        mv = build("vector")
+        ms = build("scalar")
+        assert mv._task_table().demand_columns is None
+        for t in range(50):
+            rv = mv.tick(t)
+            rs = ms.tick(t)
+            assert rv.grants == rs.grants and rv.cpis == rs.cpis
+
+
+# ---------------------------------------------------------------------------
+# chunked draw prefetch (private noise generators)
+
+
+def _noisy_machine(engine: str, num: int = 4) -> Machine:
+    """A machine of noisy tasks whose generators are private to their
+    ``with_noise`` closures (constructed inline, no other reference), so
+    the vector engine is allowed to install chunked draw streams."""
+    m = Machine("m0", get_platform("westmere-2.6"), cpi_noise_sigma=0.0,
+                demand_engine=engine)
+    spec = JobSpec(
+        name="svc", num_tasks=num,
+        scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+        priority_band=PriorityBand.PRODUCTION,
+        cpu_limit_per_task=2.0,
+        workload_factory=lambda i: SyntheticWorkload(
+            base_cpi=1.0, profile=QUIET_PROFILE,
+            demand=with_noise(constant(0.5 + 0.1 * i), 0.1,
+                              np.random.default_rng(
+                                  np.random.SeedSequence((7, i))))))
+    for task in Job(spec):
+        m.place(task)
+    return m
+
+
+def _assert_tick_parity(mv: Machine, ms: Machine, ts) -> None:
+    for t in ts:
+        rv = mv.tick(t)
+        rs = ms.tick(t)
+        assert ({k: _hex(v) for k, v in rv.grants.items()}
+                == {k: _hex(v) for k, v in rs.grants.items()}), f"t={t}"
+
+
+class TestDrawPrefetch:
+    def test_chunked_stream_matches_scalar_draws(self):
+        from repro.cluster.demandplane import _chunked_stream
+        it = _chunked_stream(np.random.default_rng(5))
+        ref = np.random.default_rng(5)
+        for _ in range(600):        # crosses two chunk refills
+            assert _hex(next(it)) == _hex(ref.standard_normal())
+
+    def test_private_rng_gets_stream_and_matches_scalar(self):
+        """A private generator is bulk-drawn in chunks; grants stay
+        bit-identical to the scalar engine across refill boundaries."""
+        from repro.cluster.demandplane import _DRAW_CHUNK
+        mv = _noisy_machine("vector")
+        ms = _noisy_machine("scalar")
+        assert mv._task_table().demand_columns is not None
+        w = next(iter(mv._tasks.values())).workload
+        assert w._demand.spec.stream[0] is not None, "stream not installed"
+        _assert_tick_parity(mv, ms, range(2 * _DRAW_CHUNK + 16))
+
+    def test_shared_rng_keeps_per_tick_draws(self):
+        """A generator someone else can reach must not be prefetched —
+        another consumer could interleave draws between ticks."""
+        rng = np.random.default_rng(3)      # this reference makes it shared
+        fn = with_noise(constant(1.0), 0.1, rng)
+        dc = _compile_one(fn)
+        assert dc is not None
+        assert fn.spec.stream[0] is None
+        ref = np.random.default_rng(3)
+        for t in range(20):
+            got = float(dc.demand(t)[0])
+            expected = 1.0 * float(np.exp(0.1 * ref.standard_normal()))
+            assert _hex(got) == _hex(max(0.0, expected))
+
+    def test_stream_survives_recompile(self):
+        """Removing a task recompiles the table; the surviving tasks'
+        stream positions must carry over (they live on the specs)."""
+        mv = _noisy_machine("vector")
+        ms = _noisy_machine("scalar")
+        _assert_tick_parity(mv, ms, range(40))
+        victim = sorted(mv._tasks)[1]
+        mv.remove(victim, TaskState.EXITED, reason="test")
+        ms.remove(victim, TaskState.EXITED, reason="test")
+        _assert_tick_parity(mv, ms, range(40, 120))
+
+    def test_closure_continues_stream_after_step_down(self):
+        """If the table turns ineligible after streams were installed, the
+        closure path keeps consuming the same iterators, so the values
+        still match a scalar twin draw for draw."""
+        mv = _noisy_machine("vector")
+        ms = _noisy_machine("scalar")
+        _assert_tick_parity(mv, ms, range(40))
+
+        def opaque_job():
+            return JobSpec(
+                name="opaque", num_tasks=1,
+                scheduling_class=SchedulingClass.BATCH,
+                priority_band=PriorityBand.NONPRODUCTION,
+                cpu_limit_per_task=1.0,
+                workload_factory=lambda i: SyntheticWorkload(
+                    base_cpi=1.0, profile=QUIET_PROFILE,
+                    demand=lambda t: 0.3))
+
+        for task in Job(opaque_job()):
+            mv.place(task)
+        for task in Job(opaque_job()):
+            ms.place(task)
+        assert mv._task_table().demand_columns is None
+        _assert_tick_parity(mv, ms, range(40, 120))
+
+
+# ---------------------------------------------------------------------------
+# NaN-clamp regression (satellite 2)
+
+
+class TestNaNClamp:
+    def test_scaled_clamps_nan_factor(self):
+        fn = scaled(constant(1.0), lambda t: float("nan"))
+        assert fn(5) == 0.0
+
+    def test_scaled_clamps_negative_product(self):
+        fn = scaled(constant(1.0), lambda t: -3.0)
+        assert fn(5) == 0.0
+
+    def test_with_noise_clamps_nan_base(self):
+        fn = with_noise(lambda t: float("nan"), 0.1,
+                        np.random.default_rng(0))
+        assert fn(5) == 0.0
+
+    def test_cpu_demand_clamps_nan(self):
+        w = SyntheticWorkload(base_cpi=1.0, profile=QUIET_PROFILE,
+                              demand=lambda t: float("nan"))
+        assert w.cpu_demand(5) == 0.0
+        w2 = SyntheticWorkload(base_cpi=1.0, profile=QUIET_PROFILE,
+                               demand=lambda t: -1.0)
+        assert w2.cpu_demand(5) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# engine selection
+
+
+class TestEngineSelection:
+    def test_resolve_explicit(self):
+        assert resolve_demand_engine("scalar") == "scalar"
+        assert resolve_demand_engine("vector") == "vector"
+
+    def test_resolve_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(DEMAND_ENGINE_ENV, raising=False)
+        assert resolve_demand_engine() == "vector"
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv(DEMAND_ENGINE_ENV, "scalar")
+        assert resolve_demand_engine() == "scalar"
+        assert resolve_demand_engine("vector") == "vector"  # explicit wins
+
+    def test_resolve_rejects_unknown(self, monkeypatch):
+        with pytest.raises(ValueError, match="demand engine"):
+            resolve_demand_engine("turbo")
+        monkeypatch.setenv(DEMAND_ENGINE_ENV, "bogus")
+        with pytest.raises(ValueError, match="demand engine"):
+            resolve_demand_engine()
+
+    def test_machine_rejects_unknown(self):
+        from repro.cluster.platform import get_platform
+        with pytest.raises(ValueError, match="demand engine"):
+            Machine("m0", get_platform("westmere-2.6"),
+                    demand_engine="turbo")
+
+    def test_engines_tuple(self):
+        assert DEMAND_ENGINES == ("vector", "scalar")
+
+
+# ---------------------------------------------------------------------------
+# charge ledger
+
+
+class TestChargeLedger:
+    def _machine(self, engine="vector"):
+        m = Machine("m0", get_platform("westmere-2.6"), cpi_noise_sigma=0.0,
+                    demand_engine=engine)
+        spec = JobSpec(
+            name="svc", num_tasks=2,
+            scheduling_class=SchedulingClass.LATENCY_SENSITIVE,
+            priority_band=PriorityBand.PRODUCTION,
+            cpu_limit_per_task=2.0,
+            workload_factory=lambda i: _workload(constant(0.5 + 0.25 * i)))
+        tasks = list(Job(spec))
+        for task in tasks:
+            m.place(task)
+        return m, tasks
+
+    def test_reads_flush_mid_chunk(self):
+        """total / last_usage / usage_between / window views all see charges
+        buffered by the ledger, at any point inside a chunk."""
+        mv, tv = self._machine("vector")
+        ms, ts_ = self._machine("scalar")
+        for t in range(37):     # well inside the 128-tick chunk
+            mv.tick(t)
+            ms.tick(t)
+        for a, b in zip(tv, ts_):
+            assert a.cgroup.total_cpu_seconds == b.cgroup.total_cpu_seconds
+            assert a.cgroup.last_usage() == b.cgroup.last_usage()
+            assert a.cgroup.usage_between(10, 30) == \
+                b.cgroup.usage_between(10, 30)
+            va = a.cgroup.usage_window_view(0, 37)
+            vb = b.cgroup.usage_window_view(0, 37)
+            assert va is not None and vb is not None
+            assert va.tolist() == vb.tolist()
+
+    def test_long_run_crosses_chunk_boundaries(self):
+        mv, tv = self._machine("vector")
+        ms, ts_ = self._machine("scalar")
+        for t in range(300):    # > 2 chunks of 128
+            mv.tick(t)
+            ms.tick(t)
+        for a, b in zip(tv, ts_):
+            assert _hex(a.cgroup.total_cpu_seconds) == \
+                _hex(b.cgroup.total_cpu_seconds)
+            assert a.cgroup.usage_between(120, 260) == \
+                b.cgroup.usage_between(120, 260)
+
+    def test_placement_change_flushes(self):
+        mv, tasks = self._machine("vector")
+        for t in range(10):
+            mv.tick(t)
+        mv.remove(tasks[0].name, TaskState.KILLED, reason="test")
+        # The removed task's cgroup must have all 10 charges.
+        assert len(tasks[0].cgroup._usage_history) == 10
+
+    def test_departure_mid_run_stays_consistent(self):
+        """ScriptedWorkload is not a SyntheticWorkload, so its machine
+        takes the closure path end to end; its timed exits must still
+        match the scalar engine exactly."""
+        def build(engine):
+            m = Machine("m0", get_platform("westmere-2.6"),
+                        cpi_noise_sigma=0.0, demand_engine=engine)
+            job = make_scripted_job("scripted", [1.0, 2.0, 0.5],
+                                    num_tasks=3, exit_at=25)
+            for task in job:
+                m.place(task)
+            return m
+
+        mv, ms = build("vector"), build("scalar")
+        assert mv._task_table().demand_columns is None
+        for t in range(40):
+            rv, rs = mv.tick(t), ms.tick(t)
+            assert rv.grants == rs.grants
+            assert [(task.name, s) for task, s in rv.departures] == \
+                [(task.name, s) for task, s in rs.departures]
+        assert mv.num_tasks == ms.num_tasks == 0
+
+    def test_mapreduce_departures_with_compiled_demand(self):
+        """MapReduceWorker demand (noise over constant) compiles, but its
+        overridden on_tick disables the batched accounting: departures
+        must still fire exactly as on the scalar engine."""
+        from repro.workloads.batch import make_mapreduce_job_spec
+
+        def build(engine):
+            m = Machine("m0", get_platform("westmere-2.6"),
+                        cpi_noise_sigma=0.0, demand_engine=engine)
+            spec = make_mapreduce_job_spec("mr", num_workers=4, seed=3,
+                                           work_cpu_seconds=40.0,
+                                           give_up_episode=2)
+            for task in Job(spec):
+                m.place(task)
+            return m
+
+        mv, ms = build("vector"), build("scalar")
+        dc = mv._task_table().demand_columns
+        assert dc is not None and not dc.batch_on_tick
+        departures_v, departures_s = [], []
+        for t in range(400):
+            departures_v += [(task.name, s) for task, s in
+                             mv.tick(t).departures]
+            departures_s += [(task.name, s) for task, s in
+                             ms.tick(t).departures]
+        assert departures_v == departures_s
+        assert len(departures_v) == 4          # every worker finished
+        assert mv.num_tasks == ms.num_tasks == 0
+
+
+# ---------------------------------------------------------------------------
+# end-to-end golden parity, scalar vs vector engine
+
+
+_SCALE_KWARGS = dict(num_machines=6, seed=11, num_service_jobs=2,
+                     num_batch_jobs=2, tasks_per_job=6,
+                     config=CpiConfig(spec_refresh_period=600,
+                                      min_samples_per_task=5))
+
+_CHAOS_KWARGS = dict(seed=0, num_machines=4, fault_profile="moderate",
+                     fault_seed=1)
+
+
+def _canon_samples(samples):
+    return [(s.jobname, s.platforminfo, s.timestamp, _hex(s.cpu_usage),
+             _hex(s.cpi), s.taskname) for s in samples]
+
+
+def _canon_incidents(incidents):
+    return [(i.machine, i.time_seconds, i.victim_taskname, i.victim_jobname,
+             _hex(i.victim_cpi), _hex(i.cpi_threshold),
+             tuple((s.taskname, s.jobname, _hex(s.correlation))
+                   for s in i.suspects),
+             i.decision.action.value,
+             None if i.post_cpi is None else _hex(i.post_cpi), i.recovered)
+            for i in incidents]
+
+
+def _canon_specs(aggregator):
+    return sorted(
+        (key.jobname, key.platforminfo, spec.num_samples,
+         _hex(spec.cpu_usage_mean), _hex(spec.cpi_mean), _hex(spec.cpi_stddev))
+        for key, spec in aggregator.specs().items())
+
+
+def _run_single(builder, kwargs, seconds):
+    scenario = builder(**kwargs)
+    pipeline = scenario.pipeline
+    pipeline.log_samples = True
+    scenario.simulation.run(seconds)
+    return {
+        "samples": _canon_samples(pipeline.sample_log),
+        "incidents": _canon_incidents(pipeline.all_incidents()),
+        "specs": _canon_specs(pipeline.aggregator),
+        "caps": pipeline.obs.metrics.total("caps_applied"),
+    }
+
+
+def _run_sharded(builder, kwargs, seconds, jobs):
+    result = run_sharded(builder, kwargs, seconds=seconds, jobs=jobs,
+                         log_samples=True)
+    return {
+        "samples": _canon_samples(result.sample_log),
+        "incidents": _canon_incidents(result.all_incidents()),
+        "specs": _canon_specs(result.pipeline.aggregator),
+        "caps": result.pipeline.obs.metrics.total("caps_applied"),
+    }
+
+
+class TestGoldenEngineParity:
+    def test_scale_clean_parity_across_jobs(self, monkeypatch):
+        """Clean fleet: scalar reference == vector engine, single-process
+        and sharded at 1/2/4 workers, byte for byte."""
+        seconds = 1200
+        monkeypatch.setenv(DEMAND_ENGINE_ENV, "scalar")
+        baseline = _run_single(scale_scenario, _SCALE_KWARGS, seconds)
+        assert len(baseline["samples"]) > 300   # not vacuously equal
+        monkeypatch.setenv(DEMAND_ENGINE_ENV, "vector")
+        assert _run_single(scale_scenario, _SCALE_KWARGS,
+                           seconds) == baseline
+        for jobs in (1, 2, 4):
+            assert _run_sharded(scale_scenario, _SCALE_KWARGS, seconds,
+                                jobs) == baseline, f"jobs={jobs}"
+
+    def test_chaos_moderate_parity_across_jobs(self, monkeypatch):
+        """Moderate chaos: caps fire and machines churn; sample, incident,
+        spec, and cap-counter streams must stay byte-identical."""
+        seconds = 2400
+        monkeypatch.setenv(DEMAND_ENGINE_ENV, "scalar")
+        baseline = _run_single(chaos_scenario, _CHAOS_KWARGS, seconds)
+        assert len(baseline["incidents"]) > 0   # detection fired
+        assert baseline["caps"] > 0             # caps actually applied
+        monkeypatch.setenv(DEMAND_ENGINE_ENV, "vector")
+        assert _run_single(chaos_scenario, _CHAOS_KWARGS,
+                           seconds) == baseline
+        for jobs in (1, 2, 4):
+            assert _run_sharded(chaos_scenario, _CHAOS_KWARGS, seconds,
+                                jobs) == baseline, f"jobs={jobs}"
