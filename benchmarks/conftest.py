@@ -75,11 +75,16 @@ def bench_json_sink(request):
 
     Every payload is stamped with the recording box's ``cpu_count``:
     speedup entries are meaningless without knowing how many cores were
-    available, and the artifact is long-lived.
+    available, and the artifact is long-lived.  Benchmarks that measure
+    *parallel* scaling pass ``parallel=True``; recorded on a single-core
+    box, their entry gains ``"note": "1-core container"`` so readers (and
+    the CI gates' skip lines) see at a glance why the numbers show no
+    scaling.
     """
     path = Path(request.config.getoption("--bench-json"))
 
-    def sink(key: str, payload: dict, summary: str | None = None) -> None:
+    def sink(key: str, payload: dict, summary: str | None = None,
+             parallel: bool = False) -> None:
         data = {}
         if path.exists():
             try:
@@ -88,6 +93,8 @@ def bench_json_sink(request):
                 data = {}  # corrupt artifact: rebuild rather than crash
         payload = dict(payload)
         payload.setdefault("cpu_count", os.cpu_count() or 1)
+        if parallel and payload["cpu_count"] == 1:
+            payload.setdefault("note", "1-core container")
         data[key] = payload
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         if summary is not None:

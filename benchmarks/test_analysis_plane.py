@@ -280,7 +280,8 @@ def test_trials_parallel(benchmark, report_sink, bench_json_sink):
         },
         summary=(f"trials: {serial_seconds:.1f}s serial -> "
                  f"{parallel_seconds:.1f}s at --jobs {jobs} "
-                 f"({speedup:.2f}x, identical={identical})"))
+                 f"({speedup:.2f}x, identical={identical})"),
+        parallel=True)
 
     # Identity is the hard gate; speedup depends on the runner's cores and
     # is gated in CI only when >= 2 cores are present.

@@ -170,7 +170,8 @@ def test_shard_sweep_throughput(report_sink, bench_json_sink):
         summary=("shard-sweep: " + ", ".join(
             f"{jobs}w {sweep[str(jobs)]['task_ticks_per_wall_second']:,.0f}"
             for jobs in SHARD_JOBS)
-            + f" task-ticks/s ({cores} cores)"))
+            + f" task-ticks/s ({cores} cores)"),
+        parallel=True)
 
     # Scaling gates, only where the hardware can express them.  (On an
     # undersized box even the warm-spawn collapse can't show: prebuilds

@@ -294,6 +294,36 @@ class Cgroup:
             out[lo - start + head:hi - start] = self._ring[:n - head]
         return out
 
+    def rebind_ring(self, row: np.ndarray) -> bool:
+        """Re-back the columnar usage ring with caller-owned storage.
+
+        The vectorized sampler keeps every resident cgroup's ring as one
+        row of a shared ``(n_tasks, USAGE_HISTORY_SECONDS)`` matrix, so a
+        whole window's per-task usage gathers as a single slice instead of
+        one ring read per cgroup.  Existing history is copied into ``row``
+        and future charges write through it, so every reader sees the same
+        state through either handle.  Returns ``False`` (and leaves the
+        cgroup on the deque path) when the ring has permanently stood down
+        — the caller must treat that row as unusable and fall back to
+        :meth:`usage_between`.
+
+        Pending ledger charges need no special handling: they flush through
+        :meth:`_charge_run` into whatever ``self._ring`` points at, which
+        after this call is ``row``.
+        """
+        if len(row) != USAGE_HISTORY_SECONDS:
+            raise ValueError(
+                f"ring row must hold {USAGE_HISTORY_SECONDS} slots, "
+                f"got {len(row)}")
+        if not self._ring_ok:
+            return False
+        if self._ring is None:
+            row[:] = 0.0
+        else:
+            row[:] = self._ring
+        self._ring = row
+        return True
+
     def last_usage(self) -> float:
         """Most recently recorded per-second usage (0.0 before any charge)."""
         self._flush_ledger()

@@ -130,7 +130,8 @@ class _TaskTable:
     __slots__ = ("tasks", "names", "cgroups", "cgroup_names", "workloads",
                  "demand_fns", "on_tick_fns", "base_cpi_fns", "profile_fns",
                  "cpu_limits", "tier_indices", "profiles", "profile_table",
-                 "workspace", "counter_matrix", "demand_columns")
+                 "workspace", "counter_matrix", "demand_columns",
+                 "usage_matrix", "usage_rows_ok")
 
     def __init__(self, tasks: Sequence[Task], counters: CounterBank,
                  demand_engine: str = "scalar"):
@@ -160,7 +161,36 @@ class _TaskTable:
             DemandColumns.compile(self.workloads, self.cgroups,
                                   self.cpu_limits)
             if (demand_engine == "vector" and tasks) else None)
+        # The shared usage-ring matrix the vectorized sampler slices window
+        # usage out of; built lazily (usage_rings) so tick-only machines
+        # never pay the 900-slot-per-task allocation.
+        self.usage_matrix: Optional[np.ndarray] = None
+        self.usage_rows_ok: Optional[np.ndarray] = None
         self.refresh_profiles([fn() for fn in self.profile_fns])
+
+    def usage_rings(self) -> tuple[np.ndarray, np.ndarray]:
+        """The per-task usage rings as rows of one shared matrix.
+
+        Row ``i`` becomes the backing storage of ``cgroups[i]``'s columnar
+        usage ring (:meth:`~repro.cluster.cgroup.Cgroup.rebind_ring`);
+        ``rows_ok[i]`` is False for cgroups whose ring had permanently
+        stood down at rebind time — those rows stay zero and must be read
+        through :meth:`~repro.cluster.cgroup.Cgroup.usage_between` instead.
+        A row can also go stale *after* a successful rebind (a charge gap
+        stands the ring down), so readers must still check the cgroup's
+        live ``_ring_ok``/``_ring_last`` before trusting it.
+        """
+        from repro.cluster.cgroup import USAGE_HISTORY_SECONDS
+
+        matrix = self.usage_matrix
+        if matrix is None:
+            matrix = np.zeros((len(self.tasks), USAGE_HISTORY_SECONDS))
+            rows_ok = np.empty(len(self.tasks), dtype=bool)
+            for i, cg in enumerate(self.cgroups):
+                rows_ok[i] = cg.rebind_ring(matrix[i])
+            self.usage_matrix = matrix
+            self.usage_rows_ok = rows_ok
+        return matrix, self.usage_rows_ok
 
     def refresh_profiles(self, profiles: Sequence[ResourceProfile]) -> None:
         """(Re)columnize resource profiles (rare: profiles are static in

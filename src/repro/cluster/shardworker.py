@@ -319,7 +319,13 @@ def _run_one(conn, ring: ShmRing, spec: ShardSpec,
             for _at, _machine, columns in arrivals:
                 _write_batch(ring, columns)
             for _name, samples in closed:
-                _write_batch(ring, SampleColumns.from_samples(samples))
+                # The vector sampler already holds the window as columns;
+                # ship those instead of re-encoding.  (Explicit None check:
+                # an empty SampleColumns is falsy.)
+                columns = getattr(samples, "columns", None)
+                if columns is None:
+                    columns = SampleColumns.from_samples(samples)
+                _write_batch(ring, columns)
             arrivals.clear()
             now = time.perf_counter()
             compute += now - mark
@@ -339,7 +345,8 @@ def _run_one(conn, ring: ShmRing, spec: ShardSpec,
                         agents[name].update_specs(specs, now=t)
             # The local path, after the refresh (as in _on_samples).
             for name, samples in closed:
-                agents[name].ingest_samples(t, samples)
+                agents[name].ingest_samples(
+                    t, samples, columns=getattr(samples, "columns", None))
             if telemetry:
                 # After the ingest loop, so the scrape sees every effect
                 # of tick t — the same point in the tick the

@@ -16,7 +16,7 @@ from generators spawned off one root ``numpy`` seed sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +30,11 @@ from repro.perf.sampler import CpiSampler, SamplerConfig
 __all__ = ["SimConfig", "ClusterSimulation"]
 
 #: Sink signature: (time, machine_name, samples-from-the-window-just-closed).
-SampleSink = Callable[[int, str, list[CpiSample]], None]
+#: The samples argument is a sequence of :class:`CpiSample`: a plain list
+#: from the scalar sampler engine, a columns-first
+#: :class:`~repro.core.samplebatch.WindowSamples` from the vector engine —
+#: sinks that only need ``len``/truthiness never materialize objects.
+SampleSink = Callable[[int, str, Sequence[CpiSample]], None]
 
 #: Hook signature: (time, machine, tick_result) after a machine executed.
 TickHook = Callable[[int, Machine, TickResult], None]
@@ -234,7 +238,7 @@ class ClusterSimulation:
                 for sink in self._sample_sinks:
                     sink(t, name, samples)
 
-    def _tick_samplers(self, t: int) -> list[tuple[str, list[CpiSample]]]:
+    def _tick_samplers(self, t: int) -> list[tuple[str, Sequence[CpiSample]]]:
         """Phase 2, collect-only variant: tick samplers and return the
         closed windows *without* dispatching to sinks.
 
@@ -243,7 +247,7 @@ class ClusterSimulation:
         is the same sorted-name order :meth:`_run_samplers` dispatches in.
         """
         _, sampler_order = self._iteration_order()
-        closed: list[tuple[str, list[CpiSample]]] = []
+        closed: list[tuple[str, Sequence[CpiSample]]] = []
         for name, sampler in sampler_order:
             if not sampler.wants_tick(t):
                 continue

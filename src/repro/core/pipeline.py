@@ -17,7 +17,7 @@ migrate/kill decisions through the cluster scheduler.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.cluster.machine import Machine, TickResult
 from repro.cluster.scheduler import PlacementError
@@ -161,19 +161,26 @@ class CpiPipeline:
     # -- simulation plumbing ------------------------------------------------------
 
     def _on_samples(self, t: int, machine_name: str,
-                    samples: list[CpiSample]) -> None:
-        self.total_samples += len(samples)
+                    samples: Sequence[CpiSample]) -> None:
+        n = len(samples)
+        self.total_samples += n
         if self.log_samples:
             self.sample_log.extend(samples)
-        columns: Optional[SampleColumns] = None
+        # The vector sampler ships its window as WindowSamples — columns
+        # already built, objects only on demand.  Reuse them everywhere.
+        columns: Optional[SampleColumns] = getattr(samples, "columns", None)
         if self.faults is None:
-            # Columnar even in-process: ingest_batch is bit-identical to
-            # per-sample ingest and dodges its per-sample dispatch.
-            columns = SampleColumns.from_samples(samples)
-            if self.host is not None:
-                self.host.ingest_columns(t, columns, samples=samples)
-            else:
-                self.aggregator.ingest_batch(columns)
+            if n:
+                # Columnar even in-process: ingest_batch is bit-identical to
+                # per-sample ingest and dodges its per-sample dispatch.  An
+                # empty window skips the encode and the batch call outright
+                # (ingest_batch early-returns on n == 0, so unobservable).
+                if columns is None:
+                    columns = SampleColumns.from_samples(samples)
+                if self.host is not None:
+                    self.host.ingest_columns(t, columns, samples=samples)
+                else:
+                    self.aggregator.ingest_batch(columns)
         else:
             self.faults.upload(t, machine_name, samples)
         refreshed = (self.host.maybe_recompute(t) if self.host is not None

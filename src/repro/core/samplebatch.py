@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import json
 import struct
+from collections.abc import Sequence as SequenceABC
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.records import CpiSample, SpecKey
 
-__all__ = ["SampleColumns"]
+__all__ = ["SampleColumns", "WindowSamples"]
 
 #: Segment record header: n samples, n keys, n tasks, string-blob bytes.
 _WIRE_HEADER = struct.Struct("<4q")
@@ -103,6 +104,13 @@ class SampleColumns:
             cpi[i] = s.cpi
         return cls(keys, tasks, key_code, task_code, timestamp, cpu_usage,
                    cpi)
+
+    @classmethod
+    def empty(cls) -> "SampleColumns":
+        """A zero-sample batch (what a window with no survivors encodes to)."""
+        return cls((), (), np.empty(0, dtype=np.int32),
+                   np.empty(0, dtype=np.int32), np.empty(0, dtype=np.int64),
+                   np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64))
 
     def to_samples(self) -> list[CpiSample]:
         """Decode back to sample objects, field-equal to the originals.
@@ -228,3 +236,60 @@ class SampleColumns:
     def __repr__(self) -> str:
         return (f"SampleColumns(n={len(self)}, keys={len(self.keys)}, "
                 f"tasks={len(self.tasks)})")
+
+
+class WindowSamples(SequenceABC):
+    """A closed sampling window: columns first, objects only on demand.
+
+    The vectorized sampler emits :class:`SampleColumns` directly — no
+    :class:`~repro.records.CpiSample` objects exist on the clean path.  But
+    the window still flows through consumers written against sample lists
+    (``sample_log.extend``, the fault plane's upload clients, the agent's
+    scalar engine, tests indexing ``samples[0]``), so this wrapper *is* a
+    sequence of samples: materialization via :meth:`SampleColumns.to_samples`
+    happens lazily on the first element access and is cached.  Consumers
+    that only need ``len``/truthiness (the simulation's dispatch guard, the
+    pipeline's empty-window skip) never build an object.
+
+    Equality against lists/tuples compares the materialized samples, so the
+    golden-parity suites can diff a vector window against a scalar one
+    field by field.
+    """
+
+    __slots__ = ("columns", "_samples")
+
+    def __init__(self, columns: SampleColumns):
+        self.columns = columns
+        self._samples: list[CpiSample] | None = None
+
+    def _list(self) -> list[CpiSample]:
+        samples = self._samples
+        if samples is None:
+            samples = self.columns.to_samples()
+            self._samples = samples
+        return samples
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __bool__(self) -> bool:
+        return len(self.columns) > 0
+
+    def __getitem__(self, index):
+        return self._list()[index]
+
+    def __iter__(self):
+        return iter(self._list())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, WindowSamples):
+            return self._list() == other._list()
+        if isinstance(other, (list, tuple)):
+            return self._list() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable cache; matches list semantics
+
+    def __repr__(self) -> str:
+        state = "materialized" if self._samples is not None else "columnar"
+        return f"WindowSamples(n={len(self)}, {state})"

@@ -30,7 +30,7 @@ import numpy as np
 from repro.perf.events import CounterEvent
 
 __all__ = ["CounterSet", "CounterBank", "CONTEXT_SWITCH_COST_SECONDS",
-           "EVENT_ORDER"]
+           "EVENT_ORDER", "delta_matrix"]
 
 #: Cost of one counter save/restore at a cross-cgroup context switch — the
 #: paper says "a couple of microseconds".
@@ -103,6 +103,33 @@ class CounterSet:
                     f"counter {event.value} went backwards: {before} -> {now}")
             deltas[event] = now - before
         return deltas
+
+
+def delta_matrix(now: np.ndarray, before: np.ndarray) -> np.ndarray:
+    """Per-event increases for many cgroups at once.
+
+    The bulk form of :meth:`CounterSet.delta_since` over the
+    :meth:`CounterBank.matrix_view` layout: ``before`` is an earlier copy
+    of the matrix (rows aligned to the same cgroups), and the result is the
+    elementwise increase — bit-identical to differencing each cgroup's
+    snapshot dict, since both are single float64 subtractions per slot.
+
+    Raises:
+        ValueError: if any counter went backwards, with the same message
+            ``delta_since`` raises for the first offender in row-major
+            (cgroup-then-:data:`EVENT_ORDER`) order — the order a scalar
+            sweep over the same rows would trip in.
+    """
+    if now.shape != before.shape:
+        raise ValueError(
+            f"snapshot shape {before.shape} does not match {now.shape}")
+    regressed = np.less(now, before)
+    if regressed.any():
+        r, c = (int(i) for i in np.argwhere(regressed)[0])
+        raise ValueError(
+            f"counter {EVENT_ORDER[c].value} went backwards: "
+            f"{float(before[r, c])} -> {float(now[r, c])}")
+    return now - before
 
 
 class CounterBank:

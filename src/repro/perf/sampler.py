@@ -9,22 +9,68 @@ the counters."  (Section 3.1.)
 minute it snapshots every resident cgroup's counters; 10 seconds later it
 differences them and emits one :class:`~repro.core.records.CpiSample` per
 task that executed instructions during the window.
+
+Two engines implement the window close:
+
+* ``vector`` (default) — snapshots are one array copy of the machine's
+  index-aligned counter matrix, window usage is one slice-sum over the
+  shared per-task usage-ring matrix, and deltas / validity masks / CPI run
+  as full-width ufunc passes that emit a
+  :class:`~repro.core.samplebatch.SampleColumns` record directly (wrapped
+  in a lazy :class:`~repro.core.samplebatch.WindowSamples`) — no
+  ``CpiSample`` objects exist on the clean path.
+* ``scalar`` — the original per-task loop, kept verbatim as the
+  never-optimized golden reference.
+
+Select per sampler via ``CpiSampler(engine=...)`` or process-wide with
+``REPRO_SAMPLER_ENGINE=vector|scalar``.  ``tests/test_sampler_plane.py``
+pins byte-identical samples, incidents, counters, and discard events
+between the two; the invariants that make this possible are documented in
+``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
-from repro.records import MICROSECONDS_PER_SECOND, CpiSample
+import numpy as np
+
+from repro.records import MICROSECONDS_PER_SECOND, CpiSample, SpecKey
 from repro.perf.events import CounterEvent
+from repro.perf.counters import EVENT_ORDER, delta_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.machine import Machine
+    from repro.core.samplebatch import SampleColumns, WindowSamples
     from repro.obs import Observability
 
-__all__ = ["SamplerConfig", "CpiSampler"]
+__all__ = ["SamplerConfig", "CpiSampler", "SAMPLER_ENGINES",
+           "SAMPLER_ENGINE_ENV", "default_sampler_engine"]
+
+#: Valid sampler-engine names.
+SAMPLER_ENGINES = ("vector", "scalar")
+
+#: Environment variable selecting the process-wide sampler engine.
+SAMPLER_ENGINE_ENV = "REPRO_SAMPLER_ENGINE"
+
+#: Fixed column positions of the two events the CPI formula reads.
+_CYCLES_COL = EVENT_ORDER.index(CounterEvent.CPU_CLK_UNHALTED_REF)
+_INSTRUCTIONS_COL = EVENT_ORDER.index(CounterEvent.INSTRUCTIONS_RETIRED)
+
+_EMPTY_SNAPSHOT = np.empty((0, len(EVENT_ORDER)))
+
+
+def default_sampler_engine() -> str:
+    """The process-wide engine choice: ``REPRO_SAMPLER_ENGINE`` or ``vector``."""
+    engine = os.environ.get(SAMPLER_ENGINE_ENV, "vector")
+    if engine not in SAMPLER_ENGINES:
+        raise ValueError(
+            f"{SAMPLER_ENGINE_ENV} must be one of {SAMPLER_ENGINES}, "
+            f"got {engine!r}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -59,22 +105,50 @@ class CpiSampler:
     """
 
     def __init__(self, machine: "Machine", config: SamplerConfig | None = None,
-                 obs: "Optional[Observability]" = None):
+                 obs: "Optional[Observability]" = None,
+                 engine: str | None = None):
         self.machine = machine
         self.config = config or SamplerConfig()
         #: Telemetry handle; the simulation injects its own when attached.
         self.obs = obs
+        engine = engine if engine is not None else default_sampler_engine()
+        if engine not in SAMPLER_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SAMPLER_ENGINES}, got {engine!r}")
+        self.engine = engine
         self._window_start: int | None = None
         self._snapshots: dict[str, Mapping[CounterEvent, float]] = {}
+        #: Vector-engine snapshot: (cgroup-name tuple, counter-matrix copy).
+        self._snapshot_columns: tuple[tuple[str, ...], np.ndarray] | None = None
+        # Per-reason discard-counter handles, so a storm of bad windows
+        # under heavy chaos doesn't pay a labelled registry lookup per
+        # discard.  Keyed by the obs identity the cache was built against:
+        # the simulation injects obs after construction (set_observability),
+        # and tests swap facades freely.
+        self._discard_counters: dict[str, object] = {}
+        self._discard_obs: "Optional[Observability]" = None
+        #: Per-table emission cache: (table, tasknames, jobnames) — the
+        #: name properties chase task -> spec attribute chains, and the
+        #: table object is stable between placement changes.
+        self._names_cache: tuple = (None, (), ())
 
     def _discard_window(self, taskname: str, reason: str) -> None:
         """Count a window that produced no sample — bad windows must be
         visible at the source, not discovered downstream."""
-        if self.obs is not None:
-            self.obs.metrics.counter("sampler_windows_discarded",
-                                     reason=reason).inc()
-            self.obs.events.event("sampler_window_discarded", reason=reason,
-                                  machine=self.machine.name, task=taskname)
+        obs = self.obs
+        if obs is None:
+            return
+        if obs is not self._discard_obs:
+            self._discard_counters = {}
+            self._discard_obs = obs
+        counter = self._discard_counters.get(reason)
+        if counter is None:
+            counter = obs.metrics.counter("sampler_windows_discarded",
+                                          reason=reason)
+            self._discard_counters[reason] = counter
+        counter.inc()
+        obs.events.event("sampler_window_discarded", reason=reason,
+                         machine=self.machine.name, task=taskname)
 
     def wants_tick(self, t: int) -> bool:
         """Whether :meth:`tick` would do any work at second ``t``.
@@ -91,26 +165,46 @@ class CpiSampler:
             return t - self._window_start >= self.config.duration_seconds
         return t % self.config.period_seconds == 0
 
-    def tick(self, t: int) -> list[CpiSample]:
-        """Advance to second ``t``; returns the window's samples if one closed."""
-        samples: list[CpiSample] = []
+    def tick(self, t: int) -> "Sequence[CpiSample]":
+        """Advance to second ``t``; returns the window's samples if one closed.
+
+        The scalar engine returns a plain list; the vector engine returns a
+        :class:`~repro.core.samplebatch.WindowSamples` (columns-first, lazy
+        object materialization).  Both are sequences of field-identical
+        :class:`CpiSample` values.
+        """
+        samples: "Sequence[CpiSample]" = []
         if (self._window_start is not None
                 and t - self._window_start >= self.config.duration_seconds):
             samples = self._close_window(end=t)
             self._window_start = None
             self._snapshots = {}
+            self._snapshot_columns = None
         if self._window_start is None and t % self.config.period_seconds == 0:
             self._open_window(t)
         return samples
 
     def _open_window(self, t: int) -> None:
         self._window_start = t
+        if self.engine == "vector":
+            # One memcpy of the index-aligned counter matrix instead of one
+            # dict per cgroup.  The matrix rows ARE the cgroups' live
+            # counter storage (CounterBank.matrix_view), so the copy is the
+            # same values a per-cgroup snapshot() sweep would record.
+            table = self.machine._task_table()
+            matrix = table.counter_matrix
+            self._snapshot_columns = (
+                table.cgroup_names,
+                matrix.copy() if matrix is not None else _EMPTY_SNAPSHOT)
+            return
         self._snapshots = {
             name: self.machine.counters.counters_for(name).snapshot()
             for name in self.machine.resident_cgroup_names()
         }
 
-    def _close_window(self, end: int) -> list[CpiSample]:
+    def _close_window(self, end: int) -> "Sequence[CpiSample]":
+        if self.engine == "vector":
+            return self._close_window_vector(end)
         assert self._window_start is not None
         start = self._window_start
         samples: list[CpiSample] = []
@@ -144,3 +238,150 @@ class CpiSampler:
                 taskname=task.name,
             ))
         return samples
+
+    # -- the vectorized window close -----------------------------------------
+    #
+    # Bit-identical to the scalar loop by construction: same task order
+    # (the task table is name-sorted, exactly resident_tasks() order), the
+    # same float64 subtraction per counter slot, the same IEEE division for
+    # CPI, and a window usage summed in the same time order the deque scan
+    # adds in (absent seconds contribute + 0.0, and usage is never -0.0,
+    # so x + 0.0 == x bitwise).  Discard reasons apply in the same
+    # precedence and emit events in the same task order.
+
+    def _close_window_vector(self, end: int) -> "WindowSamples":
+        # Deferred import: repro.core pulls in the agent, which imports the
+        # machine, which imports this module.
+        from repro.core.samplebatch import SampleColumns, WindowSamples
+
+        assert self._window_start is not None
+        assert self._snapshot_columns is not None
+        start = self._window_start
+        machine = self.machine
+        snap_names, snap = self._snapshot_columns
+        table = machine._task_table()
+        names = table.cgroup_names
+        if not names:
+            return WindowSamples(SampleColumns.empty())
+        cached_table, tasknames_all, jobnames_all = self._names_cache
+        if cached_table is not table:
+            tasknames_all = tuple(task.name for task in table.tasks)
+            jobnames_all = tuple(task.job.name for task in table.tasks)
+            self._names_cache = (table, tasknames_all, jobnames_all)
+        if names == snap_names:
+            # The common window: no placement change, rows already aligned.
+            current = table.counter_matrix
+            snapshot = snap
+            row_tasknames = tasknames_all
+            row_jobnames = jobnames_all
+            cgroups = table.cgroups
+            matrix_rows: Optional[np.ndarray] = None
+        else:
+            # Tasks arrived (no snapshot row: skipped, like the scalar
+            # engine) and/or departed (snapshot row no longer resident:
+            # simply not iterated) mid-window; align by cgroup name.
+            index = {name: j for j, name in enumerate(snap_names)}
+            keep = [(i, index[name]) for i, name in enumerate(names)
+                    if name in index]
+            if not keep:
+                return WindowSamples(SampleColumns.empty())
+            matrix_rows = np.asarray([i for i, _ in keep], dtype=np.intp)
+            current = table.counter_matrix[matrix_rows]
+            snapshot = snap[np.asarray([j for _, j in keep], dtype=np.intp)]
+            row_tasknames = tuple(tasknames_all[i] for i, _ in keep)
+            row_jobnames = tuple(jobnames_all[i] for i, _ in keep)
+            cgroups = tuple(table.cgroups[i] for i, _ in keep)
+        deltas = delta_matrix(current, snapshot)
+        cycles = deltas[:, _CYCLES_COL]
+        instructions = deltas[:, _INSTRUCTIONS_COL]
+        finite = np.isfinite(cycles) & np.isfinite(instructions)
+        positive = instructions > 0.0
+        usage = self._window_usage(table, matrix_rows, cgroups, start, end)
+        ok = finite & positive & np.isfinite(usage)
+        if not ok.all():
+            # Discards interleave nothing but their own counters/events, so
+            # replaying them row-by-row in task order reproduces exactly
+            # the scalar engine's event stream.  Precedence per row matches
+            # the scalar guard order: counters, then instructions, then
+            # usage.
+            for j in np.flatnonzero(~ok).tolist():
+                if not finite[j]:
+                    self._discard_window(row_tasknames[j],
+                                         "non_finite_counters")
+                elif not positive[j]:
+                    self._discard_window(row_tasknames[j],
+                                         "zero_instructions")
+                else:
+                    self._discard_window(row_tasknames[j],
+                                         "non_finite_usage")
+        good = np.flatnonzero(ok)
+        n = len(good)
+        # Emit SampleColumns directly — the same tables from_samples would
+        # build over the equivalent sample list: keys in first-appearance
+        # order (platform is constant per machine, so keys are distinct
+        # jobnames), tasknames unique per machine so the task table is the
+        # emission order itself.
+        platform = machine.platform.name
+        key_index: dict[str, int] = {}
+        keys: list[SpecKey] = []
+        codes: list[int] = []
+        tasknames = []
+        for j in good.tolist():
+            jobname = row_jobnames[j]
+            code = key_index.get(jobname)
+            if code is None:
+                code = len(keys)
+                key_index[jobname] = code
+                keys.append(SpecKey(jobname, platform))
+            codes.append(code)
+            tasknames.append(row_tasknames[j])
+        key_code = np.asarray(codes, dtype=np.int32)
+        columns = SampleColumns(
+            keys, tasknames, key_code,
+            np.arange(n, dtype=np.int32),
+            np.full(n, end * MICROSECONDS_PER_SECOND, dtype=np.int64),
+            usage[good],
+            np.divide(cycles[good], instructions[good]))
+        return WindowSamples(columns)
+
+    def _window_usage(self, table, matrix_rows: Optional[np.ndarray],
+                      cgroups, start: int, end: int) -> np.ndarray:
+        """Mean CPU-sec/sec over ``[start+1, end]`` for every candidate row.
+
+        One gather + slice-sum over the shared usage-ring matrix for every
+        row whose ring is live and charged through ``end``; anything else
+        (ring stood down, history replayed ad hoc by a test) falls back to
+        the deque-scanning :meth:`~repro.cluster.cgroup.Cgroup.usage_between`
+        per row.  The ledger is flushed once up front so ring state and
+        deque state agree.  Computing usage for rows the scalar engine
+        would have discarded first is unobservable: the read is pure once
+        the ledger is flushed.
+        """
+        from repro.cluster.cgroup import USAGE_HISTORY_SECONDS
+
+        span = end - start
+        lo, hi = start + 1, end + 1
+        dc = table.demand_columns
+        if dc is not None:
+            dc.flush_charges()
+        if span > USAGE_HISTORY_SECONDS:
+            return np.array([cg.usage_between(lo, hi) for cg in cgroups])
+        matrix, rows_ok = table.usage_rings()
+        if matrix_rows is not None:
+            matrix = matrix[matrix_rows]
+            rows_ok = rows_ok[matrix_rows]
+        window = matrix[:, np.arange(lo, hi) % USAGE_HISTORY_SECONDS]
+        # Sequential column adds from zero: the exact op order of the
+        # bracketing fast path's deque sweep (and of the filtered scan,
+        # whose missing seconds the ring holds as literal 0.0 slots).
+        acc = np.zeros(len(cgroups))
+        for column in range(span):
+            acc += window[:, column]
+        acc /= span
+        for j, ok in enumerate(rows_ok.tolist()):
+            # Trust a row only if its ring backs the matrix and charges ran
+            # consecutively through the window's last second.
+            cg = cgroups[j]
+            if not (ok and cg._ring_ok and cg._ring_last == end):
+                acc[j] = cg.usage_between(lo, hi)
+        return acc

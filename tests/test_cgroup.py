@@ -102,3 +102,59 @@ class TestCgroup:
             Cgroup("job/0", cpu_limit=0.0)
         with pytest.raises(ValueError):
             cg.apply_cap(quota=0.1, now=0, duration=0)
+
+
+class TestUsageBetweenPaths:
+    """The bracketing fast path vs the filtered deque scan.
+
+    ``usage_between`` skips the whole-deque scan when the last ``span``
+    entries exactly bracket the window.  Both paths sum the same entries,
+    so their results are pinned bit-identical (``float.hex()``), and the
+    fallback cases (short history, mid-window arrival, entries beyond the
+    window) get explicit coverage since the sampling plane leans on them.
+    """
+
+    def _charged(self, usages, t0=0):
+        cg = Cgroup("job/0", cpu_limit=8.0)
+        for i, u in enumerate(usages):
+            cg.charge(t0 + i, u)
+        return cg
+
+    def test_bracketing_fast_path_matches_filtered_scan(self):
+        # Irregular values so ordering mistakes can't cancel out.
+        usages = [0.1, 2.7, 0.0, 3.3, 1e-3, 4.0, 0.9, 2.2, 0.5, 1.7]
+        fast = self._charged(usages)            # history == window exactly
+        # Same window via the filtered scan: extra history ahead of the
+        # window breaks the bracketing condition (history[-span] != start).
+        slow = self._charged(usages + [9.9])
+        expected = sum(usages) / 10
+        assert fast.usage_between(0, 10).hex() == \
+            slow.usage_between(0, 10).hex() == float(expected).hex()
+
+    def test_history_shorter_than_span_scans(self):
+        # 3 charges, 10-second window: len(history) < span forces the scan
+        # and the 7 missing seconds count as zero.
+        cg = self._charged([1.0, 2.0, 3.0], t0=7)
+        assert cg.usage_between(0, 10).hex() == (6.0 / 10).hex()
+
+    def test_mid_window_arrival_scans(self):
+        # First charge lands inside the window: the last `span` entries
+        # can't bracket [start, end), so the filtered scan runs.
+        cg = self._charged([0.5, 1.5, 2.5], t0=5)
+        assert cg.usage_between(3, 8).hex() == (4.5 / 5).hex()
+
+    def test_entries_beyond_window_filtered_out(self):
+        # History extends past end-1: bracketing fails on history[-1],
+        # and the scan must ignore charges at/after `end`.
+        cg = self._charged([1.0, 2.0, 4.0, 8.0, 16.0])
+        assert cg.usage_between(1, 4).hex() == ((2.0 + 4.0 + 8.0) / 3).hex()
+
+    def test_fast_path_engages_with_older_history_present(self):
+        # Plenty of history before the window, none after: the last `span`
+        # entries bracket exactly, so islice and the filtered scan see the
+        # same entries — pin that they agree bitwise.
+        usages = [0.3, 1.1, 2.9, 0.7, 5.5, 0.2, 3.8, 1.4]
+        cg = self._charged(usages)
+        window = usages[5:]
+        assert cg.usage_between(5, 8).hex() == \
+            float(sum(window) / 3).hex()
